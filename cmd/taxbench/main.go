@@ -1,0 +1,62 @@
+// Command taxbench regenerates the paper's evaluation tables (see the
+// experiment index in DESIGN.md and the recorded results in
+// EXPERIMENTS.md).
+//
+//	taxbench            # run every experiment
+//	taxbench -exp e1    # one experiment: e1, e1wan, crossover, f3,
+//	                    # twrap, tbc, tfw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tax/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, all)")
+	flag.Parse()
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "taxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string) error {
+	type experiment struct {
+		name string
+		fn   func() (*bench.Table, error)
+	}
+	experiments := []experiment{
+		{"e1", func() (*bench.Table, error) {
+			t, _, err := bench.E1()
+			return t, err
+		}},
+		{"e1wan", bench.E1WAN},
+		{"stats", bench.SiteStats},
+		{"campus", bench.Campus},
+		{"crossover", bench.Crossover},
+		{"f3", bench.Figure3},
+		{"twrap", func() (*bench.Table, error) { return bench.WrapperDepth([]int{0, 1, 2, 4, 8}) }},
+		{"tbc", bench.BriefcaseDrop},
+		{"tfw", bench.FirewallBypass},
+	}
+	ran := false
+	for _, e := range experiments {
+		if exp != "all" && exp != e.name {
+			continue
+		}
+		ran = true
+		t, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(t.Format())
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Command taxctl manages a live taxd node: it lists agents, reads run
+// times, and kills, stops or resumes them, by addressing management
+// briefcases directly to the remote firewall (§3.2).
+//
+//	taxctl -node 127.0.0.1:27017 list
+//	taxctl -node 127.0.0.1:27017 runtime 'system/ag_fs'
+//	taxctl -node 127.0.0.1:27017 stop 'system/hello'
+//	taxctl -node 127.0.0.1:27017 resume 'system/hello'
+//	taxctl -node 127.0.0.1:27017 kill 'system/hello:3e9'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:27017", "taxd node to manage")
+	timeout := flag.Duration("timeout", 5*time.Second, "reply timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume} [agent-uri]")
+		os.Exit(2)
+	}
+	if err := run(*node, flag.Arg(0), flag.Arg(1), *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "taxctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(target, op, arg string, timeout time.Duration) error {
+	tcp, err := simnet.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tcp.Close() }()
+
+	host, portStr, err := net.SplitHostPort(tcp.Addr())
+	if err != nil {
+		return err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return err
+	}
+	system, err := identity.NewPrincipal("system")
+	if err != nil {
+		return err
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(system, identity.System)
+	fw, err := firewall.New(firewall.Config{
+		HostName:        host,
+		Port:            port,
+		Node:            tcp,
+		Trust:           trust,
+		SystemPrincipal: "system",
+		Resolve: func(h string, p int) (string, error) {
+			return net.JoinHostPort(h, strconv.Itoa(p)), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = fw.Close() }()
+
+	reg, err := fw.Register("taxctl", "system", "taxctl")
+	if err != nil {
+		return err
+	}
+	ctx := agent.NewContext(fw, reg, briefcase.New(), nil, nil)
+
+	thost, tportStr, err := net.SplitHostPort(target)
+	if err != nil {
+		return err
+	}
+	tport, err := strconv.Atoi(tportStr)
+	if err != nil {
+		return err
+	}
+
+	var fwOp string
+	switch op {
+	case "list":
+		fwOp = firewall.OpList
+	case "runtime":
+		fwOp = firewall.OpRuntime
+	case "kill":
+		fwOp = firewall.OpKill
+	case "stop":
+		fwOp = firewall.OpStop
+	case "resume":
+		fwOp = firewall.OpResume
+	default:
+		return fmt.Errorf("unknown operation %q", op)
+	}
+	if fwOp != firewall.OpList && arg == "" {
+		return fmt.Errorf("%s needs an agent URI argument", op)
+	}
+
+	req := briefcase.New()
+	req.SetString(firewall.FolderKind, firewall.KindManagement)
+	req.SetString(firewall.FolderOp, fwOp)
+	if arg != "" {
+		req.SetString(firewall.FolderArg, arg)
+	}
+	dest := fmt.Sprintf("tacoma://%s:%d/system/%s", thost, tport, firewall.FirewallName)
+	resp, err := ctx.Meet(dest, req, timeout)
+	if resp == nil {
+		return err
+	}
+	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
+		return fmt.Errorf("remote: %s", msg)
+	}
+	rows, err := resp.Folder(firewall.FolderReply)
+	if err != nil {
+		fmt.Println("ok")
+		return nil
+	}
+	for _, row := range rows.Strings() {
+		fmt.Println(row)
+	}
+	return nil
+}

@@ -1,0 +1,138 @@
+// Command taxd runs one live TAX node on TCP: a firewall bound to a real
+// socket, the standard VMs and service agents, and a few demo programs.
+// Several taxd processes on one machine (or several machines) form a
+// deployment that agents migrate between and that taxctl manages.
+//
+//	taxd -listen 127.0.0.1:27017 &
+//	taxd -listen 127.0.0.1:27018 &
+//	taxd -listen 127.0.0.1:27019 -launch 'tacoma://127.0.0.1:27018//vm_go,tacoma://127.0.0.1:27017//vm_go'
+//
+// The third invocation launches the figure-4 hello-world agent with the
+// given itinerary; watch it greet each node's stdout in turn.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/identity"
+	"tax/internal/services"
+	"tax/internal/simnet"
+	"tax/internal/vm"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:27017", "address to listen on")
+	launch := flag.String("launch", "", "comma-separated itinerary; launches the hello_world agent")
+	flag.Parse()
+	if err := run(*listen, *launch); err != nil {
+		fmt.Fprintln(os.Stderr, "taxd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, launch string) error {
+	node, err := simnet.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = node.Close() }()
+
+	host, portStr, err := net.SplitHostPort(node.Addr())
+	if err != nil {
+		return err
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return err
+	}
+
+	// Every taxd trusts the well-known "system" principal by name; the
+	// demo deployment model is one administrative domain (§4: single-hop
+	// agents within one domain need less machinery than Internet-hostile
+	// ones).
+	system, err := identity.NewPrincipal("system")
+	if err != nil {
+		return err
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(system, identity.System)
+
+	fw, err := firewall.New(firewall.Config{
+		HostName:        host,
+		Port:            port,
+		Node:            node,
+		Trust:           trust,
+		SystemPrincipal: "system",
+		Resolve: func(h string, p int) (string, error) {
+			return net.JoinHostPort(h, strconv.Itoa(p)), nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = fw.Close() }()
+
+	programs := &vm.Registry{}
+	gvm, err := vm.New(vm.Config{FW: fw, Programs: programs, Signer: system})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = gvm.Close() }()
+
+	// Standard services plus the figure-4 demo agent.
+	programs.Register("ag_fs", services.NewAgFS())
+	programs.Register("ag_cron", services.NewAgCron())
+	for _, svc := range []string{"ag_fs", "ag_cron"} {
+		if _, err := gvm.Launch("system", svc, svc, nil); err != nil {
+			return err
+		}
+	}
+	programs.Register("hello_world", func(ctx *agent.Context) error {
+		fmt.Printf("[%s] Hello world (instance %x)\n", node.Addr(), ctx.URI().Instance)
+		hosts, err := ctx.Briefcase().Folder(briefcase.FolderHosts)
+		if err != nil {
+			return err
+		}
+		for {
+			next, ok := hosts.Pop()
+			if !ok {
+				fmt.Printf("[%s] itinerary complete\n", node.Addr())
+				return nil
+			}
+			if err := ctx.Go(next.String()); errors.Is(err, agent.ErrMoved) {
+				return err
+			}
+			fmt.Printf("[%s] unable to reach %s\n", node.Addr(), next)
+		}
+	})
+
+	fmt.Printf("taxd listening on %s (agent URIs: tacoma://%s:%d/...)\n", node.Addr(), host, port)
+
+	if launch != "" {
+		bc := briefcase.New()
+		f := bc.Ensure(briefcase.FolderHosts)
+		for _, stop := range strings.Split(launch, ",") {
+			f.AppendString(strings.TrimSpace(stop))
+		}
+		if _, err := gvm.Launch("system", "hello", "hello_world", bc); err != nil {
+			return err
+		}
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("taxd: shutting down")
+	return nil
+}

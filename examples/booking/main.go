@@ -1,0 +1,177 @@
+// Command booking composes the §4 middleware this repository implements
+// as agent-carried support: resource agents on three hosts advertise
+// themselves in the ag_dir directory service, a coordinator discovers
+// them by attribute query, and a two-phase commit books one slot on all
+// of them atomically — then a second booking fails cleanly when a
+// resource runs out, leaving every agent rolled back.
+//
+//	go run ./examples/booking
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"tax"
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/services"
+	"tax/internal/txn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "booking:", err)
+		os.Exit(1)
+	}
+}
+
+// resource is a bookable thing with limited slots.
+type resource struct {
+	name  string
+	mu    sync.Mutex
+	slots int
+	held  map[string]int
+}
+
+func (r *resource) participant() *txn.Participant {
+	return &txn.Participant{
+		Prepare: func(id string, payload *briefcase.Briefcase) error {
+			n, _ := payload.GetInt("SLOTS")
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if r.slots < int(n) {
+				return fmt.Errorf("%s has only %d slots", r.name, r.slots)
+			}
+			r.slots -= int(n)
+			r.held[id] = int(n)
+			return nil
+		},
+		Commit: func(id string) {
+			r.mu.Lock()
+			delete(r.held, id)
+			r.mu.Unlock()
+		},
+		Abort: func(id string) {
+			r.mu.Lock()
+			if n, ok := r.held[id]; ok {
+				r.slots += n
+				delete(r.held, id)
+			}
+			r.mu.Unlock()
+		},
+	}
+}
+
+func run() error {
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+	hosts := []string{"hub", "room-host", "car-host", "crew-host"}
+	for _, h := range hosts {
+		if _, err := sys.AddNode(h, tax.NodeOptions{NoCVM: true}); err != nil {
+			return err
+		}
+	}
+	sysName := sys.SystemPrincipal.Name()
+	hub, err := sys.Node("hub")
+	if err != nil {
+		return err
+	}
+
+	// Resource agents advertise in the hub's directory and then serve
+	// the 2PC protocol.
+	resources := []*resource{
+		{name: "meeting-room", slots: 2, held: map[string]int{}},
+		{name: "car", slots: 2, held: map[string]int{}},
+		{name: "film-crew", slots: 1, held: map[string]int{}},
+	}
+	dir := services.DirClient{Service: "tacoma://hub//ag_dir"}
+	for i, r := range resources {
+		r := r
+		n, err := sys.Node(hosts[i+1])
+		if err != nil {
+			return err
+		}
+		part := r.participant()
+		n.Programs.Register("resource", func(ctx *agent.Context) error {
+			if err := dir.Advertise(ctx, map[string]string{
+				"class": "bookable", "what": r.name,
+			}); err != nil {
+				return err
+			}
+			for {
+				bc, err := ctx.Await(0)
+				if err != nil {
+					return nil
+				}
+				if ok, err := part.Handle(ctx, bc); ok {
+					if err != nil {
+						return err
+					}
+					continue
+				}
+			}
+		})
+		if _, err := n.VM.Launch(sysName, r.name, "resource", nil); err != nil {
+			return err
+		}
+	}
+
+	// The coordinator: discover, then book atomically.
+	reg, err := hub.FW.Register("main", sysName, "booker")
+	if err != nil {
+		return err
+	}
+	ctx := agent.NewContext(hub.FW, reg, tax.NewBriefcase(), nil, nil)
+
+	// Advertisements land asynchronously; poll until all three resources
+	// are visible.
+	var matches []services.Match
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		matches, err = dir.Query(ctx, map[string]string{"class": "bookable"})
+		if err != nil {
+			return err
+		}
+		if len(matches) == len(resources) {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d resources advertised", len(matches), len(resources))
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	fmt.Printf("directory lists %d bookable resources:\n", len(matches))
+	participants := make([]string, 0, len(matches))
+	for _, m := range matches {
+		fmt.Printf("  %s at %s\n", m.Attrs["what"], m.URI)
+		participants = append(participants, m.URI)
+	}
+
+	book := func(id string, slots int64) {
+		payload := tax.NewBriefcase()
+		payload.SetInt("SLOTS", slots)
+		c := &txn.Coordinator{Participants: participants, Timeout: 5 * time.Second}
+		if err := c.Run(ctx, id, payload); err != nil {
+			fmt.Printf("booking %s: ABORTED (%v)\n", id, err)
+			return
+		}
+		fmt.Printf("booking %s: COMMITTED (%d slot(s) on every resource)\n", id, slots)
+	}
+	book("shoot-day-1", 1) // commits: everyone has a slot
+	book("shoot-day-2", 1) // aborts: the film crew is now out of slots
+	// The abort rolled everyone back: a smaller booking still works.
+	time.Sleep(100 * time.Millisecond) // let abort notifications land
+	fmt.Println("after rollback:")
+	for _, r := range resources {
+		r.mu.Lock()
+		fmt.Printf("  %s: %d slot(s) free, %d held\n", r.name, r.slots, len(r.held))
+		r.mu.Unlock()
+	}
+	return nil
+}

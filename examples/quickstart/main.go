@@ -1,0 +1,89 @@
+// Command quickstart runs the paper's figure-4 hello-world agent: an
+// itinerant agent that pops the next stop from its briefcase's HOSTS
+// folder, greets each host it lands on, survives an unreachable host in
+// the middle of the itinerary, and terminates when the folder is empty.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"tax"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A three-host deployment on a simulated 100 Mbit LAN.
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+	for _, h := range []string{"h1", "h2", "h3"} {
+		if _, err := sys.AddNode(h, tax.NodeOptions{NoCVM: true}); err != nil {
+			return err
+		}
+	}
+
+	done := make(chan struct{})
+
+	// The figure-4 agent, transliterated from the paper's C:
+	//
+	//	while (1) {
+	//	    displaySomehow("Hello world");
+	//	    e = fRemove(bcIndex(bc, "HOSTS"), 1);
+	//	    if (!e) exit(0);
+	//	    if (go(eData(e), bc)) displaySomehow("Unable to reach %s", e);
+	//	}
+	sys.DeployProgram("hello_world", func(ctx *tax.Context) error {
+		fmt.Printf("Hello world (from %s, instance %x)\n",
+			ctx.Host(), ctx.URI().Instance)
+		hosts, err := ctx.Briefcase().Folder(tax.FolderHosts)
+		if err != nil {
+			close(done)
+			return err
+		}
+		for {
+			next, ok := hosts.Pop()
+			if !ok {
+				fmt.Printf("itinerary complete on %s after %v of simulated time\n",
+					ctx.Host(), ctx.Now())
+				close(done)
+				return nil
+			}
+			err := ctx.Go(next.String())
+			if errors.Is(err, tax.ErrMoved) {
+				return err // moved: this instance is done
+			}
+			fmt.Printf("Unable to reach %s (%v); continuing\n", next, err)
+		}
+	})
+
+	// The itinerary, including a host that does not exist.
+	bc := tax.NewBriefcase()
+	bc.Ensure(tax.FolderHosts).AppendString(
+		"tacoma://h2//vm_go",
+		"tacoma://nonexistent//vm_go",
+		"tacoma://h3//vm_go",
+		"tacoma://h1//vm_go",
+	)
+
+	n1, err := sys.Node("h1")
+	if err != nil {
+		return err
+	}
+	if _, err := n1.VM.Launch(sys.SystemPrincipal.Name(), "hello", "hello_world", bc); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}

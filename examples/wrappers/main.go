@@ -1,0 +1,210 @@
+// Command wrappers demonstrates §4's wrapper composition on an unchanged
+// agent: a logging wrapper, a monitoring wrapper answering status queries
+// the agent never sees, and a FIFO group-communication wrapper fanning
+// one send out to a member group — stacked in arbitrary depth around a
+// worker that only knows how to Await and Reply.
+//
+//	go run ./examples/wrappers
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"tax"
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/group"
+	"tax/internal/wrapper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wrappers:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = sys.Close() }()
+	for _, h := range []string{"h1", "h2"} {
+		if _, err := sys.AddNode(h, tax.NodeOptions{NoCVM: true}); err != nil {
+			return err
+		}
+	}
+	n1, err := sys.Node("h1")
+	if err != nil {
+		return err
+	}
+	n2, err := sys.Node("h2")
+	if err != nil {
+		return err
+	}
+	sysName := sys.SystemPrincipal.Name()
+
+	// --- Part 1: logging + status wrappers around an unchanged worker.
+	fmt.Println("== part 1: logging + monitoring wrappers around an unchanged worker ==")
+	worker := func(ctx *agent.Context) error {
+		// The worker knows nothing about wrappers: it records progress
+		// in its STATUS folder and answers application mail.
+		ctx.Briefcase().Ensure(briefcase.FolderStatus).AppendString("working on batch 7")
+		for {
+			req, err := ctx.Await(2 * time.Second)
+			if err != nil {
+				return nil // idle timeout: done
+			}
+			resp := briefcase.New()
+			body, _ := req.GetString("BODY")
+			resp.SetString("BODY", "done:"+body)
+			if err := ctx.Reply(req, resp); err != nil {
+				return err
+			}
+		}
+	}
+	n1.Programs.Register("worker", func(ctx *agent.Context) error {
+		stack := wrapper.NewStack(
+			&wrapper.Monitor{MonitorURI: "ag_monitor", Subject: "worker"},
+			&wrapper.Logging{Tag: "w", Sink: func(l string) { fmt.Println("   ", l) }},
+		)
+		if err := stack.Install(ctx); err != nil {
+			return err
+		}
+		return worker(ctx)
+	})
+
+	// The monitoring tool.
+	monHandler, monEvents := newMonitor()
+	n1.Programs.Register("ag_monitor", monHandler)
+	if _, err := n1.VM.Launch(sysName, "ag_monitor", "ag_monitor", nil); err != nil {
+		return err
+	}
+	wreg, err := n1.VM.Launch(sysName, "worker", "worker", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  monitor heard:", (<-monEvents))
+
+	// Query the worker's status: the wrapper answers, the worker never
+	// sees the query.
+	admin, err := n1.FW.Register("main", sysName, "admin")
+	if err != nil {
+		return err
+	}
+	actx := agent.NewContext(n1.FW, admin, briefcase.New(), nil, nil)
+	q := briefcase.New()
+	q.SetString(wrapper.FolderWrapOp, wrapper.WrapOpStatus)
+	resp, err := actx.MeetDirect(wreg.URI().String(), q, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	status, _ := resp.Folder(briefcase.FolderStatus)
+	fmt.Println("  status query answered by the wrapper:", status.Strings())
+
+	// And ordinary application traffic still reaches the worker.
+	m := briefcase.New()
+	m.SetString("BODY", "batch 7")
+	r, err := actx.MeetDirect(wreg.URI().String(), m, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	body, _ := r.GetString("BODY")
+	fmt.Println("  application reply:", body)
+
+	// --- Part 2: the group wrapper fans a send out with FIFO ordering.
+	fmt.Println("\n== part 2: FIFO group wrapper across two hosts ==")
+	delivered := make(chan string, 16)
+	mkMember := func(send bool) tax.Handler {
+		return func(ctx *agent.Context) error {
+			boot, err := ctx.Await(10 * time.Second)
+			if err != nil {
+				return err
+			}
+			ms, err := boot.Folder("MEMBERS")
+			if err != nil {
+				return err
+			}
+			g := &wrapper.Group{
+				GroupName: "readers",
+				Members:   ms.Strings(),
+				Self:      ctx.URI().String(),
+				Ordering:  group.FIFO,
+			}
+			if err := wrapper.NewStack(g).Install(ctx); err != nil {
+				return err
+			}
+			if send {
+				for i := 1; i <= 3; i++ {
+					bc := briefcase.New()
+					bc.SetString("BODY", fmt.Sprintf("update-%d", i))
+					if err := ctx.Activate("readers", bc); err != nil {
+						return err
+					}
+				}
+			}
+			for i := 0; i < 3; i++ {
+				bc, err := ctx.Await(5 * time.Second)
+				if err != nil {
+					return err
+				}
+				body, _ := bc.GetString("BODY")
+				delivered <- ctx.Host() + " got " + body
+			}
+			return nil
+		}
+	}
+	n1.Programs.Register("member", mkMember(true))
+	n2.Programs.Register("member", mkMember(false))
+	r1, err := n1.VM.Launch(sysName, "member", "member", nil)
+	if err != nil {
+		return err
+	}
+	r2, err := n2.VM.Launch(sysName, "member", "member", nil)
+	if err != nil {
+		return err
+	}
+	members := []string{r1.GlobalURI().String(), r2.GlobalURI().String()}
+	for i, n := range []*tax.Node{n1, n2} {
+		boot := briefcase.New()
+		boot.SetString(briefcase.FolderSysTarget, members[i])
+		boot.Ensure("MEMBERS").AppendString(members...)
+		breg, err := n.FW.Register("main", sysName, fmt.Sprintf("boot%d", i))
+		if err != nil {
+			return err
+		}
+		if err := n.FW.Send(breg.GlobalURI(), boot); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 6; i++ {
+		fmt.Println("  ", <-delivered)
+	}
+	return nil
+}
+
+// newMonitor is a minimal ag_monitor: it forwards status lines.
+func newMonitor() (tax.Handler, <-chan string) {
+	events := make(chan string, 16)
+	return func(ctx *agent.Context) error {
+		for {
+			rep, err := ctx.Await(0)
+			if err != nil {
+				return nil
+			}
+			if firewall.Kind(rep) == firewall.KindError {
+				continue
+			}
+			status, _ := rep.GetString(briefcase.FolderStatus)
+			host, _ := rep.GetString("HOST")
+			select {
+			case events <- host + ": " + status:
+			default:
+			}
+		}
+	}, events
+}

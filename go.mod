@@ -1,0 +1,3 @@
+module tax
+
+go 1.22

@@ -1,0 +1,346 @@
+// Package agent implements the TAX library of §3.1: the primitives a
+// mobile agent uses to operate on its state and communicate.
+//
+// The transportable state of an agent (code, arguments, results) is
+// collected in a briefcase. On top of the two basic communication
+// primitives (sending and receiving briefcases through the firewall) the
+// library offers activate (asynchronous send), await (blocking receive),
+// meet (RPC), go (move the agent to another VM, terminating the current
+// instance on success) and spawn (like Unix fork: create a new agent with
+// a fresh instance number, reported back to the caller).
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/uri"
+)
+
+// ErrMoved is returned by Go after a successful move. The paper's go()
+// never returns on success — the local instance terminates. In Go idiom
+// the handler returns ErrMoved up to its VM, which reaps the local
+// instance without reporting an error:
+//
+//	if err := ctx.Go(next); errors.Is(err, agent.ErrMoved) {
+//		return err // moved; local instance is done
+//	}
+//	// move failed: still here, handle it (figure 4 prints a warning)
+var ErrMoved = errors.New("agent: moved to another virtual machine")
+
+// ErrNoMover is returned by Go/Spawn when the hosting VM does not support
+// relocation (service agents are stationary).
+var ErrNoMover = errors.New("agent: the hosting VM does not support relocation")
+
+// Folders used by the spawn protocol.
+const (
+	// FolderSpawn marks a transfer as a spawn rather than a move.
+	FolderSpawn = "_SPAWN"
+	// FolderInstance carries the new instance number in a spawn reply.
+	FolderInstance = "_INSTANCE"
+)
+
+// Mover relocates agents; implemented by VMs that support mobility.
+type Mover interface {
+	// Move packages the agent's briefcase and sends it to the destination
+	// VM. With spawn set, the local agent keeps running and the new
+	// remote instance number is returned; otherwise the local instance
+	// terminates (the caller returns ErrMoved).
+	Move(c *Context, dest uri.URI, spawn bool) (uint64, error)
+}
+
+// LocalResolver lets a VM resolve a target to a co-located agent for the
+// §3.3 bypass optimization. It returns nil when the target is not local
+// to the VM.
+type LocalResolver func(target uri.URI, senderPrincipal string) *firewall.Registration
+
+// msgIDCounter feeds globally unique meet/spawn correlation ids.
+var msgIDCounter atomic.Uint64
+
+// Context is an executing agent's view of TAX: its briefcase, its
+// registration with the local firewall, and the library primitives. A
+// Context is bound to one agent goroutine and is not safe for concurrent
+// use by multiple goroutines.
+type Context struct {
+	fw    *firewall.Firewall
+	reg   *firewall.Registration
+	bc    *briefcase.Briefcase
+	mover Mover
+	local LocalResolver
+
+	// backlog holds briefcases received while waiting for a specific
+	// meet/spawn reply.
+	backlog []*briefcase.Briefcase
+
+	// sendHook and recvHook are the wrapper interception points (§4):
+	// the only actions observable to the system are sending and
+	// receiving a briefcase, and wrappers intercept exactly those.
+	sendHook func(*briefcase.Briefcase) (*briefcase.Briefcase, error)
+	recvHook func(*briefcase.Briefcase) (*briefcase.Briefcase, error)
+}
+
+// NewContext binds an agent to its briefcase and registration. mover and
+// local may be nil (stationary agent, no bypass).
+func NewContext(fw *firewall.Firewall, reg *firewall.Registration, bc *briefcase.Briefcase, mover Mover, local LocalResolver) *Context {
+	return &Context{fw: fw, reg: reg, bc: bc, mover: mover, local: local}
+}
+
+// Briefcase returns the agent's own briefcase. The agent always has
+// access to it and can drop state no longer needed before moving.
+func (c *Context) Briefcase() *briefcase.Briefcase { return c.bc }
+
+// Registration returns the agent's firewall registration.
+func (c *Context) Registration() *firewall.Registration { return c.reg }
+
+// FW returns the local firewall; used by VMs and service agents that run
+// code inline on an agent's behalf.
+func (c *Context) FW() *firewall.Firewall { return c.fw }
+
+// URI returns the agent's fully qualified (routable) URI.
+func (c *Context) URI() uri.URI { return c.reg.GlobalURI() }
+
+// Principal returns the principal the agent acts for.
+func (c *Context) Principal() string { return c.reg.URI().Principal }
+
+// Host returns the name of the host the agent currently executes on.
+func (c *Context) Host() string { return c.fw.HostName() }
+
+// Done is closed when the agent is killed by management action.
+func (c *Context) Done() <-chan struct{} { return c.reg.Done() }
+
+// Charge advances the host clock by a local computation cost; simulated
+// workloads use it to account CPU time in virtual time.
+func (c *Context) Charge(d time.Duration) { c.fw.Clock().Advance(d) }
+
+// Now returns the current host (virtual) time.
+func (c *Context) Now() time.Duration { return c.fw.Clock().Now() }
+
+// SetInterceptors installs the wrapper hooks. The send hook sees every
+// briefcase the agent sends before routing (returning nil swallows it);
+// the receive hook sees every briefcase delivered to the agent
+// (returning nil consumes it and the agent keeps waiting). VMs install
+// these when activating a wrapped agent.
+func (c *Context) SetInterceptors(
+	send func(*briefcase.Briefcase) (*briefcase.Briefcase, error),
+	recv func(*briefcase.Briefcase) (*briefcase.Briefcase, error),
+) {
+	c.sendHook, c.recvHook = send, recv
+}
+
+// Activate sends a briefcase to the target agent URI and returns
+// immediately (the paper's activate() — equivalent to a send). The
+// payload's _TARGET folder is set; ownership of payload transfers to the
+// system. Wrapper send-interceptors run first and may rewrite or swallow
+// the briefcase.
+func (c *Context) Activate(target string, payload *briefcase.Briefcase) error {
+	payload.SetString(briefcase.FolderSysTarget, target)
+	if c.sendHook != nil {
+		out, err := c.sendHook(payload)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			return nil // wrapper consumed the send
+		}
+		payload = out
+		// The wrapper may have re-targeted the briefcase.
+		if t, ok := payload.GetString(briefcase.FolderSysTarget); ok {
+			target = t
+		}
+	}
+	return c.ActivateDirect(target, payload)
+}
+
+// ActivateDirect sends without running wrapper interceptors; wrappers use
+// it for their own traffic (a monitoring report must not re-enter the
+// monitoring wrapper).
+func (c *Context) ActivateDirect(target string, payload *briefcase.Briefcase) error {
+	tu, err := uri.Parse(target)
+	if err != nil {
+		return fmt.Errorf("agent: activate: %w", err)
+	}
+	payload.SetString(briefcase.FolderSysTarget, target)
+	// §3.3: virtual machines may resolve internal communication without
+	// involving the firewall. Fully qualified URIs naming this host are
+	// just as local as bare ones.
+	if c.local != nil && (tu.IsLocal() || tu.Host == c.fw.HostName()) {
+		if r := c.local(tu, c.Principal()); r != nil {
+			payload.SetString(briefcase.FolderSysSender, c.URI().String())
+			return r.Inject(payload)
+		}
+	}
+	return c.fw.Send(c.URI(), payload)
+}
+
+// Await blocks until a briefcase arrives (the paper's await()). A zero
+// timeout waits forever. Briefcases buffered while waiting for an RPC
+// reply are returned first, in arrival order. Wrapper receive-
+// interceptors run on every arrival and may consume briefcases, in which
+// case Await keeps waiting.
+func (c *Context) Await(timeout time.Duration) (*briefcase.Briefcase, error) {
+	if len(c.backlog) > 0 {
+		bc := c.backlog[0]
+		c.backlog = c.backlog[1:]
+		return bc, nil
+	}
+	return c.receive(timeout)
+}
+
+// receive takes one briefcase from the mailbox, running the wrapper
+// receive hook; consumed briefcases do not count against the caller —
+// it keeps waiting within the same timeout budget.
+func (c *Context) receive(timeout time.Duration) (*briefcase.Briefcase, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		remain := time.Duration(0)
+		if timeout > 0 {
+			remain = time.Until(deadline)
+			if remain <= 0 {
+				return nil, fmt.Errorf("agent: %w", firewall.ErrRecvTimeout)
+			}
+		}
+		bc, err := c.reg.Recv(remain)
+		if err != nil {
+			return nil, err
+		}
+		if c.recvHook == nil {
+			return bc, nil
+		}
+		out, err := c.recvHook(bc)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil {
+			return out, nil
+		}
+		// The wrapper consumed the briefcase; keep waiting.
+	}
+}
+
+// Meet performs an RPC (the paper's meet()): it sends payload to the
+// target and blocks until the matching reply arrives. Unrelated
+// briefcases arriving meanwhile are buffered for later Await calls.
+func (c *Context) Meet(target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
+	id := nextMsgID()
+	payload.SetString(firewall.FolderMsgID, id)
+	if err := c.Activate(target, payload); err != nil {
+		return nil, err
+	}
+	return c.awaitReply(id, timeout)
+}
+
+// MeetDirect is Meet without wrapper interception, for wrappers and
+// system components performing RPCs on an agent's behalf (a location
+// lookup inside a send-interceptor must not re-enter that interceptor).
+func (c *Context) MeetDirect(target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
+	id := nextMsgID()
+	payload.SetString(firewall.FolderMsgID, id)
+	if err := c.ActivateDirect(target, payload); err != nil {
+		return nil, err
+	}
+	return c.awaitReply(id, timeout)
+}
+
+// Reply answers a briefcase received via Await/Meet service loops: the
+// response is routed to the request's authenticated sender and correlated
+// with its message id.
+func (c *Context) Reply(request, response *briefcase.Briefcase) error {
+	sender, ok := request.GetString(briefcase.FolderSysSender)
+	if !ok {
+		return errors.New("agent: reply: request has no sender")
+	}
+	if id, ok := request.GetString(firewall.FolderMsgID); ok {
+		response.SetString(firewall.FolderReplyTo, id)
+	}
+	return c.Activate(sender, response)
+}
+
+// awaitReply receives until a briefcase with _REPLYTO == id arrives.
+func (c *Context) awaitReply(id string, timeout time.Duration) (*briefcase.Briefcase, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		remain := time.Duration(0)
+		if timeout > 0 {
+			remain = time.Until(deadline)
+			if remain <= 0 {
+				return nil, fmt.Errorf("agent: meet: %w", firewall.ErrRecvTimeout)
+			}
+		}
+		bc, err := c.receive(remain)
+		if err != nil {
+			return nil, err
+		}
+		if got, ok := bc.GetString(firewall.FolderReplyTo); ok && got == id {
+			if firewall.Kind(bc) == firewall.KindError {
+				msg, _ := bc.GetString(briefcase.FolderSysError)
+				return bc, fmt.Errorf("agent: meet: remote error: %s", msg)
+			}
+			return bc, nil
+		}
+		c.backlog = append(c.backlog, bc)
+	}
+}
+
+// Go moves the agent (code and briefcase) to the destination VM given as
+// an agent URI (e.g. "tacoma://h2//vm_go") and terminates the current
+// instance if the move is successful, returning ErrMoved for the handler
+// to propagate. On failure the agent keeps executing locally and the
+// error describes why the destination was unreachable.
+func (c *Context) Go(dest string) error {
+	if c.mover == nil {
+		return ErrNoMover
+	}
+	du, err := uri.Parse(dest)
+	if err != nil {
+		return fmt.Errorf("agent: go: %w", err)
+	}
+	if _, err := c.mover.Move(c, du, false); err != nil {
+		return fmt.Errorf("agent: go %s: %w", dest, err)
+	}
+	return ErrMoved
+}
+
+// Spawn creates a new agent with the same code and a copy of the
+// briefcase on the destination VM, like the Unix fork() system call. The
+// new agent's instance number is reported back to the caller; the local
+// instance keeps running.
+func (c *Context) Spawn(dest string) (uint64, error) {
+	if c.mover == nil {
+		return 0, ErrNoMover
+	}
+	du, err := uri.Parse(dest)
+	if err != nil {
+		return 0, fmt.Errorf("agent: spawn: %w", err)
+	}
+	inst, err := c.mover.Move(c, du, true)
+	if err != nil {
+		return 0, fmt.Errorf("agent: spawn %s: %w", dest, err)
+	}
+	return inst, nil
+}
+
+// AwaitReply exposes reply-correlated receive for movers implementing the
+// spawn protocol.
+func (c *Context) AwaitReply(id string, timeout time.Duration) (*briefcase.Briefcase, error) {
+	return c.awaitReply(id, timeout)
+}
+
+// nextMsgID returns a process-unique correlation id.
+func nextMsgID() string {
+	return "m" + strconv.FormatUint(msgIDCounter.Add(1), 16)
+}
+
+// NextMsgID exposes id generation for movers and wrappers that speak the
+// meet protocol on an agent's behalf.
+func NextMsgID() string { return nextMsgID() }

@@ -1,0 +1,135 @@
+package agent_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/simnet"
+)
+
+func TestRunItinerary(t *testing.T) {
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	for _, h := range []string{"h1", "h2", "h3"} {
+		if _, err := s.AddNode(h, core.NodeOptions{NoCVM: true, NoServices: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	var visited []string
+	done := make(chan []string, 1)
+	s.DeployProgram("tour", func(ctx *agent.Context) error {
+		err := agent.RunItinerary(ctx, func(ctx *agent.Context) error {
+			mu.Lock()
+			visited = append(visited, ctx.Host())
+			mu.Unlock()
+			return nil
+		})
+		if err == nil {
+			done <- agent.Skipped(ctx)
+		}
+		return err
+	})
+
+	bc := briefcase.New()
+	bc.Ensure(briefcase.FolderHosts).AppendString(
+		"tacoma://h2//vm_go",
+		"tacoma://ghost//vm_go", // unreachable mid-route
+		"tacoma://h3//vm_go",
+	)
+	n1, err := s.Node("h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.VM.Launch("system", "tourist", "tour", bc); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case skipped := <-done:
+		if len(skipped) != 1 || !strings.Contains(skipped[0], "ghost") {
+			t.Errorf("skipped = %v", skipped)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("itinerary stalled")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got := strings.Join(visited, ","); got != "h1,h2,h3" {
+		t.Errorf("visited %s", got)
+	}
+}
+
+func TestRunItineraryWithoutHostsFolder(t *testing.T) {
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	if _, err := s.AddNode("h1", core.NodeOptions{NoCVM: true, NoServices: true}); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	s.DeployProgram("lost", func(ctx *agent.Context) error {
+		err := agent.RunItinerary(ctx, nil)
+		errs <- err
+		return err
+	})
+	n, _ := s.Node("h1")
+	if _, err := n.VM.Launch("system", "lost", "lost", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Error("missing HOSTS folder accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled")
+	}
+}
+
+func TestRunItineraryVisitErrorAborts(t *testing.T) {
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	if _, err := s.AddNode("h1", core.NodeOptions{NoCVM: true, NoServices: true}); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	s.DeployProgram("bad", func(ctx *agent.Context) error {
+		err := agent.RunItinerary(ctx, func(*agent.Context) error {
+			return errTestVisit
+		})
+		errs <- err
+		return err
+	})
+	n, _ := s.Node("h1")
+	if _, err := n.VM.Launch("system", "bad", "bad", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		if err != errTestVisit {
+			t.Errorf("err = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled")
+	}
+}
+
+var errTestVisit = &visitError{}
+
+type visitError struct{}
+
+func (*visitError) Error() string { return "visit failed" }

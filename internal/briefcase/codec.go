@@ -1,0 +1,167 @@
+package briefcase
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire format (version 1):
+//
+//	magic   [4]byte  "TAXB"
+//	version uvarint  1
+//	nfold   uvarint
+//	for each folder, in lexicographic name order:
+//	  nameLen uvarint, name bytes
+//	  nelem   uvarint
+//	  for each element: elemLen uvarint, elem bytes
+//
+// The encoding is deterministic: equal briefcases encode to equal bytes,
+// which lets signatures cover a briefcase by covering its encoding.
+
+var wireMagic = [4]byte{'T', 'A', 'X', 'B'}
+
+// wireVersion is the current briefcase wire-format version.
+const wireVersion = 1
+
+var (
+	// ErrBadMagic is returned when decoding bytes that are not a briefcase.
+	ErrBadMagic = errors.New("briefcase: bad magic")
+	// ErrBadVersion is returned for an unsupported wire-format version.
+	ErrBadVersion = errors.New("briefcase: unsupported wire version")
+	// ErrCorrupt is returned when a frame is truncated or violates limits.
+	ErrCorrupt = errors.New("briefcase: corrupt frame")
+)
+
+// Encode serializes the briefcase into the deterministic version-1 wire
+// format.
+func (b *Briefcase) Encode() []byte {
+	// Pre-size: payload + a generous varint/name allowance.
+	buf := make([]byte, 0, b.Size()+32+16*len(b.folders))
+	buf = append(buf, wireMagic[:]...)
+	buf = binary.AppendUvarint(buf, wireVersion)
+	names := b.Names()
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, name := range names {
+		f := b.folders[name]
+		buf = binary.AppendUvarint(buf, uint64(len(name)))
+		buf = append(buf, name...)
+		buf = binary.AppendUvarint(buf, uint64(len(f.elems)))
+		for _, e := range f.elems {
+			buf = binary.AppendUvarint(buf, uint64(len(e)))
+			buf = append(buf, e...)
+		}
+	}
+	return buf
+}
+
+// EncodedSize returns the exact length Encode will produce without
+// allocating the frame.
+func (b *Briefcase) EncodedSize() int {
+	n := len(wireMagic) + uvarintLen(wireVersion) + uvarintLen(uint64(len(b.folders)))
+	for name, f := range b.folders {
+		n += uvarintLen(uint64(len(name))) + len(name)
+		n += uvarintLen(uint64(len(f.elems)))
+		for _, e := range f.elems {
+			n += uvarintLen(uint64(len(e))) + len(e)
+		}
+	}
+	return n
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Decode parses a version-1 wire frame into a new briefcase. The decode
+// limits (MaxFolders and friends) bound resource use on hostile input.
+func Decode(data []byte) (*Briefcase, error) {
+	d := decoder{buf: data}
+	var magic [4]byte
+	if !d.read(magic[:]) {
+		return nil, fmt.Errorf("%w: short magic", ErrCorrupt)
+	}
+	if magic != wireMagic {
+		return nil, ErrBadMagic
+	}
+	ver, ok := d.uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: short version", ErrCorrupt)
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, ver)
+	}
+	nfold, ok := d.uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: short folder count", ErrCorrupt)
+	}
+	if nfold > MaxFolders {
+		return nil, fmt.Errorf("%w: %d folders exceeds limit", ErrCorrupt, nfold)
+	}
+	b := New()
+	for i := uint64(0); i < nfold; i++ {
+		nameLen, ok := d.uvarint()
+		if !ok || nameLen > MaxNameSize {
+			return nil, fmt.Errorf("%w: folder name length", ErrCorrupt)
+		}
+		name := make([]byte, nameLen)
+		if !d.read(name) {
+			return nil, fmt.Errorf("%w: short folder name", ErrCorrupt)
+		}
+		if len(name) == 0 {
+			return nil, fmt.Errorf("%w: empty folder name", ErrCorrupt)
+		}
+		if b.Has(string(name)) {
+			return nil, fmt.Errorf("%w: duplicate folder %q", ErrCorrupt, name)
+		}
+		f := b.Ensure(string(name))
+		nelem, ok := d.uvarint()
+		if !ok || nelem > MaxElements {
+			return nil, fmt.Errorf("%w: element count", ErrCorrupt)
+		}
+		f.elems = make([]Element, 0, min(nelem, 1024))
+		for j := uint64(0); j < nelem; j++ {
+			elemLen, ok := d.uvarint()
+			if !ok || elemLen > MaxElementSize {
+				return nil, fmt.Errorf("%w: element length", ErrCorrupt)
+			}
+			e := make(Element, elemLen)
+			if !d.read(e) {
+				return nil, fmt.Errorf("%w: short element", ErrCorrupt)
+			}
+			f.elems = append(f.elems, e)
+		}
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return b, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) read(dst []byte) bool {
+	if d.off+len(dst) > len(d.buf) {
+		return false
+	}
+	copy(dst, d.buf[d.off:])
+	d.off += len(dst)
+	return true
+}
+
+func (d *decoder) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	d.off += n
+	return v, true
+}

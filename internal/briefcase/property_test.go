@@ -1,0 +1,145 @@
+package briefcase
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genBriefcase builds a pseudo-random briefcase from a quick-check value
+// source. Folder names are drawn from a small alphabet so collisions (and
+// thus the Ensure-merging path) are exercised.
+func genBriefcase(rng *rand.Rand) *Briefcase {
+	b := New()
+	nf := rng.Intn(6)
+	for i := 0; i < nf; i++ {
+		name := string(rune('A' + rng.Intn(8)))
+		f := b.Ensure(name)
+		ne := rng.Intn(5)
+		for j := 0; j < ne; j++ {
+			e := make([]byte, rng.Intn(64))
+			rng.Read(e)
+			f.Append(e)
+		}
+	}
+	return b
+}
+
+func TestPropEncodeDecodeIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		b := genBriefcase(rand.New(rand.NewSource(seed)))
+		got, err := Decode(b.Encode())
+		return err == nil && b.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropEncodedSizeMatches(t *testing.T) {
+	f := func(seed int64) bool {
+		b := genBriefcase(rand.New(rand.NewSource(seed)))
+		return b.EncodedSize() == len(b.Encode())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCloneEqualAndIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := genBriefcase(rng)
+		c := b.Clone()
+		if !b.Equal(c) || !c.Equal(b) {
+			return false
+		}
+		// Mutating the clone must not affect the original encoding.
+		before := string(b.Encode())
+		c.Ensure("ZZZ").AppendString("mut")
+		for _, n := range c.Names() {
+			f := c.Ensure(n)
+			if f.Len() > 0 {
+				_, _ = f.Remove(0)
+			}
+		}
+		return string(b.Encode()) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Appending then removing at the same index is an identity on the folder.
+func TestPropInsertRemoveInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := genBriefcase(rng)
+		for _, name := range b.Names() {
+			fo := b.Ensure(name)
+			i := 0
+			if fo.Len() > 0 {
+				i = rng.Intn(fo.Len() + 1)
+			}
+			before := fo.Strings()
+			if err := fo.Insert(i, []byte("probe")); err != nil {
+				return false
+			}
+			e, err := fo.Remove(i)
+			if err != nil || e.String() != "probe" {
+				return false
+			}
+			after := fo.Strings()
+			if len(before) != len(after) {
+				return false
+			}
+			for k := range before {
+				if before[k] != after[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merge is size-additive: Size(a.Merge(b)) accounts for every byte of both
+// (folder-name bytes of shared folders counted once).
+func TestPropMergeSizeAdditive(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		a := genBriefcase(rand.New(rand.NewSource(seedA)))
+		b := genBriefcase(rand.New(rand.NewSource(seedB)))
+		shared := 0
+		for _, n := range b.Names() {
+			if a.Has(n) {
+				shared += len(n)
+			}
+		}
+		want := a.Size() + b.Size() - shared
+		a.Merge(b)
+		return a.Size() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Decode never panics on arbitrary input and either errors or yields a
+// briefcase that re-encodes to the canonical form.
+func TestPropDecodeTotal(t *testing.T) {
+	f := func(data []byte) bool {
+		b, err := Decode(data)
+		if err != nil {
+			return true
+		}
+		// A successfully decoded frame must round-trip through Encode.
+		got, err := Decode(b.Encode())
+		return err == nil && b.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

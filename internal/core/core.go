@@ -1,0 +1,381 @@
+// Package core wires the TAX kernel into deployable hosts.
+//
+// A Node is one machine of figure 1: a firewall fronting a set of virtual
+// machines (vm_go, vm_bin, vm_c) and the standard service agents (ag_cc,
+// ag_exec, ag_fs, ag_cron). A System is a simulated distributed
+// deployment: several nodes joined by a simnet.Network. The public root
+// package tax re-exports this API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/identity"
+	"tax/internal/naming"
+	"tax/internal/services"
+	"tax/internal/simnet"
+	"tax/internal/vm"
+	"tax/internal/wrapper"
+)
+
+// NodeOptions tune one host. The zero value gives a standard node.
+type NodeOptions struct {
+	// Arch is the machine architecture tag; default vm.DefaultArch.
+	Arch string
+	// Bypass enables VM-internal delivery between co-located agents.
+	Bypass bool
+	// RequireAuth makes the firewall reject unsigned inbound transfers.
+	RequireAuth bool
+	// QueueTimeout overrides the firewall's parked-message timeout.
+	QueueTimeout time.Duration
+	// Trace receives kernel instrumentation events.
+	Trace func(event string)
+	// NoServices skips launching the standard service agents.
+	NoServices bool
+	// NoCVM skips the C virtual machine and its compile services.
+	NoCVM bool
+	// NameService additionally launches the ag_ns location registry on
+	// this node (typically only the deployment's home node runs one).
+	NameService bool
+	// OnAgentDone observes every agent completion on this node's VMs
+	// (nil on clean exit, agent.ErrMoved after a move, else the fault).
+	OnAgentDone func(name string, err error)
+	// SecureChannels signs every inter-firewall frame with a per-host
+	// firewall principal and rejects unsigned or untrusted inbound
+	// frames (§3.2's "authenticated and trusted sender").
+	SecureChannels bool
+}
+
+// Node is one TAX host: firewall, VMs, service agents and local stores.
+type Node struct {
+	// Name is the host name in agent URIs.
+	Name string
+	// FW is the host firewall.
+	FW *firewall.Firewall
+	// VM is the Go-handler virtual machine (vm_go).
+	VM *vm.GoVM
+	// BinVM is the signed-binary virtual machine (vm_bin).
+	BinVM *vm.BinVM
+	// CVM is the C virtual machine (vm_c); nil with NoCVM.
+	CVM *vm.CVM
+	// Programs is the host's pre-deployed program registry.
+	Programs *vm.Registry
+	// Binaries is the host's deployed-binary inventory.
+	Binaries *vm.BinaryStore
+	// Wrappers is the host's deployed wrapper registry; stacks named in
+	// a travelling agent's _WRAP folder are rebuilt from it on arrival.
+	Wrappers *wrapper.Registry
+	// WrapperSpecs generates wrapper stacks declared in a briefcase's
+	// _WRAPSPEC folder (the paper's "automatic generation of layers of
+	// wrappers"); the built-in layer kinds are pre-registered.
+	WrapperSpecs *wrapper.SpecRegistry
+	// Names is the local name table when the node runs ag_ns, else nil.
+	Names *naming.Table
+	// Host is the simulated machine carrying the node.
+	Host *simnet.Host
+	// Arch is the host architecture tag.
+	Arch string
+}
+
+// Recover relaunches an agent from a checkpoint stored by the
+// wrapper.Checkpoint passive-replication wrapper: the snapshot is read
+// back from this node's file service and the program activated with the
+// recovered briefcase — the home site resuming a crashed or lost agent
+// from its last consistent state.
+func (n *Node) Recover(principal, name, program, checkpointPath string) (*firewall.Registration, error) {
+	reg, err := n.FW.Register("recovery", n.FW.SystemPrincipal(), "recovery")
+	if err != nil {
+		return nil, err
+	}
+	defer n.FW.Unregister(reg)
+	ctx := agent.NewContext(n.FW, reg, briefcase.New(), nil, nil)
+
+	req := briefcase.New()
+	req.SetString(services.FolderOp, "get")
+	req.SetString(services.FolderPath, checkpointPath)
+	resp, err := ctx.MeetDirect("ag_fs", req, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: %w", checkpointPath, err)
+	}
+	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
+		return nil, fmt.Errorf("core: recover %s: %s", checkpointPath, msg)
+	}
+	data, err := resp.Folder(services.FolderData)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: no data", checkpointPath)
+	}
+	raw, err := data.Element(0)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := briefcase.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: recover %s: %w", checkpointPath, err)
+	}
+	return n.VM.Launch(principal, name, program, snap)
+}
+
+// Close shuts the node down: VMs first, then the firewall.
+func (n *Node) Close() error {
+	if n.CVM != nil {
+		_ = n.CVM.Close()
+	}
+	if n.BinVM != nil {
+		_ = n.BinVM.Close()
+	}
+	if n.VM != nil {
+		_ = n.VM.Close()
+	}
+	return n.FW.Close()
+}
+
+// System is a simulated TAX deployment.
+type System struct {
+	// Net is the simulated network joining the nodes.
+	Net *simnet.Network
+	// Trust is the deployment-wide trust store (every node consults it).
+	Trust *identity.TrustStore
+	// SystemPrincipal signs system-launched agents and VM transfers.
+	SystemPrincipal *identity.Principal
+
+	mu    sync.Mutex
+	nodes map[string]*Node
+}
+
+// NewSystem creates an empty deployment whose host pairs default to the
+// given link profile. A "system" principal is generated and installed in
+// the trust store at identity.System.
+func NewSystem(profile simnet.Profile) (*System, error) {
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		return nil, fmt.Errorf("core: system principal: %w", err)
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.System)
+	return &System{
+		Net:             simnet.New(profile),
+		Trust:           trust,
+		SystemPrincipal: sys,
+		nodes:           make(map[string]*Node),
+	}, nil
+}
+
+// AddNode boots a host: simulated machine, firewall, VMs and the
+// standard service agents.
+func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
+	if opts.Arch == "" {
+		opts.Arch = vm.DefaultArch
+	}
+	host, err := s.Net.AddHost(name)
+	if err != nil {
+		return nil, err
+	}
+	var channelSigner *identity.Principal
+	if opts.SecureChannels {
+		channelSigner, err = s.NewPrincipal("fw-"+name, identity.Trusted)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fw, err := firewall.New(firewall.Config{
+		HostName:        name,
+		Node:            host,
+		Trust:           s.Trust,
+		SystemPrincipal: s.SystemPrincipal.Name(),
+		QueueTimeout:    opts.QueueTimeout,
+		RequireAuth:     opts.RequireAuth,
+		// Crossing the firewall between VM processes costs one 1999 IPC
+		// round (~150 µs); figure 3's seven-step pipeline makes this
+		// visible, everything else treats it as noise.
+		LocalHopCost:  150 * time.Microsecond,
+		ChannelSigner: channelSigner,
+		ChannelAuth:   opts.SecureChannels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	node := &Node{
+		Name:         name,
+		FW:           fw,
+		Programs:     &vm.Registry{},
+		Binaries:     &vm.BinaryStore{},
+		Wrappers:     &wrapper.Registry{},
+		WrapperSpecs: wrapper.NewSpecRegistry(),
+		Host:         host,
+		Arch:         opts.Arch,
+	}
+	node.VM, err = vm.New(vm.Config{
+		FW:          fw,
+		Programs:    node.Programs,
+		Signer:      s.SystemPrincipal,
+		Bypass:      opts.Bypass,
+		Trace:       opts.Trace,
+		PreLaunch:   node.WrapperSpecs.PreLaunchSpec(node.Wrappers),
+		OnAgentDone: opts.OnAgentDone,
+	})
+	if err != nil {
+		return nil, errors.Join(err, fw.Close())
+	}
+	node.BinVM, err = vm.NewBin(vm.BinConfig{
+		FW:          fw,
+		Arch:        opts.Arch,
+		Store:       node.Binaries,
+		Trust:       s.Trust,
+		Signer:      s.SystemPrincipal,
+		Trace:       opts.Trace,
+		PreLaunch:   node.WrapperSpecs.PreLaunchSpec(node.Wrappers),
+		OnAgentDone: opts.OnAgentDone,
+	})
+	if err != nil {
+		return nil, errors.Join(err, node.Close())
+	}
+	if !opts.NoCVM {
+		node.CVM, err = vm.NewC(vm.CConfig{
+			FW:     fw,
+			Arch:   opts.Arch,
+			Signer: s.SystemPrincipal,
+			Trace:  opts.Trace,
+		})
+		if err != nil {
+			return nil, errors.Join(err, node.Close())
+		}
+	}
+	if !opts.NoServices {
+		if err := s.launchServices(node, opts); err != nil {
+			return nil, errors.Join(err, node.Close())
+		}
+	}
+	s.mu.Lock()
+	s.nodes[name] = node
+	s.mu.Unlock()
+	return node, nil
+}
+
+// launchServices starts the standard service agents on vm_go.
+func (s *System) launchServices(node *Node, opts NodeOptions) error {
+	sysName := s.SystemPrincipal.Name()
+	svcs := map[string]vm.Handler{
+		"ag_fs":      services.NewAgFS(),
+		"ag_cabinet": services.NewAgFS(),
+		"ag_cron":    services.NewAgCron(),
+		"ag_dir":     services.NewAgDir(),
+		"ag_exec": services.NewAgExec(services.ExecConfig{
+			Arch:  node.Arch,
+			Store: node.Binaries,
+			Trace: opts.Trace,
+		}),
+	}
+	if !opts.NoCVM {
+		svcs["ag_cc"] = services.NewAgCC("ag_exec", 0, opts.Trace)
+	}
+	if opts.NameService {
+		node.Names = &naming.Table{}
+		svcs[naming.ServiceName] = naming.NewService(node.Names)
+	}
+	names := make([]string, 0, len(svcs))
+	for n := range svcs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, svcName := range names {
+		node.Programs.Register(svcName, svcs[svcName])
+		if _, err := node.VM.Launch(sysName, svcName, svcName, nil); err != nil {
+			return fmt.Errorf("core: launch %s: %w", svcName, err)
+		}
+	}
+	return nil
+}
+
+// Node returns the named node.
+func (s *System) Node(name string) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, ok := s.nodes[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no node %q", name)
+	}
+	return n, nil
+}
+
+// Nodes returns every node, sorted by name.
+func (s *System) Nodes() []*Node {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DeployProgram registers a program handler on every node (and nodes are
+// free to register per-node closures directly on Node.Programs).
+func (s *System) DeployProgram(name string, h vm.Handler) {
+	for _, n := range s.Nodes() {
+		n.Programs.Register(name, h)
+	}
+}
+
+// DeployBinary installs a binary on every node: all hosts hold the
+// bit-identical synthetic image (vm.SyntheticImage is deterministic) but
+// each binds its own handler closure, which is how pre-deployed code
+// captures host-local resources.
+func (s *System) DeployBinary(name, version string, size int, mkHandler func(n *Node) vm.Handler) {
+	for _, n := range s.Nodes() {
+		n.Binaries.Deploy(vm.Binary{
+			Name:    name,
+			Arch:    n.Arch,
+			Version: version,
+			Payload: vm.SyntheticImage(name, n.Arch, version, size),
+			Handler: mkHandler(n),
+		})
+	}
+}
+
+// DeployWrapper registers a wrapper factory on every node, so travelling
+// stacks naming it can be rebuilt wherever the agent lands.
+func (s *System) DeployWrapper(name string, f wrapper.Factory) {
+	for _, n := range s.Nodes() {
+		n.Wrappers.Register(name, f)
+	}
+}
+
+// NewPrincipal generates a principal and installs it in the deployment
+// trust store at the given level.
+func (s *System) NewPrincipal(name string, level identity.Level) (*identity.Principal, error) {
+	p, err := identity.NewPrincipal(name)
+	if err != nil {
+		return nil, err
+	}
+	s.Trust.AddPrincipal(p, level)
+	return p, nil
+}
+
+// Close shuts down every node and the network.
+func (s *System) Close() error {
+	s.mu.Lock()
+	nodes := make([]*Node, 0, len(s.nodes))
+	for _, n := range s.nodes {
+		nodes = append(nodes, n)
+	}
+	s.nodes = map[string]*Node{}
+	s.mu.Unlock()
+	var errs []error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := s.Net.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

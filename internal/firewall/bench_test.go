@@ -1,0 +1,92 @@
+package firewall
+
+import (
+	"testing"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+)
+
+func benchFirewall(b *testing.B) (*Firewall, func()) {
+	b.Helper()
+	net := simnet.New(simnet.LAN100)
+	host, err := net.AddHost("h1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.System)
+	fw, err := New(Config{
+		HostName: "h1", Node: host, Trust: trust, SystemPrincipal: "system",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fw, func() {
+		_ = fw.Close()
+		_ = net.Close()
+	}
+}
+
+// BenchmarkLocalRoundTrip measures one send + receive through the
+// firewall between two local agents.
+func BenchmarkLocalRoundTrip(b *testing.B) {
+	fw, cleanup := benchFirewall(b)
+	defer cleanup()
+	sender, _ := fw.Register("vm", "system", "src")
+	recv, _ := fw.Register("vm", "system", "dst")
+
+	payload := briefcase.New()
+	payload.SetString("BODY", "x")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc := payload.Clone()
+		bc.SetString(briefcase.FolderSysTarget, "system/dst")
+		if err := fw.Send(sender.GlobalURI(), bc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := recv.Recv(time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegisterUnregister measures agent registration churn.
+func BenchmarkRegisterUnregister(b *testing.B) {
+	fw, cleanup := benchFirewall(b)
+	defer cleanup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := fw.Register("vm", "system", "churn")
+		if err != nil {
+			b.Fatal(err)
+		}
+		fw.Unregister(r)
+	}
+}
+
+// BenchmarkSignVerifyCore measures agent-core authentication.
+func BenchmarkSignVerifyCore(b *testing.B) {
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		b.Fatal(err)
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.Trusted)
+	bc := briefcase.New()
+	bc.Ensure(briefcase.FolderCode).Append(make([]byte, 4096))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SignCore(bc, sys)
+		if _, err := VerifyCore(bc, trust, identity.Trusted); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

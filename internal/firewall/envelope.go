@@ -1,0 +1,183 @@
+package firewall
+
+import (
+	"errors"
+	"fmt"
+
+	"tax/internal/briefcase"
+	"tax/internal/identity"
+)
+
+// Message kinds carried in the _KIND folder. In TAX every observable
+// action is "send a briefcase"; the kind tells the receiving firewall
+// whether the briefcase is ordinary agent communication, a moving agent,
+// a management request, or a system-generated error report.
+const (
+	// KindMessage is ordinary agent-to-agent communication.
+	KindMessage = "msg"
+	// KindTransfer carries a moving agent (go/spawn): the briefcase is the
+	// agent's consistent snapshot, targeted at a VM on the destination.
+	KindTransfer = "xfer"
+	// KindManagement is a request addressed to the firewall itself.
+	KindManagement = "mgmt"
+	// KindError is a system-generated error report sent back to a sender.
+	KindError = "err"
+)
+
+// Reserved folders the firewall reads or writes beyond those declared in
+// package briefcase.
+const (
+	// FolderKind holds one of the Kind* constants; absent means KindMessage.
+	FolderKind = "_KIND"
+	// FolderMsgID carries a correlation id assigned by the sender.
+	FolderMsgID = "_MSGID"
+	// FolderReplyTo carries the _MSGID a meet() response answers.
+	FolderReplyTo = "_REPLYTO"
+)
+
+// Kind returns the briefcase's message kind (KindMessage when absent).
+func Kind(bc *briefcase.Briefcase) string {
+	if k, ok := bc.GetString(FolderKind); ok {
+		return k
+	}
+	return KindMessage
+}
+
+// ErrUnsigned is returned when a transfer carries no signature.
+var ErrUnsigned = errors.New("firewall: agent core not signed")
+
+// coreBytes returns the canonical byte string a core signature covers:
+// the deterministic encoding of the CODE and BINARIES folders. Arguments
+// and results mutate in flight and are deliberately not covered; the
+// paper's "signed agent core" is the code.
+func coreBytes(bc *briefcase.Briefcase) []byte {
+	core := briefcase.New()
+	for _, name := range []string{briefcase.FolderCode, briefcase.FolderBinaries} {
+		if !bc.Has(name) {
+			continue
+		}
+		src, err := bc.Folder(name)
+		if err != nil {
+			continue
+		}
+		dst := core.Ensure(name)
+		for _, e := range src.Bytes() {
+			dst.Append(e)
+		}
+	}
+	return core.Encode()
+}
+
+// SignCore signs the briefcase's agent core with the principal's key and
+// records the principal name and detached signature in the system folders.
+func SignCore(bc *briefcase.Briefcase, p *identity.Principal) {
+	bc.SetString(briefcase.FolderSysPrincipal, p.Name())
+	sig := p.Sign(coreBytes(bc))
+	f := bc.Ensure(briefcase.FolderSysSignature)
+	f.Clear()
+	f.Append(sig)
+}
+
+// VerifyCore checks the core signature against the trust store and
+// returns the verified principal name. required is the minimum trust
+// level the signer must hold.
+func VerifyCore(bc *briefcase.Briefcase, trust *identity.TrustStore, required identity.Level) (string, error) {
+	principal, ok := bc.GetString(briefcase.FolderSysPrincipal)
+	if !ok {
+		return "", fmt.Errorf("%w: no principal", ErrUnsigned)
+	}
+	f, err := bc.Folder(briefcase.FolderSysSignature)
+	if err != nil || f.Len() == 0 {
+		return "", fmt.Errorf("%w: no signature", ErrUnsigned)
+	}
+	sig, err := f.Element(0)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrUnsigned, err)
+	}
+	if err := trust.VerifyBy(principal, coreBytes(bc), sig, required); err != nil {
+		return "", err
+	}
+	return principal, nil
+}
+
+// Channel-authentication folders: a sealed frame is an outer briefcase
+// wrapping the payload with the sending firewall's signature.
+const (
+	// FolderFramePayload holds the inner frame bytes.
+	FolderFramePayload = "_FRAME"
+	// FolderFrameFrom names the sending firewall's principal.
+	FolderFrameFrom = "_FRAMEFROM"
+	// FolderFrameSig holds the detached signature over the payload.
+	FolderFrameSig = "_FRAMESIG"
+)
+
+// ErrChannelAuth is returned for inbound frames failing channel
+// authentication.
+var ErrChannelAuth = errors.New("firewall: channel authentication failed")
+
+// sealFrame wraps payload with the host principal's signature; with no
+// signer configured the payload passes through unsealed.
+func sealFrame(signer *identity.Principal, payload []byte) []byte {
+	if signer == nil {
+		return payload
+	}
+	outer := briefcase.New()
+	outer.Ensure(FolderFramePayload).Append(payload)
+	outer.SetString(FolderFrameFrom, signer.Name())
+	outer.Ensure(FolderFrameSig).Append(signer.Sign(payload))
+	return outer.Encode()
+}
+
+// openFrame recovers the payload of a possibly-sealed frame. With
+// requireAuth set, unsealed frames and bad signatures are rejected; the
+// signing principal must hold at least Trusted.
+func openFrame(trust *identity.TrustStore, requireAuth bool, raw []byte) ([]byte, error) {
+	outer, err := briefcase.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !outer.Has(FolderFramePayload) {
+		if requireAuth {
+			return nil, fmt.Errorf("%w: frame not sealed", ErrChannelAuth)
+		}
+		return raw, nil
+	}
+	f, err := outer.Folder(FolderFramePayload)
+	if err != nil || f.Len() == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrChannelAuth)
+	}
+	payload, err := f.Element(0)
+	if err != nil {
+		return nil, err
+	}
+	if !requireAuth {
+		return payload, nil
+	}
+	from, ok := outer.GetString(FolderFrameFrom)
+	if !ok {
+		return nil, fmt.Errorf("%w: sealed frame without principal", ErrChannelAuth)
+	}
+	sigF, err := outer.Folder(FolderFrameSig)
+	if err != nil || sigF.Len() == 0 {
+		return nil, fmt.Errorf("%w: sealed frame without signature", ErrChannelAuth)
+	}
+	sig, err := sigF.Element(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := trust.VerifyBy(from, payload, sig, identity.Trusted); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrChannelAuth, err)
+	}
+	return payload, nil
+}
+
+// errorReport builds a KindError briefcase describing why msg could not
+// be handled, addressed back to the original sender.
+func errorReport(target, sender, reason string) *briefcase.Briefcase {
+	bc := briefcase.New()
+	bc.SetString(FolderKind, KindError)
+	bc.SetString(briefcase.FolderSysTarget, sender)
+	bc.SetString(briefcase.FolderSysError, reason)
+	bc.SetString(briefcase.FolderSysSender, target)
+	return bc
+}

@@ -1,0 +1,691 @@
+// Package firewall implements the TAX firewall of §3.2: the per-host
+// reference monitor and communication broker.
+//
+// The firewall is the central object on each machine. It knows which
+// agents run locally on which virtual machines, mediates all local
+// communication between agents and all communication to remote firewalls,
+// enforces access rights as it does so, and performs the initial
+// authentication of arriving agents (signed agent core or trusted
+// sender). Messages to receivers that are not ready — or have not yet
+// arrived at the site — are queued with a timeout. Agents with sufficient
+// privileges manage the site (list, run time, kill, stop, resume) by
+// addressing messages directly to the firewall itself.
+package firewall
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+	"tax/internal/uri"
+	"tax/internal/vclock"
+)
+
+var (
+	// ErrNoTarget is returned when a briefcase has no _TARGET folder.
+	ErrNoTarget = errors.New("firewall: briefcase has no target")
+	// ErrClosed is returned after the firewall has shut down.
+	ErrClosed = errors.New("firewall: closed")
+	// ErrDenied is returned when policy forbids an operation.
+	ErrDenied = errors.New("firewall: permission denied")
+	// ErrNoAgent is returned when a management operation names an agent
+	// that is not registered.
+	ErrNoAgent = errors.New("firewall: no such agent")
+)
+
+// FirewallName is the registration name under which the firewall itself
+// receives management briefcases ("addressing messages directly to the
+// firewall").
+const FirewallName = "firewall"
+
+// DefaultQueueTimeout is how long an undeliverable message waits for its
+// receiver to register before it is dropped.
+const DefaultQueueTimeout = 10 * time.Second
+
+// Config parameterizes a firewall.
+type Config struct {
+	// HostName is this host's name in agent URIs.
+	HostName string
+	// Port is this firewall's port in agent URIs (0 means uri.DefaultPort).
+	Port int
+	// Node is the transport endpoint (simulated host or TCP node).
+	Node simnet.Node
+	// Clock is the host clock; defaults to the Node's clock for simnet
+	// hosts, else a fresh virtual clock.
+	Clock vclock.Clock
+	// Trust is the host trust store. Required.
+	Trust *identity.TrustStore
+	// SystemPrincipal is the name of the local system principal. Agents
+	// registered by the system (VMs, service agents) carry it.
+	SystemPrincipal string
+	// QueueTimeout bounds how long undeliverable messages wait; zero
+	// means DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// RequireAuth, when set, makes the firewall reject inbound remote
+	// agent transfers whose core is not signed by a known principal.
+	RequireAuth bool
+	// LocalHopCost is the virtual time charged per firewall-mediated
+	// local delivery: the IPC cost of crossing the firewall between two
+	// VM processes on one machine. Zero charges nothing.
+	LocalHopCost time.Duration
+	// ChannelSigner, when set, signs every outbound frame with this
+	// host's principal, implementing §3.2's other authentication leg:
+	// "the presence of an authenticated and trusted sender". Receivers
+	// with ChannelAuth set verify the frame signature against the trust
+	// store before routing.
+	ChannelSigner *identity.Principal
+	// ChannelAuth, when set, rejects inbound frames that are not signed
+	// by a trusted (or better) principal.
+	ChannelAuth bool
+	// Resolve maps an agent-URI host and port to a transport address.
+	// Nil means the host name is the transport address (simnet).
+	Resolve func(host string, port int) (string, error)
+}
+
+// Stats are the firewall's monotonic counters.
+type Stats struct {
+	Delivered    int64 // briefcases handed to a local mailbox
+	Forwarded    int64 // briefcases sent to a remote firewall
+	Queued       int64 // briefcases parked waiting for their receiver
+	Expired      int64 // parked briefcases dropped on timeout
+	AuthFailures int64 // inbound transfers rejected by authentication
+	MgmtOps      int64 // management operations served
+	Errors       int64 // routing errors (bad target, no principal, ...)
+}
+
+// AgentInfo is one row of the firewall's agent listing.
+type AgentInfo struct {
+	URI     uri.URI
+	VM      string
+	State   State
+	Runtime time.Duration // host-clock time since registration
+}
+
+type pendingMsg struct {
+	target          uri.URI
+	senderPrincipal string
+	bc              *briefcase.Briefcase
+	timer           *time.Timer
+}
+
+// Firewall is the per-host broker. Create with New, shut down with Close.
+type Firewall struct {
+	cfg   Config
+	clock vclock.Clock
+
+	mu           sync.Mutex
+	regs         map[string][]*Registration // keyed by agent name
+	pending      []*pendingMsg
+	nextInstance uint64
+	stats        Stats
+	closed       bool
+}
+
+// New creates a firewall bound to cfg.Node and installs its inbound
+// handler.
+func New(cfg Config) (*Firewall, error) {
+	if cfg.Node == nil {
+		return nil, errors.New("firewall: config needs a Node")
+	}
+	if cfg.Trust == nil {
+		return nil, errors.New("firewall: config needs a TrustStore")
+	}
+	if cfg.HostName == "" {
+		cfg.HostName = cfg.Node.Addr()
+	}
+	if cfg.QueueTimeout == 0 {
+		cfg.QueueTimeout = DefaultQueueTimeout
+	}
+	if cfg.Resolve == nil {
+		cfg.Resolve = func(host string, _ int) (string, error) { return host, nil }
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		if h, ok := cfg.Node.(*simnet.Host); ok {
+			clock = h.Clock()
+		} else {
+			clock = vclock.NewVirtual()
+		}
+	}
+	fw := &Firewall{
+		cfg:          cfg,
+		clock:        clock,
+		regs:         make(map[string][]*Registration),
+		nextInstance: 0x1000,
+	}
+	cfg.Node.SetHandler(fw.handleInbound)
+	return fw, nil
+}
+
+// HostName returns the host name this firewall serves.
+func (fw *Firewall) HostName() string { return fw.cfg.HostName }
+
+// Clock returns the host clock.
+func (fw *Firewall) Clock() vclock.Clock { return fw.clock }
+
+// SystemPrincipal returns the local system principal's name.
+func (fw *Firewall) SystemPrincipal() string { return fw.cfg.SystemPrincipal }
+
+// Stats returns a snapshot of the counters.
+func (fw *Firewall) Stats() Stats {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.stats
+}
+
+// Close shuts the firewall down: kills every registration and stops
+// pending-message timers. The transport node is not closed (it may be
+// shared); callers close it separately.
+func (fw *Firewall) Close() error {
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return nil
+	}
+	fw.closed = true
+	var regs []*Registration
+	for _, list := range fw.regs {
+		regs = append(regs, list...)
+	}
+	pend := fw.pending
+	fw.pending = nil
+	fw.mu.Unlock()
+	for _, r := range regs {
+		r.kill()
+	}
+	for _, p := range pend {
+		p.timer.Stop()
+	}
+	return nil
+}
+
+// Register adds an agent running inside the named VM under the given
+// principal and name, allocating a fresh instance number. Parked messages
+// that match the new agent are delivered immediately.
+func (fw *Firewall) Register(vmName, principal, name string) (*Registration, error) {
+	if name == "" {
+		return nil, errors.New("firewall: empty agent name")
+	}
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return nil, ErrClosed
+	}
+	inst := fw.nextInstance
+	fw.nextInstance++
+	r := &Registration{
+		fw:           fw,
+		uri:          uri.URI{Principal: principal, Name: name, Instance: inst, HasInstance: true},
+		vm:           vmName,
+		mailbox:      make(chan *briefcase.Briefcase, mailboxSize),
+		state:        StateRunning,
+		killed:       make(chan struct{}),
+		registeredAt: fw.clock.Now(),
+	}
+	fw.regs[name] = append(fw.regs[name], r)
+	flush := fw.matchPendingLocked(r)
+	fw.mu.Unlock()
+
+	for _, bc := range flush {
+		if err := r.deliver(bc); err == nil {
+			fw.bump(func(s *Stats) { s.Delivered++ })
+		}
+	}
+	return r, nil
+}
+
+// Unregister removes an agent. It is idempotent and also kills the
+// registration so blocked receivers wake up.
+func (fw *Firewall) Unregister(r *Registration) {
+	fw.mu.Lock()
+	list := fw.regs[r.uri.Name]
+	for i, c := range list {
+		if c == r {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(fw.regs, r.uri.Name)
+	} else {
+		fw.regs[r.uri.Name] = list
+	}
+	fw.mu.Unlock()
+	r.kill()
+}
+
+// Lookup returns the registrations matching the query URI under the
+// paper's matching rules, given the querying principal.
+func (fw *Firewall) Lookup(q uri.URI, senderPrincipal string) []*Registration {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.lookupLocked(q, senderPrincipal)
+}
+
+func (fw *Firewall) lookupLocked(q uri.URI, senderPrincipal string) []*Registration {
+	var out []*Registration
+	consider := func(r *Registration) {
+		if !r.uri.Matches(q) {
+			return
+		}
+		// Empty-principal queries only reach the local system principal
+		// or the sender's own principal (§3.2).
+		if q.Principal == "" && r.uri.Principal != fw.cfg.SystemPrincipal &&
+			r.uri.Principal != senderPrincipal {
+			return
+		}
+		out = append(out, r)
+	}
+	if q.Name != "" {
+		for _, r := range fw.regs[q.Name] {
+			consider(r)
+		}
+		return out
+	}
+	// Name-less query: scan deterministically by name.
+	names := make([]string, 0, len(fw.regs))
+	for n := range fw.regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		for _, r := range fw.regs[n] {
+			consider(r)
+		}
+	}
+	return out
+}
+
+// isLocal reports whether a target URI addresses this host.
+func (fw *Firewall) isLocal(u uri.URI) bool {
+	if u.Host == "" {
+		return true
+	}
+	if u.Host != fw.cfg.HostName {
+		return false
+	}
+	localPort := fw.cfg.Port
+	if localPort == 0 {
+		localPort = uri.DefaultPort
+	}
+	return u.EffectivePort() == localPort
+}
+
+// Send routes a briefcase on behalf of the named sender. The _SENDER
+// folder is overwritten with the authenticated sender URI, so receivers
+// can trust it. The target is read from _TARGET.
+func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
+	fw.mu.Lock()
+	closed := fw.closed
+	fw.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
+	if !ok {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return ErrNoTarget
+	}
+	target, err := uri.Parse(targetStr)
+	if err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return fmt.Errorf("firewall: bad target: %w", err)
+	}
+	bc.SetString(briefcase.FolderSysSender, sender.String())
+
+	if fw.isLocal(target) {
+		return fw.routeLocal(sender.Principal, target, bc)
+	}
+	addr, err := fw.cfg.Resolve(target.Host, target.EffectivePort())
+	if err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return fmt.Errorf("firewall: resolve %s: %w", target.Host, err)
+	}
+	if err := fw.cfg.Node.Send(addr, sealFrame(fw.cfg.ChannelSigner, bc.Encode())); err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
+	}
+	fw.bump(func(s *Stats) { s.Forwarded++ })
+	return nil
+}
+
+// handleInbound processes a frame arriving from a remote firewall.
+func (fw *Firewall) handleInbound(from string, payload []byte) {
+	inner, err := openFrame(fw.cfg.Trust, fw.cfg.ChannelAuth, payload)
+	if err != nil {
+		if errors.Is(err, ErrChannelAuth) {
+			fw.bump(func(s *Stats) { s.AuthFailures++ })
+		} else {
+			fw.bump(func(s *Stats) { s.Errors++ })
+		}
+		return
+	}
+	bc, err := briefcase.Decode(inner)
+	if err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return
+	}
+	senderStr, _ := bc.GetString(briefcase.FolderSysSender)
+	sender, err := uri.Parse(senderStr)
+	if err != nil {
+		sender = uri.URI{Host: from}
+	}
+
+	// First-level authentication (§3.2): inbound agent transfers must
+	// carry a core signed by a principal this host knows.
+	if Kind(bc) == KindTransfer && fw.cfg.RequireAuth {
+		if _, err := VerifyCore(bc, fw.cfg.Trust, identity.Untrusted); err != nil {
+			fw.bump(func(s *Stats) { s.AuthFailures++ })
+			fw.replyError(bc, sender, fmt.Sprintf("transfer rejected: %v", err))
+			return
+		}
+	}
+
+	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
+	if !ok {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return
+	}
+	target, err := uri.Parse(targetStr)
+	if err != nil || !fw.isLocal(target) {
+		// This host is not the target; TAX does not relay third-party
+		// traffic (the location-transparent wrapper handles forwarding
+		// above the firewall).
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return
+	}
+	if err := fw.routeLocal(sender.Principal, target, bc); err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+	}
+}
+
+// routeLocal delivers a briefcase to a local agent, the firewall's own
+// management interface, or the parking queue.
+func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) error {
+	if target.Name == FirewallName || Kind(bc) == KindManagement {
+		return fw.handleManagement(senderPrincipal, bc)
+	}
+	fw.mu.Lock()
+	if fw.closed {
+		fw.mu.Unlock()
+		return ErrClosed
+	}
+	matches := fw.lookupLocked(target, senderPrincipal)
+	// Prefer an exact instance match, then registration order.
+	var chosen *Registration
+	for _, r := range matches {
+		if target.HasInstance && r.uri.Instance == target.Instance {
+			chosen = r
+			break
+		}
+	}
+	if chosen == nil && len(matches) > 0 {
+		chosen = matches[0]
+	}
+	if chosen == nil {
+		fw.parkLocked(senderPrincipal, target, bc)
+		fw.stats.Queued++
+		fw.mu.Unlock()
+		return nil
+	}
+	fw.mu.Unlock()
+
+	if err := chosen.deliver(bc); err != nil {
+		fw.bump(func(s *Stats) { s.Errors++ })
+		return err
+	}
+	fw.clock.Advance(fw.cfg.LocalHopCost)
+	fw.bump(func(s *Stats) { s.Delivered++ })
+	return nil
+}
+
+// parkLocked queues a message for a receiver that has not arrived yet.
+// Callers hold fw.mu.
+func (fw *Firewall) parkLocked(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) {
+	p := &pendingMsg{target: target, senderPrincipal: senderPrincipal, bc: bc}
+	p.timer = time.AfterFunc(fw.cfg.QueueTimeout, func() { fw.expire(p) })
+	fw.pending = append(fw.pending, p)
+}
+
+// expire drops a parked message whose timeout lapsed and reports the
+// failure to the sender when one is known.
+func (fw *Firewall) expire(p *pendingMsg) {
+	fw.mu.Lock()
+	found := false
+	for i, q := range fw.pending {
+		if q == p {
+			fw.pending = append(fw.pending[:i], fw.pending[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if found {
+		fw.stats.Expired++
+	}
+	fw.mu.Unlock()
+	if !found {
+		return
+	}
+	senderStr, ok := p.bc.GetString(briefcase.FolderSysSender)
+	if !ok || Kind(p.bc) == KindError {
+		return
+	}
+	sender, err := uri.Parse(senderStr)
+	if err != nil {
+		return
+	}
+	fw.replyError(p.bc, sender, fmt.Sprintf("message to %s expired after %v", p.target, fw.cfg.QueueTimeout))
+}
+
+// matchPendingLocked removes and returns parked messages deliverable to
+// the newly registered agent. Callers hold fw.mu.
+func (fw *Firewall) matchPendingLocked(r *Registration) []*briefcase.Briefcase {
+	var out []*briefcase.Briefcase
+	rest := fw.pending[:0]
+	for _, p := range fw.pending {
+		match := r.uri.Matches(p.target) &&
+			(p.target.Principal != "" || r.uri.Principal == fw.cfg.SystemPrincipal ||
+				r.uri.Principal == p.senderPrincipal)
+		if match {
+			p.timer.Stop()
+			out = append(out, p.bc)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	fw.pending = rest
+	return out
+}
+
+// replyError sends a KindError report back to sender (best effort).
+func (fw *Firewall) replyError(orig *briefcase.Briefcase, sender uri.URI, reason string) {
+	if sender.Name == "" && !sender.HasInstance && sender.Principal == "" {
+		return
+	}
+	report := errorReport(fw.selfURI().String(), sender.String(), reason)
+	if id, ok := orig.GetString(FolderMsgID); ok {
+		report.SetString(FolderReplyTo, id)
+	}
+	_ = fw.Send(fw.selfURI(), report)
+}
+
+// selfURI is the firewall's own agent URI.
+func (fw *Firewall) selfURI() uri.URI {
+	return uri.URI{
+		Host:      fw.cfg.HostName,
+		Port:      fw.cfg.Port,
+		Principal: fw.cfg.SystemPrincipal,
+		Name:      FirewallName,
+	}
+}
+
+// bump applies a counter update under the lock.
+func (fw *Firewall) bump(f func(*Stats)) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	f(&fw.stats)
+}
+
+// List returns information about every registered agent, sorted by URI.
+func (fw *Firewall) List() []AgentInfo {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	now := fw.clock.Now()
+	var out []AgentInfo
+	for _, list := range fw.regs {
+		for _, r := range list {
+			out = append(out, AgentInfo{
+				URI:     r.uri,
+				VM:      r.vm,
+				State:   r.State(),
+				Runtime: now - r.registeredAt,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI.String() < out[j].URI.String() })
+	return out
+}
+
+// Management operation names carried in the _OP folder of a
+// KindManagement briefcase; the _ARG folder carries the target agent URI
+// where one is needed.
+const (
+	// OpList asks for the agent listing.
+	OpList = "list"
+	// OpRuntime asks for one agent's run time.
+	OpRuntime = "runtime"
+	// OpKill terminates an agent.
+	OpKill = "kill"
+	// OpStop suspends an agent.
+	OpStop = "stop"
+	// OpResume resumes a stopped agent.
+	OpResume = "resume"
+)
+
+// Management folder names.
+const (
+	// FolderOp names the management operation.
+	FolderOp = "_OP"
+	// FolderArg carries the operation's argument (an agent URI).
+	FolderArg = "_ARG"
+	// FolderReply carries the operation's result rows.
+	FolderReply = "_REPLY"
+)
+
+// handleManagement serves a briefcase addressed to the firewall itself.
+func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Briefcase) error {
+	fw.bump(func(s *Stats) { s.MgmtOps++ })
+	op, _ := bc.GetString(FolderOp)
+
+	required := identity.System
+	if op == OpList || op == OpRuntime {
+		required = identity.Trusted
+	}
+	var opErr error
+	var rows []string
+	if err := fw.cfg.Trust.Require(senderPrincipal, required); err != nil {
+		opErr = fmt.Errorf("%w: %v", ErrDenied, err)
+	} else {
+		rows, opErr = fw.applyOp(op, bc)
+	}
+
+	// Reply to the sender; operation failures travel in the reply (RPC
+	// semantics) and are only returned directly when no reply can be
+	// delivered.
+	senderStr, ok := bc.GetString(briefcase.FolderSysSender)
+	if !ok {
+		return opErr
+	}
+	sender, err := uri.Parse(senderStr)
+	if err != nil || (sender.Name == "" && !sender.HasInstance) {
+		return opErr
+	}
+	reply := briefcase.New()
+	reply.SetString(briefcase.FolderSysTarget, sender.String())
+	if id, okID := bc.GetString(FolderMsgID); okID {
+		reply.SetString(FolderReplyTo, id)
+	}
+	if opErr != nil {
+		reply.SetString(FolderKind, KindError)
+		reply.SetString(briefcase.FolderSysError, opErr.Error())
+	} else {
+		f := reply.Ensure(FolderReply)
+		for _, row := range rows {
+			f.AppendString(row)
+		}
+	}
+	if sendErr := fw.Send(fw.selfURI(), reply); sendErr != nil {
+		return sendErr
+	}
+	return nil
+}
+
+// applyOp executes one management operation and returns the reply rows.
+func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error) {
+	switch op {
+	case OpList:
+		infos := fw.List()
+		rows := make([]string, 0, len(infos))
+		for _, in := range infos {
+			rows = append(rows, strings.Join([]string{
+				in.URI.String(), in.VM, in.State.String(),
+				strconv.FormatInt(int64(in.Runtime), 10),
+			}, "|"))
+		}
+		return rows, nil
+	case OpRuntime, OpKill, OpStop, OpResume:
+		argStr, ok := bc.GetString(FolderArg)
+		if !ok {
+			return nil, fmt.Errorf("firewall: %s needs %s", op, FolderArg)
+		}
+		q, err := uri.Parse(argStr)
+		if err != nil {
+			return nil, fmt.Errorf("firewall: %s: %w", op, err)
+		}
+		// Management matching ignores the empty-principal restriction:
+		// the caller already proved System/Trusted privileges.
+		fw.mu.Lock()
+		matches := fw.lookupLocked(q, q.Principal)
+		if q.Principal == "" {
+			matches = nil
+			for _, list := range fw.regs {
+				for _, r := range list {
+					if r.uri.Matches(q) {
+						matches = append(matches, r)
+					}
+				}
+			}
+		}
+		fw.mu.Unlock()
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%w: %s", ErrNoAgent, q)
+		}
+		var rows []string
+		for _, r := range matches {
+			switch op {
+			case OpRuntime:
+				rows = append(rows, r.uri.String()+"|"+
+					strconv.FormatInt(int64(fw.clock.Now()-r.registeredAt), 10))
+			case OpKill:
+				fw.Unregister(r)
+				rows = append(rows, r.uri.String()+"|killed")
+			case OpStop:
+				r.stop()
+				rows = append(rows, r.uri.String()+"|stopped")
+			case OpResume:
+				r.resume()
+				rows = append(rows, r.uri.String()+"|running")
+			}
+		}
+		return rows, nil
+	default:
+		return nil, fmt.Errorf("firewall: unknown operation %q", op)
+	}
+}

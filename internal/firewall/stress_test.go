@@ -1,0 +1,171 @@
+package firewall
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/uri"
+)
+
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	f := newFixture(t, "h1")
+	fw := f.sites["h1"].fw
+	recv, _ := fw.Register("vm_go", "alice", "sink")
+
+	const senders = 8
+	const perSender = 25
+	var wg sync.WaitGroup
+	wg.Add(senders)
+	errs := make(chan error, senders*perSender)
+	drained := make(chan int, 1)
+
+	// Drain concurrently so the mailbox never fills.
+	go func() {
+		n := 0
+		for n < senders*perSender {
+			if _, err := recv.Recv(5 * time.Second); err != nil {
+				break
+			}
+			n++
+		}
+		drained <- n
+	}()
+	for i := 0; i < senders; i++ {
+		go func(id int) {
+			defer wg.Done()
+			reg, err := fw.Register("vm_go", "alice", fmt.Sprintf("src%d", id))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for j := 0; j < perSender; j++ {
+				bc := briefcase.New()
+				bc.SetString(briefcase.FolderSysTarget, "alice/sink")
+				if err := fw.Send(reg.GlobalURI(), bc); err != nil {
+					errs <- err
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-drained:
+		if n != senders*perSender {
+			t.Errorf("delivered %d of %d", n, senders*perSender)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain stalled")
+	}
+}
+
+func TestConcurrentRegisterUnregister(t *testing.T) {
+	f := newFixture(t, "h1")
+	fw := f.sites["h1"].fw
+	var wg sync.WaitGroup
+	const workers = 8
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r, err := fw.Register("vm_go", "alice", fmt.Sprintf("w%d", id))
+				if err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				fw.Unregister(r)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(fw.List()); got != 0 {
+		t.Errorf("%d registrations leaked", got)
+	}
+}
+
+// Property: routing matches exactly the agents the §3.2 rules allow,
+// for random combinations of query and registration.
+func TestPropLookupRules(t *testing.T) {
+	f := newFixture(t, "h1")
+	fw := f.sites["h1"].fw
+	principals := []string{"system", "alice", "bob"}
+	names := []string{"svc", "worker"}
+
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		regPrincipal := principals[rng.Intn(len(principals))]
+		regName := names[rng.Intn(len(names))]
+		r, err := fw.Register("vm_go", regPrincipal, regName)
+		if err != nil {
+			return false
+		}
+		defer fw.Unregister(r)
+
+		q := uri.URI{}
+		if rng.Intn(2) == 0 {
+			q.Name = names[rng.Intn(len(names))]
+		}
+		if rng.Intn(2) == 0 {
+			q.Principal = principals[rng.Intn(len(principals))]
+		}
+		if rng.Intn(3) == 0 {
+			q.Instance = r.URI().Instance
+			q.HasInstance = true
+		}
+		senderPrincipal := principals[rng.Intn(len(principals))]
+
+		got := fw.Lookup(q, senderPrincipal)
+		contains := false
+		for _, c := range got {
+			if c == r {
+				contains = true
+			}
+		}
+		// The oracle: URI match plus the empty-principal restriction.
+		want := r.URI().Matches(q)
+		if q.Principal == "" && regPrincipal != "system" && regPrincipal != senderPrincipal {
+			want = false
+		}
+		return contains == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every briefcase kind defaults sensibly and error reports
+// carry their reason.
+func TestErrorReportShape(t *testing.T) {
+	rep := errorReport("tacoma://h1/system/firewall", "tacoma://h2/alice/ag:1", "boom")
+	if Kind(rep) != KindError {
+		t.Errorf("kind = %q", Kind(rep))
+	}
+	msg, _ := rep.GetString(briefcase.FolderSysError)
+	if msg != "boom" {
+		t.Errorf("reason = %q", msg)
+	}
+	tgt, _ := rep.GetString(briefcase.FolderSysTarget)
+	if tgt != "tacoma://h2/alice/ag:1" {
+		t.Errorf("target = %q", tgt)
+	}
+}
+
+func TestKindDefaultsToMessage(t *testing.T) {
+	if Kind(briefcase.New()) != KindMessage {
+		t.Error("default kind wrong")
+	}
+	bc := briefcase.New()
+	bc.SetString(FolderKind, KindTransfer)
+	if Kind(bc) != KindTransfer {
+		t.Error("explicit kind lost")
+	}
+}

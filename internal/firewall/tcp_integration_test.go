@@ -1,0 +1,134 @@
+package firewall
+
+import (
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+)
+
+// tcpSite is one firewall bound to a real TCP socket, as cmd/taxd runs.
+type tcpSite struct {
+	fw   *Firewall
+	node *simnet.TCPNode
+	host string
+	port int
+}
+
+func newTCPSite(t *testing.T, trust *identity.TrustStore) *tcpSite {
+	t.Helper()
+	node, err := simnet.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+	host, portStr, err := net.SplitHostPort(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := New(Config{
+		HostName:        host,
+		Port:            port,
+		Node:            node,
+		Trust:           trust,
+		SystemPrincipal: "system",
+		Resolve: func(h string, p int) (string, error) {
+			return net.JoinHostPort(h, strconv.Itoa(p)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = fw.Close() })
+	return &tcpSite{fw: fw, node: node, host: host, port: port}
+}
+
+func TestTCPFirewallDelivery(t *testing.T) {
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.System)
+
+	a := newTCPSite(t, trust)
+	b := newTCPSite(t, trust)
+
+	sender, err := a.fw.Register("vm_go", "system", "sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := b.fw.Register("vm_go", "system", "receiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bc := briefcase.New()
+	bc.SetString(briefcase.FolderSysTarget,
+		"tacoma://"+b.host+":"+strconv.Itoa(b.port)+"/system/receiver")
+	bc.SetString("BODY", "over real sockets")
+	if err := a.fw.Send(sender.GlobalURI(), bc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := recv.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	body, _ := got.GetString("BODY")
+	if body != "over real sockets" {
+		t.Errorf("body = %q", body)
+	}
+}
+
+func TestTCPRemoteManagement(t *testing.T) {
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.System)
+
+	ctl := newTCPSite(t, trust)
+	target := newTCPSite(t, trust)
+	_, err = target.fw.Register("vm_go", "alice", "webbot")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	admin, err := ctl.fw.Register("ctl", "system", "taxctl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := briefcase.New()
+	req.SetString(briefcase.FolderSysTarget,
+		"tacoma://"+target.host+":"+strconv.Itoa(target.port)+"/system/"+FirewallName)
+	req.SetString(FolderKind, KindManagement)
+	req.SetString(FolderOp, OpList)
+	req.SetString(FolderMsgID, "tcp-1")
+	if err := ctl.fw.Send(admin.GlobalURI(), req); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := admin.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatalf("no reply: %v", err)
+	}
+	if got, _ := reply.GetString(FolderReplyTo); got != "tcp-1" {
+		t.Errorf("correlation = %q", got)
+	}
+	rows, err := reply.Folder(FolderReply)
+	if err != nil {
+		t.Fatalf("no rows: %v (%v)", err, reply)
+	}
+	if !strings.Contains(strings.Join(rows.Strings(), "\n"), "alice/webbot") {
+		t.Errorf("listing: %v", rows.Strings())
+	}
+}

@@ -1,0 +1,107 @@
+package linkmine
+
+import (
+	"testing"
+)
+
+func smallMulti() MultiConfig {
+	return MultiConfig{
+		Servers:        []string{"www1", "www2", "www3"},
+		PagesPerServer: 60,
+	}
+}
+
+func TestMultiStationary(t *testing.T) {
+	d, err := NewMultiDeployment(smallMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+	rep, err := d.RunStationaryMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := 0
+	wantDead := 0
+	for _, site := range d.Sites {
+		wantPages += site.PagesWithinDepth(4)
+		wantDead += len(site.DeadInternalLinks()) + len(site.DeadExternalLinks())
+	}
+	if rep.PagesVisited != wantPages {
+		t.Errorf("pages = %d, want %d", rep.PagesVisited, wantPages)
+	}
+	if rep.DeadLinks != wantDead {
+		t.Errorf("dead links = %d, want %d", rep.DeadLinks, wantDead)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("no elapsed time")
+	}
+}
+
+func TestMultiMobileMatchesStationary(t *testing.T) {
+	ds, err := NewMultiDeployment(smallMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ds.Close() }()
+	stationary, err := ds.RunStationaryMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dm, err := NewMultiDeployment(smallMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = dm.Close() }()
+	mobile, err := dm.RunMobileMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if mobile.PagesVisited != stationary.PagesVisited {
+		t.Errorf("coverage differs: mobile %d, stationary %d",
+			mobile.PagesVisited, stationary.PagesVisited)
+	}
+	if mobile.DeadLinks != stationary.DeadLinks {
+		t.Errorf("dead links differ: mobile %d, stationary %d",
+			mobile.DeadLinks, stationary.DeadLinks)
+	}
+	if len(mobile.Skipped) != 0 {
+		t.Errorf("skipped servers: %v", mobile.Skipped)
+	}
+	// The itinerant agent must beat the fixed client on the campus LAN
+	// and move far less data.
+	if mobile.Elapsed >= stationary.Elapsed {
+		t.Errorf("mobile %v not faster than stationary %v",
+			mobile.Elapsed, stationary.Elapsed)
+	}
+	if mobile.LinkBytes >= stationary.LinkBytes {
+		t.Errorf("mobile moved %d bytes, stationary %d",
+			mobile.LinkBytes, stationary.LinkBytes)
+	}
+}
+
+func TestMultiSkipsUnreachableServer(t *testing.T) {
+	d, err := NewMultiDeployment(smallMulti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = d.Close() }()
+	// Cut www2 off from everything before launch.
+	for _, other := range []string{"client", "www1", "www3"} {
+		d.Sys.Net.Partition("www2", other)
+	}
+	rep, err := d.RunMobileMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Skipped) != 1 {
+		t.Fatalf("skipped = %v, want exactly www2", rep.Skipped)
+	}
+	// Two of three servers still scanned.
+	want := d.Sites["www1"].PagesWithinDepth(4) + d.Sites["www3"].PagesWithinDepth(4)
+	if rep.PagesVisited != want {
+		t.Errorf("pages = %d, want %d", rep.PagesVisited, want)
+	}
+}

@@ -1,0 +1,210 @@
+// Package naming implements location-independent naming for TAX agents.
+//
+// The paper lists "location independent naming" among the traditional
+// distributed-system services agent platforms keep absorbing (§4), and
+// proposes instead that agents carry such support as wrappers. This
+// package is the substrate the location-transparent wrapper uses: a home
+// registry mapping stable agent names to their current location, updated
+// by the wrapper on every move.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/services"
+	"tax/internal/vm"
+)
+
+// ServiceName is the registry service agent's name.
+const ServiceName = "ag_ns"
+
+// Registry operations (services.FolderOp values).
+const (
+	// OpUpdate records the caller's (or a named agent's) location.
+	OpUpdate = "update"
+	// OpLookup resolves a stable name to its last known location.
+	OpLookup = "lookup"
+	// OpDrop removes a binding.
+	OpDrop = "drop"
+)
+
+// Registry folders.
+const (
+	// FolderName is the stable agent name being bound or resolved.
+	FolderName = "_NSNAME"
+	// FolderLocation is the routable agent URI bound to the name.
+	FolderLocation = "_NSLOC"
+)
+
+// ErrUnbound is returned when a name has no binding.
+var ErrUnbound = errors.New("naming: name not bound")
+
+// Binding is one name→location record.
+type Binding struct {
+	Name     string
+	Location string
+	Updated  time.Duration // host virtual time of the last update
+}
+
+// Table is the in-memory name table behind the service agent; exposed
+// for direct (same-process) inspection in tools and tests.
+type Table struct {
+	mu sync.RWMutex
+	m  map[string]Binding
+}
+
+// Update binds name to location.
+func (t *Table) Update(name, location string, now time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = make(map[string]Binding)
+	}
+	t.m[name] = Binding{Name: name, Location: location, Updated: now}
+}
+
+// Lookup resolves a name.
+func (t *Table) Lookup(name string) (Binding, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	b, ok := t.m[name]
+	if !ok {
+		return Binding{}, fmt.Errorf("%w: %q", ErrUnbound, name)
+	}
+	return b, nil
+}
+
+// Drop removes a binding; dropping an absent name is a no-op.
+func (t *Table) Drop(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, name)
+}
+
+// Len returns the number of bindings.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.m)
+}
+
+// NewService returns the ag_ns handler bound to a table.
+func NewService(table *Table) vm.Handler {
+	return func(ctx *agent.Context) error {
+		for {
+			req, err := ctx.Await(0)
+			if err != nil {
+				if errors.Is(err, firewall.ErrKilled) {
+					return nil
+				}
+				return err
+			}
+			resp, err := serve(ctx, table, req)
+			if err != nil {
+				e := briefcase.New()
+				e.SetString(firewall.FolderKind, firewall.KindError)
+				e.SetString(briefcase.FolderSysError, err.Error())
+				_ = ctx.Reply(req, e)
+				continue
+			}
+			if resp != nil {
+				_ = ctx.Reply(req, resp)
+			}
+		}
+	}
+}
+
+func serve(ctx *agent.Context, table *Table, req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	op, _ := req.GetString(services.FolderOp)
+	name, _ := req.GetString(FolderName)
+	if name == "" {
+		return nil, errors.New("naming: request without name")
+	}
+	switch op {
+	case OpUpdate:
+		loc, ok := req.GetString(FolderLocation)
+		if !ok {
+			// Default to the authenticated sender: "I am here now".
+			loc, ok = req.GetString(briefcase.FolderSysSender)
+			if !ok {
+				return nil, errors.New("naming: update without location")
+			}
+		}
+		table.Update(name, loc, ctx.Now())
+		resp := briefcase.New()
+		resp.SetString("OK", name)
+		return resp, nil
+	case OpLookup:
+		b, err := table.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		resp := briefcase.New()
+		resp.SetString(FolderLocation, b.Location)
+		return resp, nil
+	case OpDrop:
+		table.Drop(name)
+		resp := briefcase.New()
+		resp.SetString("OK", name)
+		return resp, nil
+	default:
+		return nil, fmt.Errorf("naming: unknown operation %q", op)
+	}
+}
+
+// Client wraps the briefcase RPC protocol for agents using the registry.
+type Client struct {
+	// Service is the registry's agent URI (possibly remote:
+	// "tacoma://home//ag_ns").
+	Service string
+	// Timeout bounds each RPC; zero means 5 seconds.
+	Timeout time.Duration
+}
+
+func (c Client) timeout() time.Duration {
+	if c.Timeout == 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+// Update binds name to the calling agent's current routable URI.
+func (c Client) Update(ctx *agent.Context, name string) error {
+	req := briefcase.New()
+	req.SetString(services.FolderOp, OpUpdate)
+	req.SetString(FolderName, name)
+	req.SetString(FolderLocation, ctx.URI().String())
+	_, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	return err
+}
+
+// Lookup resolves name to its last known routable URI.
+func (c Client) Lookup(ctx *agent.Context, name string) (string, error) {
+	req := briefcase.New()
+	req.SetString(services.FolderOp, OpLookup)
+	req.SetString(FolderName, name)
+	resp, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	if err != nil {
+		return "", err
+	}
+	loc, ok := resp.GetString(FolderLocation)
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnbound, name)
+	}
+	return loc, nil
+}
+
+// Drop removes a binding.
+func (c Client) Drop(ctx *agent.Context, name string) error {
+	req := briefcase.New()
+	req.SetString(services.FolderOp, OpDrop)
+	req.SetString(FolderName, name)
+	_, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	return err
+}

@@ -1,0 +1,135 @@
+package naming_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/naming"
+	"tax/internal/simnet"
+)
+
+func TestTableBasics(t *testing.T) {
+	var tb naming.Table
+	if _, err := tb.Lookup("x"); !errors.Is(err, naming.ErrUnbound) {
+		t.Errorf("lookup on empty table: %v", err)
+	}
+	tb.Update("x", "tacoma://h1//ag:1", time.Second)
+	b, err := tb.Lookup("x")
+	if err != nil || b.Location != "tacoma://h1//ag:1" || b.Updated != time.Second {
+		t.Errorf("lookup = %+v, %v", b, err)
+	}
+	tb.Update("x", "tacoma://h2//ag:2", 2*time.Second)
+	b, _ = tb.Lookup("x")
+	if b.Location != "tacoma://h2//ag:2" {
+		t.Errorf("update did not replace: %+v", b)
+	}
+	if tb.Len() != 1 {
+		t.Errorf("len = %d", tb.Len())
+	}
+	tb.Drop("x")
+	if _, err := tb.Lookup("x"); !errors.Is(err, naming.ErrUnbound) {
+		t.Error("drop did not remove")
+	}
+	tb.Drop("absent") // no panic
+}
+
+func newNode(t *testing.T) *core.Node {
+	t.Helper()
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	n, err := s.AddNode("home", core.NodeOptions{NoCVM: true, NameService: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func scratchCtx(t *testing.T, n *core.Node, name string) *agent.Context {
+	t.Helper()
+	reg, err := n.FW.Register("test", "system", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.FW.Unregister(reg) })
+	return agent.NewContext(n.FW, reg, briefcase.New(), nil, nil)
+}
+
+func TestClientUpdateLookupDrop(t *testing.T) {
+	n := newNode(t)
+	ctx := scratchCtx(t, n, "roamer")
+	c := naming.Client{Service: naming.ServiceName}
+
+	if err := c.Update(ctx, "stable"); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	loc, err := c.Lookup(ctx, "stable")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if loc != ctx.URI().String() {
+		t.Errorf("lookup = %q, want %q", loc, ctx.URI())
+	}
+	// The local table agrees.
+	b, err := n.Names.Lookup("stable")
+	if err != nil || b.Location != loc {
+		t.Errorf("table = %+v, %v", b, err)
+	}
+	if err := c.Drop(ctx, "stable"); err != nil {
+		t.Fatalf("drop: %v", err)
+	}
+	if _, err := c.Lookup(ctx, "stable"); err == nil {
+		t.Error("lookup after drop succeeded")
+	}
+}
+
+func TestServiceErrors(t *testing.T) {
+	n := newNode(t)
+	ctx := scratchCtx(t, n, "caller")
+	c := naming.Client{Service: naming.ServiceName}
+
+	// Unknown name lookups error through the RPC.
+	if _, err := c.Lookup(ctx, "never-bound"); err == nil {
+		t.Error("unknown lookup succeeded")
+	}
+
+	// A request without a name errors.
+	req := briefcase.New()
+	req.SetString("_SVCOP", naming.OpLookup)
+	if _, err := ctx.MeetDirect(naming.ServiceName, req, 5*time.Second); err == nil {
+		t.Error("nameless request succeeded")
+	}
+
+	// An unknown operation errors.
+	req2 := briefcase.New()
+	req2.SetString("_SVCOP", "rename")
+	req2.SetString(naming.FolderName, "x")
+	if _, err := ctx.MeetDirect(naming.ServiceName, req2, 5*time.Second); err == nil {
+		t.Error("unknown op succeeded")
+	}
+}
+
+func TestUpdateDefaultsToSender(t *testing.T) {
+	n := newNode(t)
+	ctx := scratchCtx(t, n, "implicit")
+	req := briefcase.New()
+	req.SetString("_SVCOP", naming.OpUpdate)
+	req.SetString(naming.FolderName, "me")
+	// No explicit location: the service binds the authenticated sender.
+	if _, err := ctx.MeetDirect(naming.ServiceName, req, 5*time.Second); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	b, err := n.Names.Lookup("me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Location != ctx.URI().String() {
+		t.Errorf("bound %q, want sender %q", b.Location, ctx.URI())
+	}
+}

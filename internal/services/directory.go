@@ -1,0 +1,207 @@
+package services
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/vm"
+)
+
+// §4 lists "directory services" among the traditional distributed-system
+// machinery agent platforms keep absorbing; in TAX it is just another
+// service agent. ag_dir is an attribute directory: agents advertise
+// themselves with attribute sets ("class=printer, duplex=yes") and
+// clients query by attribute filters, receiving the matching agents'
+// routable URIs.
+
+// Directory operations (FolderOp values).
+const (
+	// DirAdvertise registers (or refreshes) the caller under attributes.
+	DirAdvertise = "advertise"
+	// DirWithdraw removes the caller's advertisement.
+	DirWithdraw = "withdraw"
+	// DirQuery returns advertisements matching every given attribute.
+	DirQuery = "query"
+)
+
+// Directory folders.
+const (
+	// FolderDirAttrs holds "key=value" elements.
+	FolderDirAttrs = "_DIRATTRS"
+	// FolderDirMatches holds "uri|key=value,key=value" result rows.
+	FolderDirMatches = "_DIRMATCHES"
+)
+
+// dirEntry is one advertisement.
+type dirEntry struct {
+	uri   string
+	attrs map[string]string
+}
+
+func (e dirEntry) render() string {
+	keys := make([]string, 0, len(e.attrs))
+	for k := range e.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+e.attrs[k])
+	}
+	return e.uri + "|" + strings.Join(parts, ",")
+}
+
+// parseAttrs reads "key=value" elements from a folder.
+func parseAttrs(bc *briefcase.Briefcase) (map[string]string, error) {
+	f, err := bc.Folder(FolderDirAttrs)
+	if err != nil {
+		return nil, errors.New("ag_dir: request without attributes")
+	}
+	attrs := make(map[string]string, f.Len())
+	for _, kv := range f.Strings() {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("ag_dir: bad attribute %q", kv)
+		}
+		attrs[k] = v
+	}
+	return attrs, nil
+}
+
+// NewAgDir returns the ag_dir handler. Advertisements are keyed by the
+// authenticated sender URI, so an agent that moves and re-advertises
+// replaces its old entry... and cannot overwrite anyone else's.
+func NewAgDir() vm.Handler {
+	entries := make(map[string]dirEntry) // by sender URI
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			sender, ok := req.GetString(briefcase.FolderSysSender)
+			if !ok {
+				return nil, errors.New("ag_dir: request without sender")
+			}
+			op, _ := req.GetString(FolderOp)
+			resp := briefcase.New()
+			switch op {
+			case DirAdvertise:
+				attrs, err := parseAttrs(req)
+				if err != nil {
+					return nil, err
+				}
+				if len(attrs) == 0 {
+					return nil, errors.New("ag_dir: empty advertisement")
+				}
+				entries[sender] = dirEntry{uri: sender, attrs: attrs}
+				resp.SetString("OK", sender)
+			case DirWithdraw:
+				if _, ok := entries[sender]; !ok {
+					return nil, fmt.Errorf("ag_dir: %s not advertised", sender)
+				}
+				delete(entries, sender)
+				resp.SetString("OK", sender)
+			case DirQuery:
+				want, err := parseAttrs(req)
+				if err != nil {
+					return nil, err
+				}
+				matches := resp.Ensure(FolderDirMatches)
+				var rows []string
+				for _, e := range entries {
+					ok := true
+					for k, v := range want {
+						if e.attrs[k] != v {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						rows = append(rows, e.render())
+					}
+				}
+				sort.Strings(rows)
+				for _, r := range rows {
+					matches.AppendString(r)
+				}
+			default:
+				return nil, fmt.Errorf("ag_dir: unknown operation %q", op)
+			}
+			return resp, nil
+		})
+	}
+}
+
+// DirClient wraps the advertisement protocol for agents.
+type DirClient struct {
+	// Service is the directory's agent URI; default "ag_dir".
+	Service string
+}
+
+func (c DirClient) service() string {
+	if c.Service == "" {
+		return "ag_dir"
+	}
+	return c.Service
+}
+
+// Advertise registers the calling agent under the given attributes.
+func (c DirClient) Advertise(ctx *agent.Context, attrs map[string]string) error {
+	req := briefcase.New()
+	req.SetString(FolderOp, DirAdvertise)
+	f := req.Ensure(FolderDirAttrs)
+	for k, v := range attrs {
+		f.AppendString(k + "=" + v)
+	}
+	resp, err := ctx.MeetDirect(c.service(), req, rpcTimeout)
+	return rpcErr(resp, err)
+}
+
+// Withdraw removes the calling agent's advertisement.
+func (c DirClient) Withdraw(ctx *agent.Context) error {
+	req := briefcase.New()
+	req.SetString(FolderOp, DirWithdraw)
+	resp, err := ctx.MeetDirect(c.service(), req, rpcTimeout)
+	return rpcErr(resp, err)
+}
+
+// Match is one directory query result.
+type Match struct {
+	// URI is the advertised agent's routable address.
+	URI string
+	// Attrs are the advertised attributes.
+	Attrs map[string]string
+}
+
+// Query returns the agents matching every given attribute.
+func (c DirClient) Query(ctx *agent.Context, attrs map[string]string) ([]Match, error) {
+	req := briefcase.New()
+	req.SetString(FolderOp, DirQuery)
+	f := req.Ensure(FolderDirAttrs)
+	for k, v := range attrs {
+		f.AppendString(k + "=" + v)
+	}
+	resp, err := ctx.MeetDirect(c.service(), req, rpcTimeout)
+	if err := rpcErr(resp, err); err != nil {
+		return nil, err
+	}
+	rows, err := resp.Folder(FolderDirMatches)
+	if err != nil {
+		return nil, nil
+	}
+	var out []Match
+	for _, row := range rows.Strings() {
+		uri, attrStr, _ := strings.Cut(row, "|")
+		m := Match{URI: uri, Attrs: map[string]string{}}
+		if attrStr != "" {
+			for _, kv := range strings.Split(attrStr, ",") {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					m.Attrs[k] = v
+				}
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}

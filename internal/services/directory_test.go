@@ -1,0 +1,134 @@
+package services_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/services"
+)
+
+// dirCtx builds a scratch agent context on the node.
+func dirCtx(t *testing.T, n *core.Node, name string) *agent.Context {
+	t.Helper()
+	reg, err := n.FW.Register("test", "system", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.FW.Unregister(reg) })
+	return agent.NewContext(n.FW, reg, briefcase.New(), nil, nil)
+}
+
+func TestDirectoryAdvertiseQueryWithdraw(t *testing.T) {
+	n := newNode(t)
+	c := services.DirClient{}
+
+	printer := dirCtx(t, n, "printer-agent")
+	scanner := dirCtx(t, n, "scanner-agent")
+	if err := c.Advertise(printer, map[string]string{"class": "printer", "duplex": "yes"}); err != nil {
+		t.Fatalf("advertise printer: %v", err)
+	}
+	if err := c.Advertise(scanner, map[string]string{"class": "scanner"}); err != nil {
+		t.Fatalf("advertise scanner: %v", err)
+	}
+
+	client := dirCtx(t, n, "client")
+	got, err := client.Meet("ag_dir", queryBC(map[string]string{"class": "printer"}), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := got.Folder(services.FolderDirMatches)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("printer query rows = %v, %v", rows, err)
+	}
+	if !strings.Contains(rows.Strings()[0], "printer-agent") {
+		t.Errorf("match = %q", rows.Strings()[0])
+	}
+
+	// Typed client query.
+	matches, err := c.Query(client, map[string]string{"class": "printer", "duplex": "yes"})
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("typed query = %v, %v", matches, err)
+	}
+	if matches[0].Attrs["duplex"] != "yes" {
+		t.Errorf("attrs = %v", matches[0].Attrs)
+	}
+
+	// Non-matching attribute filter.
+	matches, err = c.Query(client, map[string]string{"class": "printer", "duplex": "no"})
+	if err != nil || len(matches) != 0 {
+		t.Errorf("strict query = %v, %v", matches, err)
+	}
+
+	// Withdraw removes the entry.
+	if err := c.Withdraw(printer); err != nil {
+		t.Fatalf("withdraw: %v", err)
+	}
+	matches, err = c.Query(client, map[string]string{"class": "printer"})
+	if err != nil || len(matches) != 0 {
+		t.Errorf("after withdraw = %v, %v", matches, err)
+	}
+}
+
+func queryBC(attrs map[string]string) *briefcase.Briefcase {
+	req := briefcase.New()
+	req.SetString(services.FolderOp, services.DirQuery)
+	f := req.Ensure(services.FolderDirAttrs)
+	for k, v := range attrs {
+		f.AppendString(k + "=" + v)
+	}
+	return req
+}
+
+func TestDirectoryReAdvertiseReplaces(t *testing.T) {
+	n := newNode(t)
+	c := services.DirClient{}
+	ag := dirCtx(t, n, "mover")
+	if err := c.Advertise(ag, map[string]string{"class": "worker", "load": "low"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advertise(ag, map[string]string{"class": "worker", "load": "high"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := c.Query(ag, map[string]string{"class": "worker"})
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("matches = %v, %v", matches, err)
+	}
+	if matches[0].Attrs["load"] != "high" {
+		t.Errorf("stale advertisement survived: %v", matches[0].Attrs)
+	}
+}
+
+func TestDirectoryErrors(t *testing.T) {
+	n := newNode(t)
+	c := services.DirClient{}
+	ag := dirCtx(t, n, "err-agent")
+
+	if err := c.Advertise(ag, nil); err == nil {
+		t.Error("empty advertisement accepted")
+	}
+	if err := c.Withdraw(ag); err == nil {
+		t.Error("withdraw without advertisement accepted")
+	}
+	// Malformed attribute element.
+	req := briefcase.New()
+	req.SetString(services.FolderOp, services.DirAdvertise)
+	req.Ensure(services.FolderDirAttrs).AppendString("no-equals-sign")
+	resp, err := ag.Meet("ag_dir", req, 5*time.Second)
+	if err == nil {
+		if _, isErr := resp.GetString(briefcase.FolderSysError); !isErr {
+			t.Error("malformed attribute accepted")
+		}
+	}
+	// Unknown operation.
+	req2 := briefcase.New()
+	req2.SetString(services.FolderOp, "subscribe")
+	if resp, err := ag.Meet("ag_dir", req2, 5*time.Second); err == nil {
+		if _, isErr := resp.GetString(briefcase.FolderSysError); !isErr {
+			t.Error("unknown op accepted")
+		}
+	}
+}

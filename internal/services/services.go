@@ -1,0 +1,443 @@
+// Package services implements the TAX service agents.
+//
+// In TAX, "resources other than memory and CPU time are handled by
+// service agents" (§3.3): rather than growing the landing pad, hosts run
+// ordinary (stationary) agents that answer briefcase RPCs. This package
+// provides the service agents the paper names:
+//
+//   - ag_cc: the compile front-end of figure 3 — extracts carried source
+//     and drives ag_exec.
+//   - ag_exec: runs binaries and compilers on behalf of agents; the case
+//     study's mwWebbot "uses the ag_exec service available at all TAX
+//     sites to execute the Webbot binary" with architecture selection.
+//   - ag_fs / ag_cabinet: file-system access, so agents never touch host
+//     storage directly.
+//   - ag_cron: periodic activation (the paper's URI examples show an
+//     ag_cron running on cl2.cs.uit.no).
+//   - ag_monitor: the monitoring endpoint the rwWebbot wrapper reports to.
+//
+// Every service follows the same shape: a vm.Handler that loops on
+// Await, dispatches on the _OP folder, and Replies. Services are
+// pre-deployed programs registered in the host's vm.Registry.
+package services
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/vm"
+)
+
+// Service protocol folders shared by all service agents.
+const (
+	// FolderOp selects the operation within a service.
+	FolderOp = "_SVCOP"
+	// FolderPath is a file path argument (ag_fs, ag_cabinet).
+	FolderPath = "_PATH"
+	// FolderData carries file contents or generic payload.
+	FolderData = "_DATA"
+	// FolderInterval is ag_cron's activation period in nanoseconds.
+	FolderInterval = "_INTERVAL"
+	// FolderCount is ag_cron's number of activations.
+	FolderCount = "_COUNT"
+)
+
+// rpcTimeout bounds client-side service RPCs.
+const rpcTimeout = 5 * time.Second
+
+// rpcErr folds a meet result into a single error: transport failures and
+// remote error reports both surface.
+func rpcErr(resp *briefcase.Briefcase, err error) error {
+	if err != nil {
+		return err
+	}
+	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// respondErr builds an error reply for a service request.
+func respondErr(ctx *agent.Context, req *briefcase.Briefcase, err error) {
+	resp := briefcase.New()
+	resp.SetString(firewall.FolderKind, firewall.KindError)
+	resp.SetString(briefcase.FolderSysError, err.Error())
+	_ = ctx.Reply(req, resp)
+}
+
+// serveLoop runs a request/reply service until the agent is killed.
+// handle returns the reply briefcase or an error to report.
+func serveLoop(ctx *agent.Context, handle func(req *briefcase.Briefcase) (*briefcase.Briefcase, error)) error {
+	for {
+		req, err := ctx.Await(0)
+		if err != nil {
+			if errors.Is(err, firewall.ErrKilled) {
+				return nil
+			}
+			return err
+		}
+		resp, err := handle(req)
+		if err != nil {
+			respondErr(ctx, req, err)
+			continue
+		}
+		if resp == nil {
+			continue // one-way request, no reply expected
+		}
+		if err := ctx.Reply(req, resp); err != nil {
+			// The requester may have moved on; keep serving.
+			continue
+		}
+	}
+}
+
+// CompileCost is the simulated CPU cost ag_exec charges per source byte
+// when "running the compiler"; it stands in for gcc's run time.
+const CompileCost = 200 * time.Nanosecond
+
+// NewAgCC returns the ag_cc handler of figure 3: it extracts the code
+// from the arriving briefcase (step 2), activates ag_exec with the code
+// and the compiler as arguments (step 3), and returns the briefcase with
+// the stored binary to its caller (step 6). trace may be nil.
+func NewAgCC(execService string, timeout time.Duration, trace func(string)) vm.Handler {
+	if execService == "" {
+		execService = "ag_exec"
+	}
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	emit := func(format string, args ...any) {
+		if trace != nil {
+			trace("ag_cc: " + fmt.Sprintf(format, args...))
+		}
+	}
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			if !req.Has(briefcase.FolderCode) {
+				return nil, errors.New("ag_cc: request carries no CODE")
+			}
+			emit("extracted code")
+			// Step 3: ag_exec gets the same briefcase, which already
+			// names the compiler and target architecture.
+			fwd := req.Clone()
+			fwd.Drop(firewall.FolderMsgID)
+			fwd.Drop(firewall.FolderReplyTo)
+			fwd.SetString(FolderOp, "compile")
+			emit("activate %s", execService)
+			compiled, err := ctx.Meet(execService, fwd, timeout)
+			if err != nil {
+				return nil, fmt.Errorf("ag_cc: %s: %w", execService, err)
+			}
+			emit("returning binary")
+			compiled.Drop(firewall.FolderReplyTo)
+			return compiled, nil
+		})
+	}
+}
+
+// ExecConfig parameterizes an ag_exec service agent.
+type ExecConfig struct {
+	// Arch is the local machine architecture binaries must match.
+	Arch string
+	// Store is the host's deployed-binary inventory used to resolve and
+	// verify execution requests.
+	Store *vm.BinaryStore
+	// ImageSize sizes the synthetic images the toy compiler emits; zero
+	// means 64 KiB — the carried Webbot-class binary of the case study.
+	ImageSize int
+	// Trace receives instrumentation events.
+	Trace func(string)
+}
+
+// DefaultImageSize is the synthetic binary image size (64 KiB).
+const DefaultImageSize = 64 << 10
+
+// ProgramName extracts the program a toy-C source denotes: the first
+// line of the form "// program: <name>". The toy compiler is
+// deterministic — same source, same binary — which is what lets
+// pre-deployed handlers stand in for real code generation.
+func ProgramName(source string) (string, error) {
+	for _, line := range strings.Split(source, "\n") {
+		line = strings.TrimSpace(line)
+		if name, ok := strings.CutPrefix(line, "// program:"); ok {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				break
+			}
+			return name, nil
+		}
+	}
+	return "", errors.New("ag_exec: source has no '// program:' directive")
+}
+
+// CompileBinary produces the deterministic binary image for a toy-C
+// source targeting arch. Deployment-time registration uses the same
+// function, so carried and deployed images are bit-identical.
+func CompileBinary(source, arch string, imageSize int) (vm.Binary, error) {
+	name, err := ProgramName(source)
+	if err != nil {
+		return vm.Binary{}, err
+	}
+	if imageSize <= 0 {
+		imageSize = DefaultImageSize
+	}
+	return vm.Binary{
+		Name:    name,
+		Arch:    arch,
+		Version: "1.0",
+		Payload: vm.SyntheticImage(name, arch, "1.0", imageSize),
+	}, nil
+}
+
+// NewAgExec returns the ag_exec handler. Two operations:
+//
+//   - "compile" (figure 3 steps 4–5): run the named compiler over the
+//     CODE folder and store the resulting binary in the briefcase.
+//   - "exec" (the §5 case study): select the carried binary matching the
+//     local architecture, verify it against the local deployment, run its
+//     handler inline, and reply with the mutated briefcase.
+func NewAgExec(cfg ExecConfig) vm.Handler {
+	if cfg.Arch == "" {
+		cfg.Arch = vm.DefaultArch
+	}
+	if cfg.ImageSize == 0 {
+		cfg.ImageSize = DefaultImageSize
+	}
+	emit := func(format string, args ...any) {
+		if cfg.Trace != nil {
+			cfg.Trace("ag_exec: " + fmt.Sprintf(format, args...))
+		}
+	}
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			op, _ := req.GetString(FolderOp)
+			switch op {
+			case "compile":
+				source, ok := req.GetString(briefcase.FolderCode)
+				if !ok {
+					return nil, errors.New("ag_exec: compile without CODE")
+				}
+				arch := cfg.Arch
+				if a, ok := req.GetString(vm.FolderArch); ok {
+					arch = a
+				}
+				compiler, _ := req.GetString(vm.FolderCompiler)
+				emit("running %s for %s", compiler, arch)
+				// Charge the simulated compiler run time.
+				ctx.Charge(time.Duration(len(source)) * CompileCost)
+				bin, err := CompileBinary(source, arch, cfg.ImageSize)
+				if err != nil {
+					return nil, err
+				}
+				resp := req.Clone()
+				resp.Drop(FolderOp)
+				resp.Drop(firewall.FolderMsgID)
+				resp.Drop(briefcase.FolderBinaries)
+				vm.PackBinaries(resp, bin)
+				emit("stored binary %s", bin.Manifest())
+				return resp, nil
+
+			case "exec":
+				if cfg.Store == nil {
+					return nil, errors.New("ag_exec: no binary store on this host")
+				}
+				bins, err := vm.UnpackBinaries(req)
+				if err != nil {
+					return nil, fmt.Errorf("ag_exec: %w", err)
+				}
+				carried, err := vm.SelectBinary(bins, cfg.Arch)
+				if err != nil {
+					return nil, err
+				}
+				handler, err := cfg.Store.Execute(carried)
+				if err != nil {
+					return nil, err
+				}
+				emit("executing %s/%s", carried.Name, carried.Arch)
+				// The binary runs inline with the request briefcase as
+				// its state; results land in its RESULTS folder.
+				run := req.Clone()
+				run.Drop(FolderOp)
+				run.Drop(firewall.FolderMsgID)
+				sub := agent.NewContext(ctxFirewall(ctx), ctx.Registration(), run, nil, nil)
+				if err := handler(sub); err != nil {
+					return nil, fmt.Errorf("ag_exec: %s: %w", carried.Name, err)
+				}
+				return run, nil
+
+			default:
+				return nil, fmt.Errorf("ag_exec: unknown operation %q", op)
+			}
+		})
+	}
+}
+
+// ctxFirewall recovers the firewall from a context via its registration;
+// the inline-executed binary shares the service agent's identity.
+func ctxFirewall(ctx *agent.Context) *firewall.Firewall { return ctx.FW() }
+
+// NewAgFS returns the ag_fs / ag_ccabinet handler: a per-host in-memory
+// file store. Operations (FolderOp): "put" (FolderPath + FolderData),
+// "get" (FolderPath), "list" (prefix in FolderPath), "del" (FolderPath).
+// The §3.3 point is architectural — agents reach storage through a
+// service agent rather than the VM — so a faithful in-memory store
+// suffices.
+func NewAgFS() vm.Handler {
+	files := make(map[string][]byte)
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			op, _ := req.GetString(FolderOp)
+			path, _ := req.GetString(FolderPath)
+			resp := briefcase.New()
+			switch op {
+			case "put":
+				f, err := req.Folder(FolderData)
+				if err != nil {
+					return nil, errors.New("ag_fs: put without data")
+				}
+				if path == "" {
+					return nil, errors.New("ag_fs: put without path")
+				}
+				data, err := f.Element(0)
+				if err != nil {
+					return nil, err
+				}
+				files[path] = data
+				resp.SetString("OK", path)
+			case "get":
+				data, ok := files[path]
+				if !ok {
+					return nil, fmt.Errorf("ag_fs: no such file %q", path)
+				}
+				resp.Ensure(FolderData).Append(data)
+			case "del":
+				if _, ok := files[path]; !ok {
+					return nil, fmt.Errorf("ag_fs: no such file %q", path)
+				}
+				delete(files, path)
+				resp.SetString("OK", path)
+			case "list":
+				f := resp.Ensure(FolderData)
+				for name := range files {
+					if strings.HasPrefix(name, path) {
+						f.AppendString(name)
+					}
+				}
+			default:
+				return nil, fmt.Errorf("ag_fs: unknown operation %q", op)
+			}
+			return resp, nil
+		})
+	}
+}
+
+// NewAgCron returns the ag_cron handler: a request carries a target URI
+// (FolderPath), an interval (FolderInterval, nanoseconds) and a count
+// (FolderCount); ag_cron activates the target that many times. The
+// request is acknowledged immediately; activations run asynchronously on
+// the service's goroutine between requests.
+func NewAgCron() vm.Handler {
+	return func(ctx *agent.Context) error {
+		type job struct {
+			target   string
+			payload  *briefcase.Briefcase
+			interval time.Duration
+			left     int
+		}
+		jobs := make(chan job, 16)
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				case j := <-jobs:
+					for ; j.left > 0; j.left-- {
+						select {
+						case <-done:
+							return
+						case <-time.After(j.interval):
+						}
+						tick := j.payload.Clone()
+						_ = ctx.Activate(j.target, tick)
+					}
+				}
+			}
+		}()
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			target, ok := req.GetString(FolderPath)
+			if !ok {
+				return nil, errors.New("ag_cron: no target")
+			}
+			intervalNS, ok := req.GetInt(FolderInterval)
+			if !ok || intervalNS <= 0 {
+				return nil, errors.New("ag_cron: bad interval")
+			}
+			count, ok := req.GetInt(FolderCount)
+			if !ok || count <= 0 {
+				return nil, errors.New("ag_cron: bad count")
+			}
+			payload := briefcase.New()
+			payload.SetString("CRON", "tick")
+			select {
+			case jobs <- job{target: target, payload: payload, interval: time.Duration(intervalNS), left: int(count)}:
+			default:
+				return nil, errors.New("ag_cron: job queue full")
+			}
+			resp := briefcase.New()
+			resp.SetString("OK", strconv.FormatInt(count, 10))
+			return resp, nil
+		})
+	}
+}
+
+// MonitorEvent is one report received by ag_monitor.
+type MonitorEvent struct {
+	From    string
+	Status  string
+	Host    string
+	Elapsed time.Duration
+}
+
+// NewAgMonitor returns the ag_monitor handler plus a channel of received
+// events. rwWebbot-style wrappers report location and status here; a
+// "query" op returns every status line seen so far.
+func NewAgMonitor(buffer int) (vm.Handler, <-chan MonitorEvent) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	events := make(chan MonitorEvent, buffer)
+	handler := func(ctx *agent.Context) error {
+		var seen []string
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			if op, _ := req.GetString(FolderOp); op == "query" {
+				resp := briefcase.New()
+				f := resp.Ensure(briefcase.FolderStatus)
+				for _, s := range seen {
+					f.AppendString(s)
+				}
+				return resp, nil
+			}
+			status, ok := req.GetString(briefcase.FolderStatus)
+			if !ok {
+				return nil, errors.New("ag_monitor: report without STATUS")
+			}
+			from, _ := req.GetString(briefcase.FolderSysSender)
+			host, _ := req.GetString("HOST")
+			seen = append(seen, host+": "+status)
+			select {
+			case events <- MonitorEvent{From: from, Status: status, Host: host, Elapsed: ctx.Now()}:
+			default:
+			}
+			return nil, nil // reports are one-way
+		})
+	}
+	return handler, events
+}

@@ -1,0 +1,380 @@
+// Package simnet is the simulated network substrate of the reproduction.
+//
+// The paper's evaluation compares elapsed time of the same computation
+// executed locally on a web server versus across a 100 Mbit LAN. simnet
+// reproduces that comparison deterministically: hosts are connected by
+// links with a bandwidth, a propagation latency, and a fixed per-message
+// overhead; each transfer is charged against virtual clocks (package
+// vclock) and serialized on its link, so sequential request/response
+// flows yield exact elapsed times without sleeping.
+//
+// Messages are delivered in real time through per-host dispatcher
+// goroutines (one in-order queue per host), while the virtual timestamps
+// carry the simulated cost. A TCP implementation of the same Node
+// interface (tcp.go) backs the live multi-process deployment path.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/vclock"
+)
+
+var (
+	// ErrUnknownHost is returned when sending to an unregistered host.
+	ErrUnknownHost = errors.New("simnet: unknown host")
+	// ErrPartitioned is returned when the pair of hosts is partitioned.
+	ErrPartitioned = errors.New("simnet: hosts partitioned")
+	// ErrClosed is returned when the host or network has been shut down.
+	ErrClosed = errors.New("simnet: closed")
+)
+
+// Node is the transport endpoint the TAX firewall binds to: one per host,
+// addressed by name, delivering opaque payloads. Both the simulated Host
+// and the TCP node implement it.
+type Node interface {
+	// Addr returns the node's own address (host name, or host:port).
+	Addr() string
+	// Send delivers payload to the named peer.
+	Send(to string, payload []byte) error
+	// SetHandler installs the delivery callback. Deliveries to one node
+	// are serialized. Must be called before the first message arrives.
+	SetHandler(h func(from string, payload []byte))
+	// Close shuts the node down; further sends fail with ErrClosed.
+	Close() error
+}
+
+// Profile describes one link class: how long a message of a given size
+// takes to cross it.
+type Profile struct {
+	// Name labels the profile in reports ("lan100", "wan10", ...).
+	Name string
+	// Bandwidth is the link throughput in bytes per second.
+	Bandwidth float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// MsgOverhead is the fixed per-message cost (connection and request
+	// handling; what a small HTTP request pays beyond propagation).
+	MsgOverhead time.Duration
+}
+
+// TransferTime returns the serialization cost of size bytes on the link:
+// fixed overhead plus size divided by bandwidth. Propagation latency is
+// charged separately (it does not occupy the link).
+func (p Profile) TransferTime(size int) time.Duration {
+	tx := time.Duration(0)
+	if p.Bandwidth > 0 {
+		tx = time.Duration(float64(size) / p.Bandwidth * float64(time.Second))
+	}
+	return p.MsgOverhead + tx
+}
+
+// RoundTrip returns the elapsed time of a request/response exchange with
+// the given payload sizes on an idle link.
+func (p Profile) RoundTrip(reqSize, respSize int) time.Duration {
+	return p.TransferTime(reqSize) + p.Latency + p.TransferTime(respSize) + p.Latency
+}
+
+// Predefined link profiles. Bandwidths are in bytes/second (100 Mbit/s =
+// 12.5e6 B/s). The LAN numbers are the calibration for the paper's
+// department network (see internal/bench and EXPERIMENTS.md); the WAN
+// profiles back the paper's "wide area network" extrapolation.
+var (
+	// Loopback models in-host communication: what the relocated agent
+	// pays to talk to the co-located web server.
+	Loopback = Profile{Name: "loopback", Bandwidth: 1.5e9, Latency: 5 * time.Microsecond, MsgOverhead: 20 * time.Microsecond}
+	// LAN100 is the paper's 100 Mbit department LAN.
+	LAN100 = Profile{Name: "lan100", Bandwidth: 12.5e6, Latency: 150 * time.Microsecond, MsgOverhead: 150 * time.Microsecond}
+	// WAN10 is a 10 Mbit wide-area path.
+	WAN10 = Profile{Name: "wan10", Bandwidth: 1.25e6, Latency: 20 * time.Millisecond, MsgOverhead: 1 * time.Millisecond}
+	// WAN2 is a slow 2 Mbit wide-area path.
+	WAN2 = Profile{Name: "wan2", Bandwidth: 0.25e6, Latency: 40 * time.Millisecond, MsgOverhead: 2 * time.Millisecond}
+)
+
+// LinkStats is a snapshot of one directed link's traffic counters.
+type LinkStats struct {
+	From, To string
+	Messages int64
+	Bytes    int64
+}
+
+type pairKey struct{ from, to string }
+
+type link struct {
+	profile   Profile
+	busyUntil time.Duration // virtual time the link is transmitting until
+	messages  int64
+	bytes     int64
+}
+
+// Network is a set of simulated hosts and the links between them.
+type Network struct {
+	mu             sync.Mutex
+	defaultProfile Profile
+	loopback       Profile
+	hosts          map[string]*Host
+	links          map[pairKey]*link
+	profiles       map[pairKey]Profile // per-pair overrides (symmetric)
+	partitioned    map[pairKey]bool    // symmetric
+	closed         bool
+}
+
+// New creates a network whose host pairs default to the given profile.
+func New(defaultProfile Profile) *Network {
+	return &Network{
+		defaultProfile: defaultProfile,
+		loopback:       Loopback,
+		hosts:          make(map[string]*Host),
+		links:          make(map[pairKey]*link),
+		profiles:       make(map[pairKey]Profile),
+		partitioned:    make(map[pairKey]bool),
+	}
+}
+
+// SetLoopback overrides the profile used for a host talking to itself.
+func (n *Network) SetLoopback(p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loopback = p
+}
+
+// AddHost registers a host and starts its dispatcher.
+func (n *Network) AddHost(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("simnet: empty host name")
+	}
+	if _, ok := n.hosts[name]; ok {
+		return nil, fmt.Errorf("simnet: duplicate host %q", name)
+	}
+	h := &Host{
+		name:  name,
+		net:   n,
+		clock: vclock.NewVirtual(),
+		queue: make(chan delivery, 1024),
+		done:  make(chan struct{}),
+	}
+	n.hosts[name] = h
+	go h.dispatch()
+	return h, nil
+}
+
+// Host returns the named host.
+func (n *Network) Host(name string) (*Host, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownHost, name)
+	}
+	return h, nil
+}
+
+// SetProfile overrides the link profile between hosts a and b in both
+// directions.
+func (n *Network) SetProfile(a, b string, p Profile) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.profiles[pairKey{a, b}] = p
+	n.profiles[pairKey{b, a}] = p
+}
+
+// Partition cuts communication between hosts a and b in both directions.
+func (n *Network) Partition(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[pairKey{a, b}] = true
+	n.partitioned[pairKey{b, a}] = true
+}
+
+// Heal restores communication between hosts a and b.
+func (n *Network) Heal(a, b string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, pairKey{a, b})
+	delete(n.partitioned, pairKey{b, a})
+}
+
+// Stats returns traffic counters for every directed link that carried at
+// least one message, sorted by (from, to).
+func (n *Network) Stats() []LinkStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]LinkStats, 0, len(n.links))
+	for k, l := range n.links {
+		out = append(out, LinkStats{From: k.from, To: k.to, Messages: l.messages, Bytes: l.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Close shuts down every host.
+func (n *Network) Close() error {
+	n.mu.Lock()
+	hosts := make([]*Host, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		hosts = append(hosts, h)
+	}
+	n.closed = true
+	n.mu.Unlock()
+	for _, h := range hosts {
+		_ = h.Close()
+	}
+	return nil
+}
+
+// profileFor returns the link profile between two hosts (loopback when
+// equal). Callers hold n.mu.
+func (n *Network) profileFor(from, to string) Profile {
+	if from == to {
+		return n.loopback
+	}
+	if p, ok := n.profiles[pairKey{from, to}]; ok {
+		return p
+	}
+	return n.defaultProfile
+}
+
+// delivery is one in-flight message.
+type delivery struct {
+	from     string
+	payload  []byte
+	arriveAt time.Duration
+}
+
+// Host is a simulated machine: a virtual clock plus an in-order inbox.
+type Host struct {
+	name  string
+	net   *Network
+	clock *vclock.Virtual
+	queue chan delivery
+
+	handlerMu sync.RWMutex
+	handler   func(from string, payload []byte)
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Node = (*Host)(nil)
+
+// Addr returns the host name.
+func (h *Host) Addr() string { return h.name }
+
+// Clock returns the host's virtual clock.
+func (h *Host) Clock() vclock.Clock { return h.clock }
+
+// Charge advances the host's clock by a local computation cost.
+func (h *Host) Charge(d time.Duration) { h.clock.Advance(d) }
+
+// SetHandler installs the delivery callback.
+func (h *Host) SetHandler(fn func(from string, payload []byte)) {
+	h.handlerMu.Lock()
+	defer h.handlerMu.Unlock()
+	h.handler = fn
+}
+
+// Send transfers payload to the named host, charging the link's simulated
+// cost: the transfer serializes on the directed link starting no earlier
+// than the sender's current virtual time, and the receiver's clock
+// advances to the arrival time. The sender's own clock advances past the
+// serialization (the sending process is busy while its message is on the
+// wire, as a blocking send is).
+func (h *Host) Send(to string, payload []byte) error {
+	_, err := h.SendTimed(to, payload)
+	return err
+}
+
+// SendTimed is Send returning the virtual arrival time.
+func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
+	select {
+	case <-h.done:
+		return 0, ErrClosed
+	default:
+	}
+
+	n := h.net
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return 0, ErrClosed
+	}
+	dst, ok := n.hosts[to]
+	if !ok {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %q", ErrUnknownHost, to)
+	}
+	if n.partitioned[pairKey{h.name, to}] {
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s <-> %s", ErrPartitioned, h.name, to)
+	}
+	key := pairKey{h.name, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{profile: n.profileFor(h.name, to)}
+		n.links[key] = l
+	} else {
+		// Profiles may be re-set between experiments; keep link current.
+		l.profile = n.profileFor(h.name, to)
+	}
+
+	depart := h.clock.Now()
+	start := depart
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	txEnd := start + l.profile.TransferTime(len(payload))
+	l.busyUntil = txEnd
+	arrive := txEnd + l.profile.Latency
+	l.messages++
+	l.bytes += int64(len(payload))
+	n.mu.Unlock()
+
+	h.clock.AdvanceTo(txEnd)
+	dst.clock.AdvanceTo(arrive)
+
+	msg := delivery{from: h.name, payload: append([]byte(nil), payload...), arriveAt: arrive}
+	select {
+	case dst.queue <- msg:
+		return arrive, nil
+	case <-dst.done:
+		return 0, ErrClosed
+	}
+}
+
+// dispatch drains the inbox, invoking the handler serially.
+func (h *Host) dispatch() {
+	for {
+		select {
+		case <-h.done:
+			return
+		case d := <-h.queue:
+			h.handlerMu.RLock()
+			fn := h.handler
+			h.handlerMu.RUnlock()
+			if fn != nil {
+				fn(d.from, d.payload)
+			}
+		}
+	}
+}
+
+// Close stops the host's dispatcher. Pending undelivered messages are
+// dropped, as they would be on a crashed machine.
+func (h *Host) Close() error {
+	h.closeOnce.Do(func() { close(h.done) })
+	return nil
+}

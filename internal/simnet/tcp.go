@@ -1,0 +1,217 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrame bounds the size of a single TCP frame (64 MiB), matching the
+// briefcase decode limits.
+const maxFrame = 1 << 26
+
+// TCPNode implements Node over real TCP sockets with length-prefixed
+// frames. It backs cmd/taxd, letting several OS processes run TAX nodes
+// that agents migrate between. Peers are addressed by "host:port".
+//
+// Connections are opened lazily per peer and reused; inbound connections
+// are served until EOF. The frame format is:
+//
+//	addrLen uint16 | senderAddr bytes | payloadLen uint32 | payload
+type TCPNode struct {
+	addr     string
+	listener net.Listener
+
+	handlerMu sync.RWMutex
+	handler   func(from string, payload []byte)
+
+	connMu  sync.Mutex
+	conns   map[string]net.Conn
+	inbound map[net.Conn]bool
+
+	closeOnce sync.Once
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+var _ Node = (*TCPNode)(nil)
+
+// ListenTCP starts a node listening on addr ("host:port"; ":0" picks a
+// free port — read the effective address back with Addr).
+func ListenTCP(addr string) (*TCPNode, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("simnet: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		addr:     l.Addr().String(),
+		listener: l,
+		conns:    make(map[string]net.Conn),
+		inbound:  make(map[net.Conn]bool),
+		done:     make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *TCPNode) Addr() string { return n.addr }
+
+// SetHandler installs the delivery callback.
+func (n *TCPNode) SetHandler(h func(from string, payload []byte)) {
+	n.handlerMu.Lock()
+	defer n.handlerMu.Unlock()
+	n.handler = h
+}
+
+// Send delivers payload to the peer listening at to ("host:port").
+func (n *TCPNode) Send(to string, payload []byte) error {
+	select {
+	case <-n.done:
+		return ErrClosed
+	default:
+	}
+	conn, err := n.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := encodeFrame(n.addr, payload)
+	if _, err := conn.Write(frame); err != nil {
+		// Drop the cached connection; a retry will redial.
+		n.dropConn(to, conn)
+		return fmt.Errorf("simnet: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (n *TCPNode) conn(to string) (net.Conn, error) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if c, ok := n.conns[to]; ok {
+		return c, nil
+	}
+	c, err := net.Dial("tcp", to)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnknownHost, to, err)
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+func (n *TCPNode) dropConn(to string, c net.Conn) {
+	n.connMu.Lock()
+	defer n.connMu.Unlock()
+	if n.conns[to] == c {
+		delete(n.conns, to)
+	}
+	_ = c.Close()
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.listener.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		n.wg.Add(1)
+		go n.serve(c)
+	}
+}
+
+func (n *TCPNode) serve(c net.Conn) {
+	defer n.wg.Done()
+	n.connMu.Lock()
+	n.inbound[c] = true
+	n.connMu.Unlock()
+	defer func() {
+		n.connMu.Lock()
+		delete(n.inbound, c)
+		n.connMu.Unlock()
+		_ = c.Close()
+	}()
+	for {
+		from, payload, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		n.handlerMu.RLock()
+		h := n.handler
+		n.handlerMu.RUnlock()
+		if h != nil {
+			h(from, payload)
+		}
+		select {
+		case <-n.done:
+			return
+		default:
+		}
+	}
+}
+
+// Close stops the listener and all connections, then waits for serving
+// goroutines to exit.
+func (n *TCPNode) Close() error {
+	n.closeOnce.Do(func() {
+		close(n.done)
+		_ = n.listener.Close()
+		n.connMu.Lock()
+		for _, c := range n.conns {
+			_ = c.Close()
+		}
+		n.conns = map[string]net.Conn{}
+		// Inbound connections must be closed too, or serve goroutines
+		// stay blocked reading live peers and Close never returns.
+		for c := range n.inbound {
+			_ = c.Close()
+		}
+		n.connMu.Unlock()
+	})
+	n.wg.Wait()
+	return nil
+}
+
+func encodeFrame(sender string, payload []byte) []byte {
+	frame := make([]byte, 0, 2+len(sender)+4+len(payload))
+	frame = binary.BigEndian.AppendUint16(frame, uint16(len(sender)))
+	frame = append(frame, sender...)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = append(frame, payload...)
+	return frame
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:2]); err != nil {
+		return "", nil, err
+	}
+	addrLen := binary.BigEndian.Uint16(lenBuf[:2])
+	addr := make([]byte, addrLen)
+	if _, err := io.ReadFull(r, addr); err != nil {
+		return "", nil, err
+	}
+	if _, err := io.ReadFull(r, lenBuf[:4]); err != nil {
+		return "", nil, err
+	}
+	payloadLen := binary.BigEndian.Uint32(lenBuf[:4])
+	if payloadLen > maxFrame {
+		return "", nil, fmt.Errorf("simnet: frame of %d bytes exceeds limit", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, err
+	}
+	return string(addr), payload, nil
+}

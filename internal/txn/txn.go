@@ -1,0 +1,185 @@
+// Package txn implements two-phase commit over TAX briefcase RPCs.
+//
+// §4 lists "support for transactions" among the middleware agent systems
+// keep absorbing; following the paper's architecture it lives in the
+// agents, not the landing pad: any agent can coordinate a transaction
+// over participant agents with the plain meet/reply primitives, and any
+// agent becomes a participant by serving the three-verb protocol below.
+//
+// The protocol is classic presumed-abort 2PC:
+//
+//	coordinator            participant
+//	  -- prepare(txn) -->    vote yes (and hold the work) or no
+//	  <-- vote ---------
+//	  all yes: -- commit --> apply
+//	  any  no: -- abort  --> discard
+//
+// Participant failures and timeouts during prepare abort the whole
+// transaction; commit/abort notifications are retried best-effort (a
+// participant that voted yes and misses the outcome stays prepared, as
+// in any 2PC without a recovery log — the known blocking weakness of the
+// protocol, faithfully reproduced).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+)
+
+// Protocol folders.
+const (
+	// FolderTxnID names the transaction.
+	FolderTxnID = "_TXNID"
+	// FolderTxnOp is one of prepare/commit/abort.
+	FolderTxnOp = "_TXNOP"
+	// FolderTxnVote is the participant's prepare answer: yes or no.
+	FolderTxnVote = "_TXNVOTE"
+	// FolderTxnReason carries a no-vote's explanation.
+	FolderTxnReason = "_TXNREASON"
+)
+
+// Protocol operations.
+const (
+	// OpPrepare asks a participant to vote.
+	OpPrepare = "prepare"
+	// OpCommit applies a prepared transaction.
+	OpCommit = "commit"
+	// OpAbort discards a prepared transaction.
+	OpAbort = "abort"
+)
+
+// ErrAborted is returned by Coordinator.Run when the transaction aborts.
+var ErrAborted = errors.New("txn: aborted")
+
+// Coordinator drives 2PC from any agent context.
+type Coordinator struct {
+	// Participants are the routable URIs of the participant agents.
+	Participants []string
+	// Timeout bounds each prepare RPC; zero means 5 seconds.
+	Timeout time.Duration
+}
+
+// Run executes one transaction: payload travels with every prepare so
+// participants know what they are voting on. On unanimous yes votes the
+// outcome is commit; any no vote, error or timeout aborts. The error
+// reports the decisive cause; ErrAborted wraps all abort outcomes.
+func (c *Coordinator) Run(ctx *agent.Context, txnID string, payload *briefcase.Briefcase) error {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	if len(c.Participants) == 0 {
+		return errors.New("txn: no participants")
+	}
+
+	// Phase 1: prepare.
+	var prepared []string
+	var cause error
+	for _, p := range c.Participants {
+		req := payload.Clone()
+		req.SetString(FolderTxnID, txnID)
+		req.SetString(FolderTxnOp, OpPrepare)
+		resp, err := ctx.Meet(p, req, timeout)
+		if err != nil {
+			cause = fmt.Errorf("prepare %s: %w", p, err)
+			break
+		}
+		vote, _ := resp.GetString(FolderTxnVote)
+		if vote != "yes" {
+			reason, _ := resp.GetString(FolderTxnReason)
+			cause = fmt.Errorf("participant %s voted %q (%s)", p, vote, reason)
+			break
+		}
+		prepared = append(prepared, p)
+	}
+
+	// Phase 2: outcome.
+	outcome := OpCommit
+	targets := c.Participants
+	if cause != nil {
+		outcome = OpAbort
+		targets = prepared // only those holding work need the abort
+	}
+	for _, p := range targets {
+		note := briefcase.New()
+		note.SetString(FolderTxnID, txnID)
+		note.SetString(FolderTxnOp, outcome)
+		// Outcome notifications are one-way, best effort.
+		_ = ctx.Activate(p, note)
+	}
+	if cause != nil {
+		return fmt.Errorf("%w: %v", ErrAborted, cause)
+	}
+	return nil
+}
+
+// Participant adapts an agent into a 2PC participant. Prepare inspects
+// the payload and returns nil to vote yes (holding the work until the
+// outcome); Commit and Abort receive the transaction id.
+type Participant struct {
+	// Prepare votes: nil = yes, error = no (with the reason).
+	Prepare func(txnID string, payload *briefcase.Briefcase) error
+	// Commit applies a prepared transaction.
+	Commit func(txnID string)
+	// Abort discards a prepared transaction.
+	Abort func(txnID string)
+}
+
+// Handle processes one received briefcase if it belongs to the
+// transaction protocol; it reports whether it consumed the briefcase.
+// Agents embed it in their Await loops:
+//
+//	for {
+//		bc, err := ctx.Await(0)
+//		if err != nil { return err }
+//		if ok, err := part.Handle(ctx, bc); ok {
+//			if err != nil { return err }
+//			continue
+//		}
+//		// ordinary application traffic
+//	}
+func (p *Participant) Handle(ctx *agent.Context, bc *briefcase.Briefcase) (bool, error) {
+	op, ok := bc.GetString(FolderTxnOp)
+	if !ok {
+		return false, nil
+	}
+	txnID, _ := bc.GetString(FolderTxnID)
+	switch op {
+	case OpPrepare:
+		vote := "yes"
+		if p.Prepare != nil {
+			if err := p.Prepare(txnID, bc); err != nil {
+				vote = "no: " + err.Error()
+			}
+		}
+		resp := briefcase.New()
+		resp.SetString(FolderTxnID, txnID)
+		resp.SetString(FolderTxnVote, voteWord(vote))
+		resp.SetString(FolderTxnReason, vote)
+		return true, ctx.Reply(bc, resp)
+	case OpCommit:
+		if p.Commit != nil {
+			p.Commit(txnID)
+		}
+		return true, nil
+	case OpAbort:
+		if p.Abort != nil {
+			p.Abort(txnID)
+		}
+		return true, nil
+	default:
+		return true, fmt.Errorf("txn: unknown operation %q", op)
+	}
+}
+
+// voteWord reduces a vote string to the protocol token.
+func voteWord(v string) string {
+	if v == "yes" {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,259 @@
+package txn_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/simnet"
+	"tax/internal/txn"
+)
+
+// bank is a toy replicated account: each participant holds a balance and
+// 2PC transfers debit all replicas atomically.
+type bank struct {
+	mu      sync.Mutex
+	balance int
+	held    map[string]int // prepared debits by txn id
+	decided chan string    // commit/abort notifications for the test
+}
+
+func newBank(balance int) *bank {
+	return &bank{balance: balance, held: make(map[string]int), decided: make(chan string, 8)}
+}
+
+func (b *bank) participant() *txn.Participant {
+	return &txn.Participant{
+		Prepare: func(id string, payload *briefcase.Briefcase) error {
+			amount, ok := payload.GetInt("AMOUNT")
+			if !ok {
+				return errors.New("no amount")
+			}
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			if b.balance < int(amount) {
+				return errors.New("insufficient funds")
+			}
+			b.balance -= int(amount)
+			b.held[id] = int(amount)
+			return nil
+		},
+		Commit: func(id string) {
+			b.mu.Lock()
+			delete(b.held, id)
+			b.mu.Unlock()
+			b.decided <- "commit:" + id
+		},
+		Abort: func(id string) {
+			b.mu.Lock()
+			if amt, ok := b.held[id]; ok {
+				b.balance += amt
+				delete(b.held, id)
+			}
+			b.mu.Unlock()
+			b.decided <- "abort:" + id
+		},
+	}
+}
+
+func (b *bank) bal() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.balance
+}
+
+// deployBanks boots one host per bank and launches participant agents.
+func deployBanks(t *testing.T, banks ...*bank) (*core.System, []string, *core.Node) {
+	t.Helper()
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	coord, err := s.AddNode("coord", core.NodeOptions{NoCVM: true, NoServices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uris []string
+	for i, b := range banks {
+		host := "bank" + string(rune('1'+i))
+		n, err := s.AddNode(host, core.NodeOptions{NoCVM: true, NoServices: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := b.participant()
+		n.Programs.Register("bank", func(ctx *agent.Context) error {
+			for {
+				bc, err := ctx.Await(0)
+				if err != nil {
+					return nil
+				}
+				if ok, err := part.Handle(ctx, bc); ok {
+					if err != nil {
+						return err
+					}
+					continue
+				}
+			}
+		})
+		reg, err := n.VM.Launch("system", "bank", "bank", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uris = append(uris, reg.GlobalURI().String())
+	}
+	return s, uris, coord
+}
+
+// runTxn drives one transaction from a scratch agent on the coordinator.
+func runTxn(t *testing.T, coord *core.Node, participants []string, id string, amount int64, timeout time.Duration) error {
+	t.Helper()
+	reg, err := coord.FW.Register("test", "system", "coord-agent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.FW.Unregister(reg)
+	ctx := agent.NewContext(coord.FW, reg, briefcase.New(), nil, nil)
+	payload := briefcase.New()
+	payload.SetInt("AMOUNT", amount)
+	c := &txn.Coordinator{Participants: participants, Timeout: timeout}
+	return c.Run(ctx, id, payload)
+}
+
+func TestCommitWhenAllVoteYes(t *testing.T) {
+	b1, b2, b3 := newBank(100), newBank(100), newBank(100)
+	_, uris, coord := deployBanks(t, b1, b2, b3)
+
+	if err := runTxn(t, coord, uris, "t1", 30, 0); err != nil {
+		t.Fatalf("commit path: %v", err)
+	}
+	for _, b := range []*bank{b1, b2, b3} {
+		select {
+		case d := <-b.decided:
+			if d != "commit:t1" {
+				t.Errorf("decision = %q", d)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("participant never learned the outcome")
+		}
+		if b.bal() != 70 {
+			t.Errorf("balance = %d, want 70", b.bal())
+		}
+	}
+}
+
+func TestAbortWhenOneVotesNo(t *testing.T) {
+	rich, poor := newBank(100), newBank(10)
+	_, uris, coord := deployBanks(t, rich, poor)
+
+	err := runTxn(t, coord, uris, "t2", 30, 0)
+	if !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if !strings.Contains(err.Error(), "insufficient funds") {
+		t.Errorf("cause missing: %v", err)
+	}
+	// The yes-voter is rolled back.
+	select {
+	case d := <-rich.decided:
+		if d != "abort:t2" {
+			t.Errorf("rich decision = %q", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("yes-voter never aborted")
+	}
+	if rich.bal() != 100 || poor.bal() != 10 {
+		t.Errorf("balances after abort: %d, %d", rich.bal(), poor.bal())
+	}
+}
+
+func TestAbortOnParticipantTimeout(t *testing.T) {
+	b1 := newBank(100)
+	s, uris, coord := deployBanks(t, b1)
+	// A second participant that never answers: registered but mute.
+	n, err := s.Node("bank1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mute, err := n.FW.Register("test", "system", "mute-bank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uris = append(uris, mute.GlobalURI().String())
+
+	err = runTxn(t, coord, uris, "t3", 5, 300*time.Millisecond)
+	if !errors.Is(err, txn.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	// The responsive yes-voter rolls back.
+	select {
+	case d := <-b1.decided:
+		if d != "abort:t3" {
+			t.Errorf("decision = %q", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("yes-voter never aborted")
+	}
+	if b1.bal() != 100 {
+		t.Errorf("balance = %d", b1.bal())
+	}
+}
+
+func TestSequentialTransactions(t *testing.T) {
+	b1, b2 := newBank(100), newBank(100)
+	_, uris, coord := deployBanks(t, b1, b2)
+	for i, amount := range []int64{10, 20, 30} {
+		id := "seq" + string(rune('0'+i))
+		if err := runTxn(t, coord, uris, id, amount, 0); err != nil {
+			t.Fatalf("txn %s: %v", id, err)
+		}
+		for _, b := range []*bank{b1, b2} {
+			<-b.decided
+		}
+	}
+	if b1.bal() != 40 || b2.bal() != 40 {
+		t.Errorf("balances = %d, %d; want 40, 40", b1.bal(), b2.bal())
+	}
+}
+
+func TestCoordinatorValidation(t *testing.T) {
+	_, _, coord := deployBanks(t, newBank(1))
+	reg, err := coord.FW.Register("test", "system", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := agent.NewContext(coord.FW, reg, briefcase.New(), nil, nil)
+	c := &txn.Coordinator{}
+	if err := c.Run(ctx, "t", briefcase.New()); err == nil {
+		t.Error("empty participant list accepted")
+	}
+}
+
+func TestParticipantIgnoresOrdinaryTraffic(t *testing.T) {
+	p := &txn.Participant{}
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	n, err := s.AddNode("h1", core.NodeOptions{NoCVM: true, NoServices: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := n.FW.Register("test", "system", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := agent.NewContext(n.FW, reg, briefcase.New(), nil, nil)
+	plain := briefcase.New()
+	plain.SetString("BODY", "not a txn")
+	consumed, err := p.Handle(ctx, plain)
+	if consumed || err != nil {
+		t.Errorf("plain traffic: consumed=%v err=%v", consumed, err)
+	}
+}

@@ -1,0 +1,96 @@
+// Package vclock provides the time sources used by the TAX simulation.
+//
+// The reproduction measures elapsed time of distributed executions the way
+// the paper does, but on a deterministic simulated substrate. Simulated
+// components (network links, web servers, the crawl cost model) charge
+// costs against virtual clocks instead of sleeping. Messages carry their
+// virtual departure time; receivers advance their own clock to the arrival
+// time, giving a causal Lamport-style notion of elapsed time that is exact
+// for sequential flows (every flow in the paper's evaluation is
+// sequential) and conservative for concurrent ones.
+//
+// A real-time implementation backs the TCP deployment path, where wall
+// time is the measurement.
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing time source measured as a duration
+// since an arbitrary epoch (simulation start).
+type Clock interface {
+	// Now returns the current time since the epoch.
+	Now() time.Duration
+	// Advance moves the clock forward by d (no-op for negative d).
+	Advance(d time.Duration)
+	// AdvanceTo moves the clock forward to t if t is later than Now.
+	AdvanceTo(t time.Duration)
+}
+
+// Virtual is a manually advanced clock. The zero value starts at 0 and is
+// safe for concurrent use.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtual returns a virtual clock starting at 0.
+func NewVirtual() *Virtual { return &Virtual{} }
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d. Negative d is ignored: virtual
+// time never runs backwards.
+func (v *Virtual) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.now += d
+}
+
+// AdvanceTo moves the clock to t when t is later than the current time.
+func (v *Virtual) AdvanceTo(t time.Duration) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t > v.now {
+		v.now = t
+	}
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// Real is a wall-clock time source anchored at its creation instant.
+// Advance and AdvanceTo actually sleep, so simulated costs take real time;
+// it is used only by the live TCP deployment path.
+type Real struct {
+	epoch time.Time
+}
+
+// NewReal returns a wall clock anchored at the current instant.
+func NewReal() *Real { return &Real{epoch: time.Now()} }
+
+// Now returns the wall time elapsed since the epoch.
+func (r *Real) Now() time.Duration { return time.Since(r.epoch) }
+
+// Advance sleeps for d.
+func (r *Real) Advance(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// AdvanceTo sleeps until the wall time reaches t past the epoch.
+func (r *Real) AdvanceTo(t time.Duration) {
+	r.Advance(t - r.Now())
+}
+
+var _ Clock = (*Real)(nil)

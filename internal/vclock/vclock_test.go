@@ -1,0 +1,107 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualStartsAtZero(t *testing.T) {
+	v := NewVirtual()
+	if v.Now() != 0 {
+		t.Errorf("Now = %v, want 0", v.Now())
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(3 * time.Second)
+	v.Advance(2 * time.Second)
+	if got := v.Now(); got != 5*time.Second {
+		t.Errorf("Now = %v, want 5s", got)
+	}
+	v.Advance(-time.Hour)
+	if got := v.Now(); got != 5*time.Second {
+		t.Errorf("negative advance moved clock: %v", got)
+	}
+	v.Advance(0)
+	if got := v.Now(); got != 5*time.Second {
+		t.Errorf("zero advance moved clock: %v", got)
+	}
+}
+
+func TestVirtualAdvanceTo(t *testing.T) {
+	v := NewVirtual()
+	v.AdvanceTo(10 * time.Second)
+	if v.Now() != 10*time.Second {
+		t.Errorf("AdvanceTo forward: %v", v.Now())
+	}
+	v.AdvanceTo(4 * time.Second) // must not go backwards
+	if v.Now() != 10*time.Second {
+		t.Errorf("AdvanceTo moved clock backwards: %v", v.Now())
+	}
+	v.AdvanceTo(10 * time.Second) // idempotent
+	if v.Now() != 10*time.Second {
+		t.Errorf("AdvanceTo same time: %v", v.Now())
+	}
+}
+
+func TestVirtualConcurrentAdvance(t *testing.T) {
+	v := NewVirtual()
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				v.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := v.Now(); got != workers*perWorker*time.Microsecond {
+		t.Errorf("concurrent advance lost updates: %v", got)
+	}
+}
+
+func TestRealClock(t *testing.T) {
+	r := NewReal()
+	t0 := r.Now()
+	r.Advance(5 * time.Millisecond)
+	if d := r.Now() - t0; d < 5*time.Millisecond {
+		t.Errorf("Real.Advance slept %v, want >= 5ms", d)
+	}
+	// AdvanceTo a past time returns immediately.
+	start := time.Now()
+	r.AdvanceTo(0)
+	if time.Since(start) > 50*time.Millisecond {
+		t.Error("AdvanceTo(past) slept")
+	}
+}
+
+// Property: virtual time is monotone under any interleaving of operations.
+func TestPropVirtualMonotone(t *testing.T) {
+	f := func(ops []int16) bool {
+		v := NewVirtual()
+		prev := v.Now()
+		for _, op := range ops {
+			if op%2 == 0 {
+				v.Advance(time.Duration(op) * time.Millisecond)
+			} else {
+				v.AdvanceTo(time.Duration(op) * time.Millisecond)
+			}
+			now := v.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package webbot
+
+import (
+	"testing"
+
+	"tax/internal/simnet"
+	"tax/internal/vclock"
+	"tax/internal/websim"
+)
+
+// BenchmarkCrawl917 measures the real compute cost of the paper's full
+// crawl through this repository's kernel (the simulated time is fixed;
+// this is harness throughput).
+func BenchmarkCrawl917(b *testing.B) {
+	site, err := websim.Generate(websim.CaseStudySpec("webserv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clock := vclock.NewVirtual()
+		r := &Robot{
+			Fetcher: &websim.Client{
+				Server:   websim.DefaultServer(site),
+				Universe: &websim.Universe{Origin: site},
+				Link:     simnet.Loopback,
+				Clock:    clock,
+			},
+			Clock:       clock,
+			Constraints: Constraints{MaxDepth: 4, Prefix: "http://webserv/"},
+		}
+		st, err := r.Run(site.Root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.PagesVisited != 917 {
+			b.Fatalf("pages = %d", st.PagesVisited)
+		}
+	}
+}
+
+func BenchmarkGenerateCaseStudySite(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := websim.Generate(websim.CaseStudySpec("webserv")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package webbot reproduces the W3C Webbot-style stationary robot of §5.
+//
+// "A robot can start with one or more reference pages and traverse all
+// links in some orderly manner, gathering statistics." Webbot follows
+// links depth-first, subjected to constraints — depth of the search tree
+// and restricting URIs checked to those matching a specific prefix — and
+// gathers statistics on link validity, age and type. Links not followed
+// because of constraints are logged, which is what enables the mobility
+// wrapper's second validation pass. The original became unstable with a
+// search tree deeper than 4; the reproduction models that with a
+// configurable MaxStableDepth.
+package webbot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"tax/internal/vclock"
+	"tax/internal/websim"
+)
+
+// ErrUnstable is returned when the requested depth exceeds the robot's
+// stability limit, reproducing the paper's observed crash depth.
+var ErrUnstable = errors.New("webbot: search tree too deep; robot unstable")
+
+// DefaultMaxStableDepth is the depth beyond which the original Webbot
+// became unstable in the paper's test.
+const DefaultMaxStableDepth = 4
+
+// ParseCostPerKB is the simulated client-side cost of parsing and
+// bookkeeping per KiB of fetched page, calibrated to a 1999 workstation
+// (≈1.7 MB/s of HTML through the robot) so that the paper's measured
+// LAN-vs-local ratio is reproduced; see EXPERIMENTS.md.
+const ParseCostPerKB = 800 * time.Microsecond
+
+// Constraints bound a crawl.
+type Constraints struct {
+	// MaxDepth limits the search tree depth (root = 0).
+	MaxDepth int
+	// Prefix restricts followed URIs; links not matching are logged as
+	// rejected, not followed.
+	Prefix string
+	// MaxStableDepth models the robot's crash depth; zero means
+	// DefaultMaxStableDepth.
+	MaxStableDepth int
+}
+
+// LinkReport is one problem or constraint row in the robot's log.
+type LinkReport struct {
+	// URL is the link target.
+	URL string
+	// Referrer is the page the link was found on.
+	Referrer string
+	// Status is the HTTP-like status observed (0 for rejected links,
+	// which were never fetched).
+	Status int
+	// Reason explains the entry ("invalid", "depth", "prefix").
+	Reason string
+}
+
+// Stats is the robot's gathered output.
+type Stats struct {
+	// PagesVisited counts successfully fetched and parsed pages.
+	PagesVisited int
+	// BytesFetched totals the body bytes transferred.
+	BytesFetched int
+	// LinksChecked counts every link examined.
+	LinksChecked int
+	// MaxDepthSeen is the deepest level actually visited.
+	MaxDepthSeen int
+	// TypeCounts histograms the content types encountered.
+	TypeCounts map[string]int
+	// AgeBuckets histograms document ages: <30 days, <180, <365, older —
+	// the "age ... of web pages encountered" statistic.
+	AgeBuckets [4]int
+	// Invalid lists links whose fetch failed (the mining result).
+	Invalid []LinkReport
+	// Rejected lists links not followed due to constraints; the second
+	// pass of the case study validates the prefix-rejected ones.
+	Rejected []LinkReport
+	// Elapsed is the simulated time the crawl took on the robot's clock.
+	Elapsed time.Duration
+}
+
+// RejectedByPrefix returns the rejected links that failed the prefix
+// constraint (the outward-pointing links of the case study), sorted and
+// de-duplicated.
+func (s *Stats) RejectedByPrefix() []LinkReport {
+	seen := map[string]bool{}
+	var out []LinkReport
+	for _, r := range s.Rejected {
+		if r.Reason == "prefix" && !seen[r.URL] {
+			seen[r.URL] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Robot is a stationary web robot: it crawls through whatever Fetcher it
+// is given — a local or remote websim client, which is exactly the
+// difference the paper's experiment measures.
+type Robot struct {
+	// Fetcher retrieves pages and charges simulated time.
+	Fetcher websim.Fetcher
+	// Clock is the robot's host clock, charged for parsing.
+	Clock vclock.Clock
+	// Constraints bound the crawl.
+	Constraints Constraints
+}
+
+// Run crawls depth-first from startURL and returns the gathered
+// statistics. The crawl is deterministic: links are followed in page
+// order.
+func (r *Robot) Run(startURL string) (*Stats, error) {
+	limit := r.Constraints.MaxStableDepth
+	if limit == 0 {
+		limit = DefaultMaxStableDepth
+	}
+	if r.Constraints.MaxDepth > limit {
+		return nil, fmt.Errorf("%w: depth %d > stable limit %d",
+			ErrUnstable, r.Constraints.MaxDepth, limit)
+	}
+	if r.Fetcher == nil || r.Clock == nil {
+		return nil, errors.New("webbot: robot needs a fetcher and a clock")
+	}
+	st := &Stats{TypeCounts: make(map[string]int)}
+	start := r.Clock.Now()
+	c := &crawlState{
+		bestDepth: map[string]int{},
+		pageCache: map[string]*websim.Page{},
+	}
+	if err := r.crawl(startURL, "", 0, c, st); err != nil {
+		return nil, err
+	}
+	st.Elapsed = r.Clock.Now() - start
+	return st, nil
+}
+
+// crawlState tracks fetched pages across the traversal. Depth-limited DFS
+// may first reach a page via a long cross-link path and later via a
+// shorter tree path; each page is fetched exactly once but re-expanded
+// when reached at a strictly shallower depth, so the depth constraint
+// prunes by the page's best-known depth (as the W3C robot's breadth
+// bookkeeping does).
+type crawlState struct {
+	bestDepth map[string]int
+	pageCache map[string]*websim.Page // nil entry: the URL was invalid
+}
+
+// crawl fetches (once) and expands one page depth-first.
+func (r *Robot) crawl(url, referrer string, depth int, c *crawlState, st *Stats) error {
+	if prev, seen := c.bestDepth[url]; seen {
+		if depth >= prev {
+			return nil
+		}
+		c.bestDepth[url] = depth
+		return r.expand(url, depth, c, st)
+	}
+	c.bestDepth[url] = depth
+
+	resp, err := r.Fetcher.Fetch(url)
+	if err != nil {
+		return fmt.Errorf("webbot: fetch %s: %w", url, err)
+	}
+	if resp.Status != websim.StatusOK {
+		c.pageCache[url] = nil
+		st.Invalid = append(st.Invalid, LinkReport{
+			URL: url, Referrer: referrer, Status: resp.Status, Reason: "invalid",
+		})
+		return nil
+	}
+	st.PagesVisited++
+	st.BytesFetched += resp.Bytes
+	if depth > st.MaxDepthSeen {
+		st.MaxDepthSeen = depth
+	}
+	if resp.Page != nil {
+		st.TypeCounts[string(resp.Page.Type)]++
+		switch age := resp.Page.AgeDays; {
+		case age < 30:
+			st.AgeBuckets[0]++
+		case age < 180:
+			st.AgeBuckets[1]++
+		case age < 365:
+			st.AgeBuckets[2]++
+		default:
+			st.AgeBuckets[3]++
+		}
+	}
+	// Parsing cost scales with page size.
+	r.Clock.Advance(time.Duration(resp.Bytes) * ParseCostPerKB / 1024)
+	c.pageCache[url] = resp.Page
+	return r.expand(url, depth, c, st)
+}
+
+// expand recurses over a fetched page's links.
+func (r *Robot) expand(url string, depth int, c *crawlState, st *Stats) error {
+	page := c.pageCache[url]
+	if page == nil {
+		return nil
+	}
+	for _, link := range page.Links {
+		st.LinksChecked++
+		if r.Constraints.Prefix != "" && !hasPrefix(link.URL, r.Constraints.Prefix) {
+			st.Rejected = append(st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "prefix",
+			})
+			continue
+		}
+		if depth+1 > r.Constraints.MaxDepth {
+			st.Rejected = append(st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "depth",
+			})
+			continue
+		}
+		if err := r.crawl(link.URL, link.Referrer, depth+1, c, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// ValidateLinks fetches each URL once through the fetcher and reports the
+// invalid ones — the second step of the case study, applied to the links
+// the constrained crawl rejected.
+func ValidateLinks(f websim.Fetcher, links []LinkReport) ([]LinkReport, error) {
+	var invalid []LinkReport
+	for _, l := range links {
+		resp, err := f.Fetch(l.URL)
+		if err != nil {
+			return nil, fmt.Errorf("webbot: validate %s: %w", l.URL, err)
+		}
+		if resp.Status != websim.StatusOK {
+			invalid = append(invalid, LinkReport{
+				URL: l.URL, Referrer: l.Referrer, Status: resp.Status, Reason: "invalid",
+			})
+		}
+	}
+	return invalid, nil
+}

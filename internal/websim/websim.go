@@ -1,0 +1,552 @@
+// Package websim is the synthetic web substrate of the case study (§5).
+//
+// The paper's experiment crawls a real departmental web server: 917 HTML
+// pages totalling 3 MB, reached at search-tree depth ≤ 4, with links
+// pointing outside the server (rejected by the robot's prefix constraint)
+// and some invalid links to be mined. websim generates a deterministic
+// site with exactly those observable properties from a seed, and serves
+// it through a cost model that charges request/transfer/processing time
+// to virtual clocks — locally (loopback) or across a simnet link — so the
+// local-versus-remote comparison of the paper is reproducible on a
+// laptop.
+package websim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"tax/internal/simnet"
+	"tax/internal/vclock"
+)
+
+// Link is one anchor on a page.
+type Link struct {
+	// URL is absolute ("http://host/path").
+	URL string
+	// Referrer is the URL of the page holding the link.
+	Referrer string
+}
+
+// ContentType classifies a document, as the Webbot's statistics do.
+type ContentType string
+
+// Content types the generator produces.
+const (
+	TypeHTML  ContentType = "text/html"
+	TypeImage ContentType = "image/gif"
+	TypePDF   ContentType = "application/pdf"
+	TypePlain ContentType = "text/plain"
+)
+
+// Page is one synthetic document.
+type Page struct {
+	// URL is the page's absolute address.
+	URL string
+	// Size is the page's size in bytes (what a fetch transfers).
+	Size int
+	// Depth is the page's distance from the root in the generator tree.
+	Depth int
+	// Type is the document's content type (non-HTML pages carry no
+	// links).
+	Type ContentType
+	// AgeDays is the document's age at crawl time; the robot histograms
+	// it ("statistics on web pages such as link validity, age, and
+	// type").
+	AgeDays int
+	// Links are the page's outgoing anchors, in generation order.
+	Links []Link
+}
+
+// SiteSpec parameterizes site generation. The zero value is not useful;
+// use CaseStudySpec for the paper's workload.
+type SiteSpec struct {
+	// Host is the site's host name in URLs.
+	Host string
+	// Seed drives every random choice; equal specs generate equal sites.
+	Seed int64
+	// Pages is the number of pages reachable within MaxDepth.
+	Pages int
+	// MaxDepth is the deepest level the main page tree occupies.
+	MaxDepth int
+	// ExtraDepth adds pages below MaxDepth (reachable only by a deeper
+	// crawl, exercising the robot's depth constraint).
+	ExtraDepth int
+	// ExtraPages is how many pages live beyond MaxDepth.
+	ExtraPages int
+	// TotalBytes is the approximate total size of the main tree.
+	TotalBytes int
+	// DeadLinkRate is the fraction of pages carrying one dead internal
+	// link (the mining target).
+	DeadLinkRate float64
+	// ExternalRate is the fraction of pages carrying one external link
+	// (rejected by the robot's prefix constraint; validated in the
+	// wrapper's second pass).
+	ExternalRate float64
+	// ExternalDeadRate is the fraction of external links that are dead.
+	ExternalDeadRate float64
+	// ExternalHosts are the hosts external links point to.
+	ExternalHosts []string
+}
+
+// CaseStudySpec is the paper's workload: 917 pages, ~3 MB, depth ≤ 4.
+func CaseStudySpec(host string) SiteSpec {
+	return SiteSpec{
+		Host:             host,
+		Seed:             1999, // ICDCS 2000 vintage
+		Pages:            917,
+		MaxDepth:         4,
+		ExtraDepth:       3,
+		ExtraPages:       200,
+		TotalBytes:       3 << 20,
+		DeadLinkRate:     0.05,
+		ExternalRate:     0.15,
+		ExternalDeadRate: 0.25,
+		ExternalHosts:    []string{"www.uit.no", "www.cornell.edu", "www.w3.org"},
+	}
+}
+
+// Site is a generated web site.
+type Site struct {
+	// Host is the site's host name.
+	Host string
+	// Root is the topmost index page's URL.
+	Root  string
+	pages map[string]*Page // by URL
+	// externalAlive records, for every external URL generated into the
+	// site, whether the (simulated) remote end serves it.
+	externalAlive map[string]bool
+	// deadInternal lists the generated dead internal link URLs.
+	deadInternal map[string]bool
+	totalBytes   int
+}
+
+// Generate builds a site from a spec, deterministically.
+func Generate(spec SiteSpec) (*Site, error) {
+	if spec.Host == "" {
+		return nil, errors.New("websim: spec needs a host")
+	}
+	if spec.Pages < 1 || spec.MaxDepth < 1 {
+		return nil, fmt.Errorf("websim: bad spec: %d pages, depth %d", spec.Pages, spec.MaxDepth)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s := &Site{
+		Host:          spec.Host,
+		Root:          "http://" + spec.Host + "/index.html",
+		pages:         make(map[string]*Page),
+		externalAlive: make(map[string]bool),
+		deadInternal:  make(map[string]bool),
+	}
+
+	// Lay out the main tree level by level so every page is reachable
+	// within MaxDepth. Level sizes follow a geometric profile summing to
+	// spec.Pages.
+	levels := levelSizes(spec.Pages, spec.MaxDepth)
+	meanSize := spec.TotalBytes / spec.Pages
+	var prev, lastNonEmpty []*Page
+	pageNo := 0
+	for depth, count := range levels {
+		var cur []*Page
+		for i := 0; i < count; i++ {
+			url := s.Root
+			if pageNo > 0 {
+				url = fmt.Sprintf("http://%s/d%d/p%04d.html", spec.Host, depth, pageNo)
+			}
+			p := &Page{URL: url, Depth: depth, Size: pageSize(rng, meanSize)}
+			s.pages[url] = p
+			s.totalBytes += p.Size
+			cur = append(cur, p)
+			if depth > 0 {
+				// Small sites may leave intermediate levels empty; hang
+				// children off the deepest populated level instead.
+				parents := prev
+				if len(parents) == 0 {
+					parents = lastNonEmpty
+				}
+				parent := parents[rng.Intn(len(parents))]
+				parent.Links = append(parent.Links, Link{URL: url, Referrer: parent.URL})
+			}
+			pageNo++
+		}
+		if len(cur) > 0 {
+			lastNonEmpty = cur
+		}
+		prev = cur
+	}
+
+	// Pages beyond the robot's depth: children of the deepest populated
+	// level. Skipped when the main tree never reached MaxDepth (tiny
+	// sites) — hanging "deep" pages off shallow parents would pull them
+	// inside the crawl radius and break the page-count contract.
+	deepParents := lastNonEmpty
+	if len(deepParents) > 0 && deepParents[0].Depth < spec.MaxDepth {
+		deepParents = nil
+	}
+	for i := 0; i < spec.ExtraPages && spec.ExtraDepth > 0 && len(deepParents) > 0; i++ {
+		depth := spec.MaxDepth + 1 + rng.Intn(spec.ExtraDepth)
+		url := fmt.Sprintf("http://%s/deep%d/p%04d.html", spec.Host, depth, pageNo)
+		p := &Page{URL: url, Depth: depth, Size: pageSize(rng, meanSize)}
+		s.pages[url] = p
+		parent := deepParents[rng.Intn(len(deepParents))]
+		parent.Links = append(parent.Links, Link{URL: url, Referrer: parent.URL})
+		pageNo++
+	}
+
+	// Normalize the main tree to the spec's total size (the draw above
+	// fixes the spread; this fixes the sum, keeping the workload at the
+	// paper's 3 MB).
+	if spec.TotalBytes > 0 {
+		mainBytes := 0
+		for _, p := range s.pages {
+			if p.Depth <= spec.MaxDepth {
+				mainBytes += p.Size
+			}
+		}
+		factor := float64(spec.TotalBytes) / float64(mainBytes)
+		s.totalBytes = 0
+		for _, p := range s.pages {
+			if p.Depth <= spec.MaxDepth {
+				p.Size = int(float64(p.Size) * factor)
+				if p.Size < 128 {
+					p.Size = 128
+				}
+			}
+			s.totalBytes += p.Size
+		}
+	}
+
+	// Sprinkle dead internal links, external links and cross links over
+	// the main tree (deterministic order: sorted URLs).
+	urls := make([]string, 0, len(s.pages))
+	byDepth := make([][]string, spec.MaxDepth+1)
+	for u, p := range s.pages {
+		urls = append(urls, u)
+		if p.Depth <= spec.MaxDepth {
+			byDepth[p.Depth] = append(byDepth[p.Depth], u)
+		}
+	}
+	sort.Strings(urls)
+	for _, level := range byDepth {
+		sort.Strings(level)
+	}
+	deadNo, extNo := 0, 0
+	for _, u := range urls {
+		p := s.pages[u]
+		// Every document gets an age; childless documents are sometimes
+		// non-HTML assets (images, PDFs, plain text) — the type mix the
+		// Webbot's statistics classify.
+		p.AgeDays = 1 + rng.Intn(1500)
+		p.Type = TypeHTML
+		if len(p.Links) == 0 {
+			switch roll := rng.Float64(); {
+			case roll < 0.15:
+				p.Type = TypeImage
+			case roll < 0.25:
+				p.Type = TypePlain
+			case roll < 0.30:
+				p.Type = TypePDF
+			}
+		}
+		if p.Depth > spec.MaxDepth {
+			continue
+		}
+		if p.Type != TypeHTML {
+			continue // assets carry no links
+		}
+		// Dead internal links hang off pages above the deepest level so
+		// a depth-constrained crawl still fetches (and detects) them;
+		// the paper's robot only finds what it can reach.
+		if p.Depth < spec.MaxDepth && rng.Float64() < spec.DeadLinkRate {
+			dead := fmt.Sprintf("http://%s/missing/m%04d.html", spec.Host, deadNo)
+			deadNo++
+			s.deadInternal[dead] = true
+			p.Links = append(p.Links, Link{URL: dead, Referrer: p.URL})
+		}
+		if rng.Float64() < spec.ExternalRate && len(spec.ExternalHosts) > 0 {
+			h := spec.ExternalHosts[rng.Intn(len(spec.ExternalHosts))]
+			ext := fmt.Sprintf("http://%s/page%04d.html", h, extNo)
+			extNo++
+			alive := rng.Float64() >= spec.ExternalDeadRate
+			s.externalAlive[ext] = alive
+			p.Links = append(p.Links, Link{URL: ext, Referrer: p.URL})
+		}
+		// Occasional cross link back up the tree (cycle fodder for the
+		// robot's visited-set logic). Targets sit at the same or a
+		// shallower level, so cross links never shorten any page's best
+		// path and the depth-constrained page count stays exact.
+		if rng.Float64() < 0.10 {
+			lvl := byDepth[rng.Intn(p.Depth+1)]
+			t := s.pages[lvl[rng.Intn(len(lvl))]]
+			p.Links = append(p.Links, Link{URL: t.URL, Referrer: p.URL})
+		}
+	}
+	return s, nil
+}
+
+// levelSizes splits n pages over depths 0..maxDepth with a geometric
+// growth profile (level 0 holds the single root).
+func levelSizes(n, maxDepth int) []int {
+	sizes := make([]int, maxDepth+1)
+	sizes[0] = 1
+	remaining := n - 1
+	// Geometric weights 1, r, r^2 ... chosen so deeper levels are larger,
+	// like real site trees.
+	weights := make([]float64, maxDepth)
+	total := 0.0
+	r := 2.8
+	w := 1.0
+	for i := range weights {
+		weights[i] = w
+		total += w
+		w *= r
+	}
+	assigned := 0
+	for i := 1; i <= maxDepth; i++ {
+		c := int(float64(remaining) * weights[i-1] / total)
+		if i == maxDepth {
+			c = remaining - assigned
+		}
+		if c < 1 && remaining > assigned {
+			c = 1
+		}
+		sizes[i] = c
+		assigned += c
+	}
+	return sizes
+}
+
+// pageSize draws a page size around the mean with realistic spread.
+func pageSize(rng *rand.Rand, mean int) int {
+	if mean < 256 {
+		mean = 256
+	}
+	// Two-point mix: mostly small pages, a tail of large ones.
+	base := mean / 2
+	size := base + rng.Intn(mean)
+	if rng.Float64() < 0.05 {
+		size += rng.Intn(mean * 8)
+	}
+	return size
+}
+
+// Pages returns the number of pages on the site (all depths).
+func (s *Site) Pages() int { return len(s.pages) }
+
+// PagesWithinDepth returns how many pages sit at depth ≤ d.
+func (s *Site) PagesWithinDepth(d int) int {
+	n := 0
+	for _, p := range s.pages {
+		if p.Depth <= d {
+			n++
+		}
+	}
+	return n
+}
+
+// BytesWithinDepth returns the total size of pages at depth ≤ d.
+func (s *Site) BytesWithinDepth(d int) int {
+	n := 0
+	for _, p := range s.pages {
+		if p.Depth <= d {
+			n += p.Size
+		}
+	}
+	return n
+}
+
+// DeadInternalLinks returns the generated dead internal URLs (sorted).
+func (s *Site) DeadInternalLinks() []string {
+	out := make([]string, 0, len(s.deadInternal))
+	for u := range s.deadInternal {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeadExternalLinks returns the generated dead external URLs (sorted).
+func (s *Site) DeadExternalLinks() []string {
+	var out []string
+	for u, alive := range s.externalAlive {
+		if !alive {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExternalLinks returns every generated external URL (sorted).
+func (s *Site) ExternalLinks() []string {
+	out := make([]string, 0, len(s.externalAlive))
+	for u := range s.externalAlive {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the page at url, or nil.
+func (s *Site) Lookup(url string) *Page {
+	return s.pages[url]
+}
+
+// HTTP status codes the simulated server produces.
+const (
+	StatusOK       = 200
+	StatusNotFound = 404
+)
+
+// Response is one fetch result.
+type Response struct {
+	// URL echoes the request.
+	URL string
+	// Status is the HTTP-like status code.
+	Status int
+	// Page is the fetched document (nil on 404).
+	Page *Page
+	// Bytes is the number of body bytes transferred.
+	Bytes int
+}
+
+// Server serves a site with a processing-cost model.
+type Server struct {
+	// Site is the content served.
+	Site *Site
+	// PerRequest is the server-side fixed cost per request.
+	PerRequest time.Duration
+	// PerByte is the server-side cost per body byte.
+	PerByte time.Duration
+}
+
+// DefaultServer wraps a site with the calibrated 1999-workstation cost
+// model (see EXPERIMENTS.md): ~0.7 ms of request handling plus 200 ns per
+// body byte (≈5 MB/s of file-system and HTTP work).
+func DefaultServer(site *Site) *Server {
+	return &Server{
+		Site:       site,
+		PerRequest: 700 * time.Microsecond,
+		PerByte:    200 * time.Nanosecond,
+	}
+}
+
+// process computes the server-side time for a response.
+func (s *Server) process(resp *Response) time.Duration {
+	return s.PerRequest + time.Duration(resp.Bytes)*s.PerByte
+}
+
+// serve resolves a URL to a response (no cost charging; Client does that).
+func (s *Server) serve(url string) *Response {
+	if p := s.Site.Lookup(url); p != nil {
+		return &Response{URL: url, Status: StatusOK, Page: p, Bytes: p.Size}
+	}
+	return &Response{URL: url, Status: StatusNotFound, Bytes: 256}
+}
+
+// requestSize is the simulated HTTP request size in bytes.
+const requestSize = 220
+
+// Fetcher is what a robot crawls through.
+type Fetcher interface {
+	// Fetch retrieves one URL, charging simulated time.
+	Fetch(url string) (*Response, error)
+}
+
+// Client fetches from a Server across a link profile, charging the full
+// request/response cost to a clock — the sequential-crawler cost model:
+//
+//	request transfer + latency + server processing + response transfer +
+//	latency
+type Client struct {
+	// Server is the origin served; fetches of other hosts' URLs return
+	// 404 unless Universe is set.
+	Server *Server
+	// Universe, when set, resolves external hosts for validation passes.
+	Universe *Universe
+	// Link is the client→server link profile.
+	Link simnet.Profile
+	// Clock accumulates the elapsed simulated time.
+	Clock vclock.Clock
+
+	// Requests and BytesFetched count traffic through this client.
+	Requests     int
+	BytesFetched int
+}
+
+var _ Fetcher = (*Client)(nil)
+
+// Fetch implements Fetcher.
+func (c *Client) Fetch(url string) (*Response, error) {
+	if c.Clock == nil {
+		return nil, errors.New("websim: client has no clock")
+	}
+	resp := c.resolve(url)
+	// Request travels to the server...
+	cost := c.Link.TransferTime(requestSize) + c.Link.Latency
+	// ...the server thinks...
+	cost += c.Server.process(resp)
+	// ...the response travels back.
+	cost += c.Link.TransferTime(resp.Bytes) + c.Link.Latency
+	c.Clock.Advance(cost)
+	c.Requests++
+	c.BytesFetched += resp.Bytes
+	return resp, nil
+}
+
+func (c *Client) resolve(url string) *Response {
+	if strings.HasPrefix(url, "http://"+c.Server.Site.Host+"/") {
+		return c.Server.serve(url)
+	}
+	if c.Universe != nil {
+		return c.Universe.resolveExternal(url)
+	}
+	return &Response{URL: url, Status: StatusNotFound, Bytes: 256}
+}
+
+// Universe resolves URLs outside the origin site: the case study's
+// second pass validates links pointing at other hosts. External fetches
+// are cheap to resolve (we only need alive/dead) but expensive to reach,
+// which is exactly what the WAN profile charges.
+type Universe struct {
+	// Origin is the site whose externalAlive table answers liveness.
+	Origin *Site
+}
+
+func (u *Universe) resolveExternal(url string) *Response {
+	alive, known := u.Origin.externalAlive[url]
+	if known && alive {
+		return &Response{URL: url, Status: StatusOK, Bytes: 2048}
+	}
+	return &Response{URL: url, Status: StatusNotFound, Bytes: 256}
+}
+
+// ExternalChecker fetches external URLs across a WAN profile, charging a
+// clock; used by the second validation pass.
+type ExternalChecker struct {
+	// Universe answers liveness.
+	Universe *Universe
+	// Link is the path to the outside world.
+	Link simnet.Profile
+	// Clock accumulates elapsed time.
+	Clock vclock.Clock
+	// Requests counts checks performed.
+	Requests int
+}
+
+var _ Fetcher = (*ExternalChecker)(nil)
+
+// Fetch implements Fetcher for external URLs (HEAD-style check).
+func (e *ExternalChecker) Fetch(url string) (*Response, error) {
+	if e.Clock == nil {
+		return nil, errors.New("websim: checker has no clock")
+	}
+	resp := e.Universe.resolveExternal(url)
+	cost := e.Link.TransferTime(requestSize) + e.Link.Latency +
+		e.Link.TransferTime(256) + e.Link.Latency // headers only
+	e.Clock.Advance(cost)
+	e.Requests++
+	return resp, nil
+}

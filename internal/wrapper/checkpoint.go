@@ -1,0 +1,82 @@
+package wrapper
+
+import (
+	"fmt"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+)
+
+// Checkpoint is the §4 fault-tolerance story as a wrapper: "They may
+// need stronger fault-tolerance ... through active or passive
+// replication" — carried by the agent itself rather than baked into
+// every landing pad. The wrapper implements passive replication: a
+// consistent snapshot of the agent's briefcase is stored at a home file
+// service (ag_fs / ag_cabinet) on arrival at each host and again
+// immediately before each move, so a crashed or lost agent can be
+// relaunched from its last snapshot (see core.Node.Recover).
+type Checkpoint struct {
+	// StoreURI is the home file service, e.g. "tacoma://home//ag_fs".
+	StoreURI string
+	// Path is the checkpoint's name in the store, e.g. "/ckpt/webbot".
+	Path string
+	// Timeout bounds each store RPC; zero means 5 seconds.
+	Timeout time.Duration
+}
+
+var _ Wrapper = (*Checkpoint)(nil)
+
+// Name implements Wrapper.
+func (c *Checkpoint) Name() string { return "checkpoint:" + c.Path }
+
+// Init implements Wrapper: snapshot on every arrival.
+func (c *Checkpoint) Init(ctx *agent.Context) error {
+	return c.snapshot(ctx, ctx.Briefcase())
+}
+
+// OnSend implements Wrapper: a departing move snapshots the exact state
+// that will run at the destination, so recovery resumes from the move
+// rather than repeating completed work.
+func (c *Checkpoint) OnSend(ctx *agent.Context, bc *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	if firewall.Kind(bc) == firewall.KindTransfer {
+		if err := c.snapshot(ctx, bc); err != nil {
+			// Checkpointing must not ground the agent: the move
+			// proceeds on the previous snapshot.
+			return bc, nil
+		}
+	}
+	return bc, nil
+}
+
+// OnReceive implements Wrapper (pass-through).
+func (c *Checkpoint) OnReceive(_ *agent.Context, bc *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	return bc, nil
+}
+
+// snapshot stores the briefcase's encoding at the home file service.
+func (c *Checkpoint) snapshot(ctx *agent.Context, bc *briefcase.Briefcase) error {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	snap := bc.Clone()
+	// Routing folders are transient; the snapshot is the agent's state.
+	snap.Drop(briefcase.FolderSysTarget)
+	snap.Drop(firewall.FolderKind)
+	snap.Drop(firewall.FolderMsgID)
+
+	req := briefcase.New()
+	req.SetString("_SVCOP", "put")
+	req.SetString("_PATH", c.Path)
+	req.Ensure("_DATA").Append(snap.Encode())
+	resp, err := ctx.MeetDirect(c.StoreURI, req, timeout)
+	if err != nil {
+		return fmt.Errorf("checkpoint %s: %w", c.Path, err)
+	}
+	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
+		return fmt.Errorf("checkpoint %s: %s", c.Path, msg)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package wrapper
+
+import (
+	"fmt"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/group"
+)
+
+// Group-protocol folders.
+const (
+	// FolderGroupMeta carries a group.Envelope's ordering metadata.
+	FolderGroupMeta = "_GRPMETA"
+	// FolderGroupSeqReq marks an envelope travelling to the sequencer
+	// for a global slot (Total ordering only).
+	FolderGroupSeqReq = "_GRPSEQREQ"
+)
+
+// Group is the paper's group-communication wrapper: "a group
+// communication wrapper can be used to wrap an application agent. As the
+// wrapper is instantiated, it is given parameters such as group
+// membership ... and desired properties of communication (causal, FIFO,
+// atomic)". The wrapped agent addresses the group by sending to the
+// group's name; the wrapper broadcasts with the requested ordering and
+// reorders arrivals before the agent sees them.
+//
+// Member ids are routable agent URIs. For Total ("atomic") ordering the
+// first member acts as the sequencer: sends travel to it for a global
+// slot and it rebroadcasts to every member.
+type Group struct {
+	// GroupName is the target name the agent uses to address the group.
+	GroupName string
+	// Members are the routable URIs of all members, sequencer first for
+	// Total ordering. The wrapped agent's own URI must be included.
+	Members []string
+	// Self is this member's id (its routable URI rendered as a string).
+	Self string
+	// Ordering selects FIFO, Causal or Total delivery.
+	Ordering group.Ordering
+
+	engine *group.Engine
+}
+
+var _ Wrapper = (*Group)(nil)
+
+// Name implements Wrapper.
+func (g *Group) Name() string { return "group:" + g.GroupName }
+
+// Init implements Wrapper.
+func (g *Group) Init(_ *agent.Context) error {
+	e, err := group.NewEngine(g.Self, g.Members, g.Ordering)
+	if err != nil {
+		return err
+	}
+	g.engine = e
+	return nil
+}
+
+// isSequencer reports whether this member assigns global slots.
+func (g *Group) isSequencer() bool {
+	return len(g.Members) > 0 && g.Members[0] == g.Self
+}
+
+// OnSend implements Wrapper: sends addressed to the group name broadcast
+// to the membership; everything else passes through.
+func (g *Group) OnSend(ctx *agent.Context, bc *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	target, _ := bc.GetString(briefcase.FolderSysTarget)
+	if target != g.GroupName {
+		return bc, nil
+	}
+	if g.engine == nil {
+		return nil, fmt.Errorf("group %s: not initialized", g.GroupName)
+	}
+	env := g.engine.Stamp(nil)
+
+	switch g.Ordering {
+	case group.Total:
+		if g.isSequencer() {
+			g.engine.Sequence(&env)
+			return nil, g.broadcast(ctx, bc, env)
+		}
+		// Route to the sequencer for a slot.
+		out := bc.Clone()
+		out.SetString(FolderGroupMeta, env.EncodeMeta())
+		out.SetString(FolderGroupSeqReq, "1")
+		out.SetString(briefcase.FolderSysTarget, g.Members[0])
+		if err := ctx.ActivateDirect(g.Members[0], out); err != nil {
+			return nil, fmt.Errorf("group %s: to sequencer: %w", g.GroupName, err)
+		}
+		return nil, nil
+	default:
+		// FIFO/Causal: peer broadcast to every other member, plus direct
+		// self-delivery (own sends are trivially ordered after the
+		// agent's previous sends).
+		if err := g.broadcastPeers(ctx, bc, env); err != nil {
+			return nil, err
+		}
+		return nil, g.deliverSelf(ctx, bc)
+	}
+}
+
+// broadcast sends a sequenced envelope to every member including self.
+func (g *Group) broadcast(ctx *agent.Context, bc *briefcase.Briefcase, env group.Envelope) error {
+	for _, m := range g.Members {
+		out := bc.Clone()
+		out.SetString(FolderGroupMeta, env.EncodeMeta())
+		out.Drop(FolderGroupSeqReq)
+		if m == g.Self {
+			if err := g.feedEngine(ctx, out); err != nil {
+				return err
+			}
+			continue
+		}
+		out.SetString(briefcase.FolderSysTarget, m)
+		if err := ctx.ActivateDirect(m, out); err != nil {
+			return fmt.Errorf("group %s: to %s: %w", g.GroupName, m, err)
+		}
+	}
+	return nil
+}
+
+// broadcastPeers sends a stamped envelope to every member except self.
+func (g *Group) broadcastPeers(ctx *agent.Context, bc *briefcase.Briefcase, env group.Envelope) error {
+	for _, m := range g.Members {
+		if m == g.Self {
+			continue
+		}
+		out := bc.Clone()
+		out.SetString(FolderGroupMeta, env.EncodeMeta())
+		out.SetString(briefcase.FolderSysTarget, m)
+		if err := ctx.ActivateDirect(m, out); err != nil {
+			return fmt.Errorf("group %s: to %s: %w", g.GroupName, m, err)
+		}
+	}
+	return nil
+}
+
+// deliverSelf injects a scrubbed copy into the agent's own mailbox.
+func (g *Group) deliverSelf(ctx *agent.Context, bc *briefcase.Briefcase) error {
+	own := bc.Clone()
+	own.Drop(FolderGroupMeta)
+	own.Drop(FolderGroupSeqReq)
+	own.SetString(briefcase.FolderSysSender, g.Self)
+	return ctx.Registration().Inject(own)
+}
+
+// OnReceive implements Wrapper: group envelopes are fed to the ordering
+// engine; whatever becomes deliverable is re-injected scrubbed, so the
+// agent receives plain briefcases in the guaranteed order.
+func (g *Group) OnReceive(ctx *agent.Context, bc *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	if !bc.Has(FolderGroupMeta) {
+		return bc, nil
+	}
+	if g.engine == nil {
+		return nil, fmt.Errorf("group %s: not initialized", g.GroupName)
+	}
+	// A sequencing request: stamp and rebroadcast (sequencer only).
+	if bc.Has(FolderGroupSeqReq) && g.isSequencer() {
+		meta, _ := bc.GetString(FolderGroupMeta)
+		env, err := group.DecodeMeta(meta)
+		if err != nil {
+			return nil, err
+		}
+		g.engine.Sequence(&env)
+		bc.Drop(FolderGroupSeqReq)
+		return nil, g.broadcast(ctx, bc, env)
+	}
+	return nil, g.feedEngine(ctx, bc)
+}
+
+// feedEngine runs an arriving envelope through the ordering engine and
+// re-injects deliverable briefcases in order.
+func (g *Group) feedEngine(ctx *agent.Context, bc *briefcase.Briefcase) error {
+	meta, _ := bc.GetString(FolderGroupMeta)
+	env, err := group.DecodeMeta(meta)
+	if err != nil {
+		return err
+	}
+	env.Payload = bc.Encode()
+	ready, err := g.engine.Receive(env)
+	if err != nil {
+		return err
+	}
+	for _, d := range ready {
+		plain, err := briefcase.Decode(d.Payload)
+		if err != nil {
+			return err
+		}
+		plain.Drop(FolderGroupMeta)
+		plain.Drop(FolderGroupSeqReq)
+		plain.SetString(briefcase.FolderSysSender, d.Sender)
+		if err := ctx.Registration().Inject(plain); err != nil {
+			return err
+		}
+	}
+	return nil
+}

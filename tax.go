@@ -1,0 +1,209 @@
+// Package tax is the public API of the TAX reproduction: a
+// language-independent mobile-agent platform after "Adding Mobility to
+// Non-mobile Web Robots" (Sudmann & Johansen, ICDCS 2000), together with
+// the simulated substrates its evaluation runs on.
+//
+// The API surface mirrors the paper's architecture:
+//
+//   - A System is a simulated distributed deployment of Nodes; each Node
+//     is one machine of figure 1: a firewall fronting virtual machines
+//     and service agents.
+//   - Agents are pre-deployed Handler programs whose transportable state
+//     is a Briefcase — an associative array of folders of byte-string
+//     elements.
+//   - The agent library offers the paper's primitives on a Context:
+//     Activate (send), Await (blocking receive), Meet (RPC), Go (move,
+//     terminating the local instance on success) and Spawn (fork).
+//   - Wrappers intercept an agent's sends and receives to add monitoring,
+//     location transparency or group communication without modifying the
+//     agent.
+//
+// A minimal itinerant agent (figure 4 of the paper):
+//
+//	sys, _ := tax.NewSystem(tax.LAN100)
+//	defer sys.Close()
+//	for _, h := range []string{"h1", "h2", "h3"} {
+//		sys.AddNode(h, tax.NodeOptions{})
+//	}
+//	sys.DeployProgram("hello", func(ctx *tax.Context) error {
+//		fmt.Println("hello from", ctx.Host())
+//		hosts, err := ctx.Briefcase().Folder(tax.FolderHosts)
+//		if err != nil {
+//			return err
+//		}
+//		for {
+//			next, ok := hosts.Pop()
+//			if !ok {
+//				return nil
+//			}
+//			if err := ctx.Go(next.String()); errors.Is(err, tax.ErrMoved) {
+//				return err
+//			}
+//		}
+//	})
+package tax
+
+import (
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/firewall"
+	"tax/internal/group"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+	"tax/internal/uri"
+	"tax/internal/vm"
+	"tax/internal/webbot"
+	"tax/internal/websim"
+	"tax/internal/wrapper"
+)
+
+// Core deployment types.
+type (
+	// System is a simulated TAX deployment: nodes plus the network.
+	System = core.System
+	// Node is one TAX host: firewall, VMs, services, stores.
+	Node = core.Node
+	// NodeOptions tunes one host at AddNode time.
+	NodeOptions = core.NodeOptions
+)
+
+// Agent-programming types.
+type (
+	// Briefcase is the transportable agent state (§3.1).
+	Briefcase = briefcase.Briefcase
+	// Folder is an ordered list of elements within a briefcase.
+	Folder = briefcase.Folder
+	// Element is an uninterpreted byte string, TAX's basic data type.
+	Element = briefcase.Element
+	// Context is an executing agent's view of TAX.
+	Context = agent.Context
+	// Handler is an agent program body.
+	Handler = vm.Handler
+	// URI is a parsed agent address (figure 2).
+	URI = uri.URI
+	// Wrapper intercepts an agent's sends and receives (§4).
+	Wrapper = wrapper.Wrapper
+	// WrapperStack is an ordered set of wrappers around one agent.
+	WrapperStack = wrapper.Stack
+	// Principal is a named signing identity.
+	Principal = identity.Principal
+	// Binary is a deployable (simulated) native binary image.
+	Binary = vm.Binary
+	// LinkProfile describes a network link class.
+	LinkProfile = simnet.Profile
+)
+
+// NewSystem creates an empty deployment on the given default link.
+func NewSystem(profile LinkProfile) (*System, error) { return core.NewSystem(profile) }
+
+// NewBriefcase returns an empty briefcase.
+func NewBriefcase() *Briefcase { return briefcase.New() }
+
+// ParseURI parses an agent URI in the paper's figure-2 notation.
+func ParseURI(s string) (URI, error) { return uri.Parse(s) }
+
+// NewWrapperStack builds a wrapper stack, outermost first.
+func NewWrapperStack(outermostFirst ...Wrapper) *WrapperStack {
+	return wrapper.NewStack(outermostFirst...)
+}
+
+// RunItinerary drives the figure-4 visit/move loop for a handler.
+func RunItinerary(ctx *Context, visit func(*Context) error) error {
+	return agent.RunItinerary(ctx, visit)
+}
+
+// SendStream ships a large payload as a chunked briefcase stream.
+func SendStream(ctx *Context, target, streamID string, data []byte, chunkSize int) error {
+	return agent.SendStream(ctx, target, streamID, data, chunkSize)
+}
+
+// NewWrapperSpecs returns a registry generating wrapper stacks from
+// declarative spec strings (the paper's future-work framework).
+func NewWrapperSpecs() *wrapper.SpecRegistry { return wrapper.NewSpecRegistry() }
+
+// Link profiles for AddNode/SetProfile (calibrated in EXPERIMENTS.md).
+var (
+	// Loopback models in-host communication.
+	Loopback = simnet.Loopback
+	// LAN100 is the paper's 100 Mbit department LAN.
+	LAN100 = simnet.LAN100
+	// WAN10 is a 10 Mbit wide-area path.
+	WAN10 = simnet.WAN10
+	// WAN2 is a slow 2 Mbit wide-area path.
+	WAN2 = simnet.WAN2
+)
+
+// Well-known briefcase folders.
+const (
+	// FolderHosts is the itinerary folder of figure 4.
+	FolderHosts = briefcase.FolderHosts
+	// FolderCode carries the agent's program name or source.
+	FolderCode = briefcase.FolderCode
+	// FolderArgs carries agent arguments.
+	FolderArgs = briefcase.FolderArgs
+	// FolderResults accumulates results along an itinerary.
+	FolderResults = briefcase.FolderResults
+	// FolderStatus is read by monitoring wrappers answering queries.
+	FolderStatus = briefcase.FolderStatus
+)
+
+// ErrMoved is returned by Context.Go after a successful move; the agent
+// returns it from its handler to terminate the local instance.
+var ErrMoved = agent.ErrMoved
+
+// Trust levels for System.NewPrincipal.
+const (
+	// Untrusted principals run only in safety-enforcing VMs.
+	Untrusted = identity.Untrusted
+	// Trusted principals may execute native binaries via vm_bin.
+	Trusted = identity.Trusted
+	// SystemLevel principals hold site-management rights.
+	SystemLevel = identity.System
+)
+
+// Group-communication orderings for the group wrapper.
+const (
+	// FIFO delivers each sender's messages in send order.
+	FIFO = group.FIFO
+	// Causal delivers messages respecting potential causality.
+	Causal = group.Causal
+	// Total delivers in one global order on every member.
+	Total = group.Total
+)
+
+// Re-exported building blocks for applications that go beyond the
+// façade: the web substrate and the robot of the case study.
+type (
+	// Site is a generated synthetic web site.
+	Site = websim.Site
+	// SiteSpec parameterizes site generation.
+	SiteSpec = websim.SiteSpec
+	// Robot is the stationary Webbot-style crawler.
+	Robot = webbot.Robot
+	// RobotConstraints bound a crawl.
+	RobotConstraints = webbot.Constraints
+	// RobotStats is a crawl's gathered output.
+	RobotStats = webbot.Stats
+)
+
+// GenerateSite builds a synthetic site from a spec.
+func GenerateSite(spec SiteSpec) (*Site, error) { return websim.Generate(spec) }
+
+// CaseStudySite is the paper's 917-page / 3 MB workload for the given
+// host name.
+func CaseStudySite(host string) SiteSpec { return websim.CaseStudySpec(host) }
+
+// Management operations (addressed to the firewall itself, §3.2).
+const (
+	// OpList asks for the agent listing.
+	OpList = firewall.OpList
+	// OpRuntime asks for one agent's run time.
+	OpRuntime = firewall.OpRuntime
+	// OpKill terminates an agent.
+	OpKill = firewall.OpKill
+	// OpStop suspends an agent.
+	OpStop = firewall.OpStop
+	// OpResume resumes a stopped agent.
+	OpResume = firewall.OpResume
+)
