@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: vet, build, and the full suite under the race
+# detector.
+check: vet build race
+
+# bench regenerates every evaluation table; the tel experiment also
+# writes BENCH_telemetry.json.
+bench:
+	$(GO) run ./cmd/taxbench
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_telemetry.json

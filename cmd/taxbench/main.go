@@ -4,27 +4,35 @@
 //
 //	taxbench            # run every experiment
 //	taxbench -exp e1    # one experiment: e1, e1wan, crossover, f3,
-//	                    # twrap, tbc, tfw
+//	                    # twrap, tbc, tfw, tel
+//
+// The tel experiment measures telemetry overhead on the firewall hot
+// path and records the machine-readable deltas to BENCH_telemetry.json
+// (path overridable with -json, disable with -json '').
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"tax/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, all)")
+	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
+	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	flag.Parse()
-	if err := run(*exp); err != nil {
+	if err := run(*exp, *jsonPath, *rounds); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string) error {
+func run(exp, jsonPath string, rounds int) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -42,6 +50,19 @@ func run(exp string) error {
 		{"twrap", func() (*bench.Table, error) { return bench.WrapperDepth([]int{0, 1, 2, 4, 8}) }},
 		{"tbc", bench.BriefcaseDrop},
 		{"tfw", bench.FirewallBypass},
+		{"tel", func() (*bench.Table, error) {
+			t, results, err := bench.TelemetryOverhead(rounds)
+			if err != nil {
+				return nil, err
+			}
+			if jsonPath != "" {
+				if err := writeTelemetryJSON(jsonPath, rounds, results); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", jsonPath)
+			}
+			return t, nil
+		}},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -59,4 +80,25 @@ func run(exp string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// writeTelemetryJSON records the overhead results for regression
+// tracking across checkouts.
+func writeTelemetryJSON(path string, rounds int, results []bench.TelemetryResult) error {
+	doc := struct {
+		Time    time.Time               `json:"time"`
+		Rounds  int                     `json:"rounds"`
+		Results []bench.TelemetryResult `json:"results"`
+	}{Time: time.Now(), Rounds: rounds, Results: results}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,8 @@
 //	taxctl -node 127.0.0.1:27017 stop 'system/hello'
 //	taxctl -node 127.0.0.1:27017 resume 'system/hello'
 //	taxctl -node 127.0.0.1:27017 kill 'system/hello:3e9'
+//	taxctl -node 127.0.0.1:27017 metrics
+//	taxctl -node 127.0.0.1:27017 trace 't:h1:2a'
 package main
 
 import (
@@ -14,7 +16,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"tax/internal/agent"
@@ -29,7 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "reply timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume} [agent-uri]")
+		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace} [agent-uri|trace-id]")
 		os.Exit(2)
 	}
 	if err := run(*node, flag.Arg(0), flag.Arg(1), *timeout); err != nil {
@@ -101,11 +105,15 @@ func run(target, op, arg string, timeout time.Duration) error {
 		fwOp = firewall.OpStop
 	case "resume":
 		fwOp = firewall.OpResume
+	case "metrics":
+		fwOp = firewall.OpMetrics
+	case "trace":
+		fwOp = firewall.OpTrace
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}
-	if fwOp != firewall.OpList && arg == "" {
-		return fmt.Errorf("%s needs an agent URI argument", op)
+	if fwOp != firewall.OpList && fwOp != firewall.OpMetrics && arg == "" {
+		return fmt.Errorf("%s needs an argument", op)
 	}
 
 	req := briefcase.New()
@@ -127,8 +135,69 @@ func run(target, op, arg string, timeout time.Duration) error {
 		fmt.Println("ok")
 		return nil
 	}
+	if fwOp == firewall.OpTrace {
+		printTraceTree(rows.Strings())
+		return nil
+	}
 	for _, row := range rows.Strings() {
 		fmt.Println(row)
 	}
 	return nil
+}
+
+// traceSpan is one parsed row of an OpTrace reply
+// ("span|parent|name|host|start|end|err").
+type traceSpan struct {
+	id, parent, name, host, errMsg string
+	start, end                     int64
+}
+
+// printTraceTree renders the spans of one trace as an indented tree,
+// children ordered by start time. Spans whose parent is missing from the
+// reply (e.g. overwritten in the ring buffer) print as extra roots.
+func printTraceTree(rows []string) {
+	spans := make([]traceSpan, 0, len(rows))
+	byID := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		parts := strings.SplitN(row, "|", 7)
+		if len(parts) != 7 {
+			fmt.Println(row)
+			continue
+		}
+		s := traceSpan{id: parts[0], parent: parts[1], name: parts[2], host: parts[3], errMsg: parts[6]}
+		s.start, _ = strconv.ParseInt(parts[4], 10, 64)
+		s.end, _ = strconv.ParseInt(parts[5], 10, 64)
+		spans = append(spans, s)
+		byID[s.id] = true
+	}
+	children := make(map[string][]traceSpan)
+	var roots []traceSpan
+	for _, s := range spans {
+		if s.parent == "" || !byID[s.parent] {
+			roots = append(roots, s)
+		} else {
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+	byStart := func(list []traceSpan) {
+		sort.Slice(list, func(i, j int) bool { return list[i].start < list[j].start })
+	}
+	byStart(roots)
+	var render func(s traceSpan, indent string)
+	render = func(s traceSpan, indent string) {
+		line := fmt.Sprintf("%s%s @%s  %v..%v (+%v)", indent, s.name, s.host,
+			time.Duration(s.start), time.Duration(s.end), time.Duration(s.end-s.start))
+		if s.errMsg != "" {
+			line += "  ERR: " + s.errMsg
+		}
+		fmt.Println(line)
+		kids := children[s.id]
+		byStart(kids)
+		for _, k := range kids {
+			render(k, indent+"  ")
+		}
+	}
+	for _, r := range roots {
+		render(r, "")
+	}
 }

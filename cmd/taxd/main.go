@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"tax/internal/agent"
 	"tax/internal/briefcase"
@@ -28,20 +29,25 @@ import (
 	"tax/internal/identity"
 	"tax/internal/services"
 	"tax/internal/simnet"
+	"tax/internal/telemetry"
+	"tax/internal/vclock"
 	"tax/internal/vm"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:27017", "address to listen on")
 	launch := flag.String("launch", "", "comma-separated itinerary; launches the hello_world agent")
+	telOn := flag.Bool("telemetry", false, "collect trace spans and audit events (metrics are always on)")
+	telDump := flag.String("telemetry-dump", "", "file to periodically write a telemetry JSON snapshot to")
+	telEvery := flag.Duration("telemetry-interval", 30*time.Second, "telemetry dump period")
 	flag.Parse()
-	if err := run(*listen, *launch); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration) error {
 	node, err := simnet.ListenTCP(listen)
 	if err != nil {
 		return err
@@ -68,20 +74,34 @@ func run(listen, launch string) error {
 	trust := &identity.TrustStore{}
 	trust.AddPrincipal(system, identity.System)
 
+	var tel *telemetry.Telemetry
+	if telOn || telDump != "" {
+		tel = telemetry.New(telemetry.Options{Host: node.Addr(), Spans: telOn, Events: telOn})
+	}
 	fw, err := firewall.New(firewall.Config{
-		HostName:        host,
-		Port:            port,
-		Node:            node,
-		Trust:           trust,
+		HostName: host,
+		Port:     port,
+		Node:     node,
+		Trust:    trust,
+		// A real clock (not the default idle virtual one) so agent run
+		// times and trace spans carry wall-clock durations on live nodes.
+		Clock:           vclock.NewReal(),
 		SystemPrincipal: "system",
 		Resolve: func(h string, p int) (string, error) {
 			return net.JoinHostPort(h, strconv.Itoa(p)), nil
 		},
+		Telemetry: tel,
 	})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = fw.Close() }()
+
+	if telDump != "" {
+		stop := make(chan struct{})
+		defer close(stop)
+		go dumpTelemetry(fw.Telemetry(), telDump, telEvery, stop)
+	}
 
 	programs := &vm.Registry{}
 	gvm, err := vm.New(vm.Config{FW: fw, Programs: programs, Signer: system})
@@ -125,6 +145,10 @@ func run(listen, launch string) error {
 		for _, stop := range strings.Split(launch, ",") {
 			f.AppendString(strings.TrimSpace(stop))
 		}
+		if telOn {
+			id := agent.StampTrace(bc, host)
+			fmt.Printf("taxd: launching with trace %s (taxctl trace '%s')\n", id, id)
+		}
 		if _, err := gvm.Launch("system", "hello", "hello_world", bc); err != nil {
 			return err
 		}
@@ -135,4 +159,34 @@ func run(listen, launch string) error {
 	<-sig
 	fmt.Println("taxd: shutting down")
 	return nil
+}
+
+// dumpTelemetry periodically overwrites path with a JSON snapshot, and
+// writes one final snapshot on shutdown.
+func dumpTelemetry(tel *telemetry.Telemetry, path string, every time.Duration, stop <-chan struct{}) {
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	write := func() {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "taxd: telemetry dump:", err)
+			return
+		}
+		if err := tel.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "taxd: telemetry dump:", err)
+		}
+		_ = f.Close()
+	}
+	for {
+		select {
+		case <-tick.C:
+			write()
+		case <-stop:
+			write()
+			return
+		}
+	}
 }

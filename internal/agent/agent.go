@@ -19,6 +19,7 @@ import (
 
 	"tax/internal/briefcase"
 	"tax/internal/firewall"
+	"tax/internal/telemetry"
 	"tax/internal/uri"
 )
 
@@ -165,6 +166,7 @@ func (c *Context) ActivateDirect(target string, payload *briefcase.Briefcase) er
 		return fmt.Errorf("agent: activate: %w", err)
 	}
 	payload.SetString(briefcase.FolderSysTarget, target)
+	c.propagateTrace(payload)
 	// §3.3: virtual machines may resolve internal communication without
 	// involving the firewall. Fully qualified URIs naming this host are
 	// just as local as bare ones.
@@ -231,10 +233,20 @@ func (c *Context) receive(timeout time.Duration) (*briefcase.Briefcase, error) {
 func (c *Context) Meet(target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
 	id := nextMsgID()
 	payload.SetString(firewall.FolderMsgID, id)
+	sp := c.span("agent.meet")
+	sp.SetAttr("target", target)
+	if sp != nil {
+		payload.SetString(briefcase.FolderSysSpan, sp.ID())
+	}
 	if err := c.Activate(target, payload); err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
-	return c.awaitReply(id, timeout)
+	reply, err := c.awaitReply(id, timeout)
+	sp.SetErr(err)
+	sp.End()
+	return reply, err
 }
 
 // MeetDirect is Meet without wrapper interception, for wrappers and
@@ -305,9 +317,21 @@ func (c *Context) Go(dest string) error {
 	if err != nil {
 		return fmt.Errorf("agent: go: %w", err)
 	}
+	// The hop span parents everything the move triggers downstream: the
+	// firewall send, the network transfer, the inbound mediation at the
+	// destination and the next activation all read _PSPAN from the
+	// travelling briefcase.
+	sp := c.span("agent.go")
+	sp.SetAttr("dest", dest)
+	if sp != nil {
+		c.bc.SetString(briefcase.FolderSysSpan, sp.ID())
+	}
 	if _, err := c.mover.Move(c, du, false); err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return fmt.Errorf("agent: go %s: %w", dest, err)
 	}
+	sp.End()
 	return ErrMoved
 }
 
@@ -323,10 +347,30 @@ func (c *Context) Spawn(dest string) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("agent: spawn: %w", err)
 	}
+	sp := c.span("agent.spawn")
+	sp.SetAttr("dest", dest)
+	var prevParent string
+	var hadParent bool
+	if sp != nil {
+		// The clone taken inside Move carries the spawn span as parent; the
+		// local instance keeps running, so its own parent is restored below.
+		prevParent, hadParent = c.bc.GetString(briefcase.FolderSysSpan)
+		c.bc.SetString(briefcase.FolderSysSpan, sp.ID())
+	}
 	inst, err := c.mover.Move(c, du, true)
+	if sp != nil {
+		if hadParent {
+			c.bc.SetString(briefcase.FolderSysSpan, prevParent)
+		} else {
+			c.bc.Drop(briefcase.FolderSysSpan)
+		}
+	}
 	if err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return 0, fmt.Errorf("agent: spawn %s: %w", dest, err)
 	}
+	sp.End()
 	return inst, nil
 }
 
@@ -334,6 +378,51 @@ func (c *Context) Spawn(dest string) (uint64, error) {
 // spawn protocol.
 func (c *Context) AwaitReply(id string, timeout time.Duration) (*briefcase.Briefcase, error) {
 	return c.awaitReply(id, timeout)
+}
+
+// StampTrace marks a briefcase as the root of a fresh telemetry trace and
+// returns the new trace id. Call it on an agent's briefcase before
+// launching to have its whole itinerary — hops, firewall mediations, VM
+// activations — collected as one span tree.
+func StampTrace(bc *briefcase.Briefcase, host string) string {
+	id := telemetry.NewTraceID(host)
+	bc.SetString(briefcase.FolderSysTrace, id)
+	return id
+}
+
+// span opens a span in the agent's own trace (nil when spans are off or
+// the agent's briefcase carries no trace context).
+func (c *Context) span(name string) *telemetry.Span {
+	spans := c.fw.Telemetry().Spans()
+	if spans == nil {
+		return nil
+	}
+	trace, ok := c.bc.GetString(briefcase.FolderSysTrace)
+	if !ok {
+		return nil
+	}
+	parent, _ := c.bc.GetString(briefcase.FolderSysSpan)
+	return spans.Start(c.fw.Clock(), c.fw.HostName(), trace, parent, name)
+}
+
+// propagateTrace copies the agent's trace context onto an outgoing
+// briefcase (when it has none of its own) so the firewall spans recorded
+// for the message join the agent's trace.
+func (c *Context) propagateTrace(payload *briefcase.Briefcase) {
+	if payload == c.bc {
+		return
+	}
+	trace, ok := c.bc.GetString(briefcase.FolderSysTrace)
+	if !ok {
+		return
+	}
+	if _, has := payload.GetString(briefcase.FolderSysTrace); has {
+		return
+	}
+	payload.SetString(briefcase.FolderSysTrace, trace)
+	if parent, ok := c.bc.GetString(briefcase.FolderSysSpan); ok {
+		payload.SetString(briefcase.FolderSysSpan, parent)
+	}
 }
 
 // nextMsgID returns a process-unique correlation id.

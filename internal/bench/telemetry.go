@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+	"tax/internal/telemetry"
+)
+
+// TelemetryResult is one machine-readable row of the overhead experiment,
+// recorded to BENCH_telemetry.json by cmd/taxbench.
+type TelemetryResult struct {
+	// Mode names the telemetry configuration measured.
+	Mode string `json:"mode"`
+	// Rounds is the number of timed send+receive round trips.
+	Rounds int `json:"rounds"`
+	// PerRoundNs is the wall-clock cost of one round trip.
+	PerRoundNs int64 `json:"per_round_ns"`
+	// OverheadPct is the cost relative to the disabled baseline.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Spans and Events count what the run actually recorded, proving the
+	// enabled modes exercised the collection paths.
+	Spans  uint64 `json:"spans"`
+	Events uint64 `json:"events"`
+}
+
+// telemetryMode describes one measured configuration.
+type telemetryMode struct {
+	name string
+	// mkTel builds the firewall's telemetry instance (nil = the default
+	// counters-only private instance, the disabled baseline).
+	mkTel func() *telemetry.Telemetry
+	// traced stamps the benchmark briefcases with a trace id so spans are
+	// actually recorded, not skipped at the trace-context check.
+	traced bool
+}
+
+// TelemetryOverhead measures the firewall's local send/route hot path
+// under three telemetry configurations: disabled (counters only — the
+// default every deployment pays), full collection with untraced traffic
+// (histograms on, spans skipped), and full collection with traced
+// traffic (spans and events recorded). The acceptance bar is that the
+// disabled mode stays within a few percent of the seed's mutex-counter
+// implementation; the registry's atomic adds make it typically cheaper.
+func TelemetryOverhead(rounds int) (*Table, []TelemetryResult, error) {
+	if rounds <= 0 {
+		rounds = 20000
+	}
+	modes := []telemetryMode{
+		{name: "disabled", mkTel: func() *telemetry.Telemetry { return nil }},
+		{name: "full-untraced", mkTel: func() *telemetry.Telemetry {
+			return telemetry.New(telemetry.Options{Host: "h1", Spans: true, Events: true})
+		}},
+		{name: "full-traced", mkTel: func() *telemetry.Telemetry {
+			return telemetry.New(telemetry.Options{Host: "h1", Spans: true, Events: true})
+		}, traced: true},
+	}
+	results := make([]TelemetryResult, 0, len(modes))
+	for _, m := range modes {
+		tel := m.mkTel()
+		per, err := runTelemetryMode(rounds, tel, m.traced)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bench: telemetry %s: %w", m.name, err)
+		}
+		r := TelemetryResult{
+			Mode:       m.name,
+			Rounds:     rounds,
+			PerRoundNs: per.Nanoseconds(),
+			Spans:      tel.Spans().Total(),
+			Events:     tel.Events().Total(),
+		}
+		if len(results) > 0 {
+			base := results[0].PerRoundNs
+			r.OverheadPct = float64(r.PerRoundNs-base) / float64(base) * 100
+		}
+		results = append(results, r)
+	}
+
+	t := &Table{
+		Title:  "T-tel — telemetry overhead on the firewall local hot path",
+		Note:   fmt.Sprintf("%d send+receive round trips per mode; overhead vs the disabled baseline", rounds),
+		Header: []string{"mode", "per round", "overhead", "spans", "events"},
+	}
+	for _, r := range results {
+		overhead := "baseline"
+		if r.Mode != results[0].Mode {
+			overhead = fmt.Sprintf("%+.1f%%", r.OverheadPct)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Mode,
+			time.Duration(r.PerRoundNs).String(),
+			overhead,
+			fmt.Sprintf("%d", r.Spans),
+			fmt.Sprintf("%d", r.Events),
+		})
+	}
+	return t, results, nil
+}
+
+// runTelemetryMode times one configuration: a single host, two local
+// agents, wall-clock per firewall-mediated round trip.
+func runTelemetryMode(rounds int, tel *telemetry.Telemetry, traced bool) (time.Duration, error) {
+	net := simnet.New(simnet.LAN100)
+	defer func() { _ = net.Close() }()
+	host, err := net.AddHost("h1")
+	if err != nil {
+		return 0, err
+	}
+	sys, err := identity.NewPrincipal("system")
+	if err != nil {
+		return 0, err
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sys, identity.System)
+	fw, err := firewall.New(firewall.Config{
+		HostName: "h1", Node: host, Trust: trust,
+		SystemPrincipal: "system", Telemetry: tel,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = fw.Close() }()
+	sender, err := fw.Register("vm", "system", "src")
+	if err != nil {
+		return 0, err
+	}
+	recv, err := fw.Register("vm", "system", "dst")
+	if err != nil {
+		return 0, err
+	}
+
+	payload := briefcase.New()
+	payload.SetString("BODY", "x")
+	if traced {
+		payload.SetString(briefcase.FolderSysTrace, telemetry.NewTraceID("h1"))
+	}
+	round := func() error {
+		bc := payload.Clone()
+		bc.SetString(briefcase.FolderSysTarget, "system/dst")
+		if err := fw.Send(sender.GlobalURI(), bc); err != nil {
+			return err
+		}
+		_, err := recv.Recv(time.Second)
+		return err
+	}
+	for i := 0; i < rounds/10+1; i++ { // warmup
+		if err := round(); err != nil {
+			return 0, err
+		}
+	}
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := round(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(t0) / time.Duration(rounds), nil
+}

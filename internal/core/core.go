@@ -21,6 +21,7 @@ import (
 	"tax/internal/naming"
 	"tax/internal/services"
 	"tax/internal/simnet"
+	"tax/internal/telemetry"
 	"tax/internal/vm"
 	"tax/internal/wrapper"
 )
@@ -51,6 +52,10 @@ type NodeOptions struct {
 	// firewall principal and rejects unsigned or untrusted inbound
 	// frames (§3.2's "authenticated and trusted sender").
 	SecureChannels bool
+	// Telemetry overrides the telemetry instance this node's firewall
+	// reports into. Nil uses the system-wide instance when one was enabled
+	// (EnableTelemetry), else a private counters-only instance.
+	Telemetry *telemetry.Telemetry
 }
 
 // Node is one TAX host: firewall, VMs, service agents and local stores.
@@ -147,6 +152,7 @@ type System struct {
 
 	mu    sync.Mutex
 	nodes map[string]*Node
+	tel   *telemetry.Telemetry
 }
 
 // NewSystem creates an empty deployment whose host pairs default to the
@@ -167,6 +173,30 @@ func NewSystem(profile simnet.Profile) (*System, error) {
 	}, nil
 }
 
+// EnableTelemetry switches the deployment to full observability: one
+// shared instance (spans and events on) that every node added afterwards
+// reports into, also attached to the network so transfers feed the
+// registry. Spans record which host they ran on, so one instance serves
+// the whole simulation and a 3-hop itinerary reads back as a single tree.
+// Call before AddNode. Idempotent; returns the instance.
+func (s *System) EnableTelemetry() *telemetry.Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tel == nil {
+		s.tel = telemetry.New(telemetry.Options{Host: "system", Spans: true, Events: true})
+		s.Net.SetTelemetry(s.tel)
+	}
+	return s.tel
+}
+
+// Telemetry returns the deployment-wide telemetry instance (nil unless
+// EnableTelemetry was called).
+func (s *System) Telemetry() *telemetry.Telemetry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tel
+}
+
 // AddNode boots a host: simulated machine, firewall, VMs and the
 // standard service agents.
 func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
@@ -184,6 +214,10 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 			return nil, err
 		}
 	}
+	nodeTel := opts.Telemetry
+	if nodeTel == nil {
+		nodeTel = s.Telemetry()
+	}
 	fw, err := firewall.New(firewall.Config{
 		HostName:        name,
 		Node:            host,
@@ -197,6 +231,7 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		LocalHopCost:  150 * time.Microsecond,
 		ChannelSigner: channelSigner,
 		ChannelAuth:   opts.SecureChannels,
+		Telemetry:     nodeTel,
 	})
 	if err != nil {
 		return nil, err

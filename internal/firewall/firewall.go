@@ -24,6 +24,7 @@ import (
 	"tax/internal/briefcase"
 	"tax/internal/identity"
 	"tax/internal/simnet"
+	"tax/internal/telemetry"
 	"tax/internal/uri"
 	"tax/internal/vclock"
 )
@@ -87,9 +88,15 @@ type Config struct {
 	// Resolve maps an agent-URI host and port to a transport address.
 	// Nil means the host name is the transport address (simnet).
 	Resolve func(host string, port int) (string, error)
+	// Telemetry receives metrics, trace spans and audit events. Nil makes
+	// the firewall create a private counters-only instance (the Stats
+	// compatibility view always works); pass a telemetry.New instance with
+	// spans/events enabled for full observability.
+	Telemetry *telemetry.Telemetry
 }
 
-// Stats are the firewall's monotonic counters.
+// Stats is the legacy counter view, retained as a compatibility facade
+// over the telemetry registry (the single metrics source of truth).
 type Stats struct {
 	Delivered    int64 // briefcases handed to a local mailbox
 	Forwarded    int64 // briefcases sent to a remote firewall
@@ -115,16 +122,35 @@ type pendingMsg struct {
 	timer           *time.Timer
 }
 
+// fwCounters are the firewall's pre-resolved registry counters: resolved
+// once at New so the hot path pays one atomic add per update.
+type fwCounters struct {
+	delivered    *telemetry.Counter
+	forwarded    *telemetry.Counter
+	queued       *telemetry.Counter
+	expired      *telemetry.Counter
+	authFailures *telemetry.Counter
+	mgmtOps      *telemetry.Counter
+	errors       *telemetry.Counter
+}
+
 // Firewall is the per-host broker. Create with New, shut down with Close.
 type Firewall struct {
 	cfg   Config
 	clock vclock.Clock
 
+	tel *telemetry.Telemetry
+	ctr fwCounters
+	// histSend/histInbound time the mediation hot paths in wall-clock
+	// terms; non-nil only with detailed telemetry, so the disabled path
+	// never reads the wall clock.
+	histSend    *telemetry.Histogram
+	histInbound *telemetry.Histogram
+
 	mu           sync.Mutex
 	regs         map[string][]*Registration // keyed by agent name
 	pending      []*pendingMsg
 	nextInstance uint64
-	stats        Stats
 	closed       bool
 }
 
@@ -154,14 +180,66 @@ func New(cfg Config) (*Firewall, error) {
 			clock = vclock.NewVirtual()
 		}
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		// Counters-only instance so Stats() and the metrics management op
+		// keep working; spans and events stay disabled (near-zero cost).
+		tel = telemetry.New(telemetry.Options{Host: cfg.HostName})
+	}
+	reg := tel.Registry()
 	fw := &Firewall{
-		cfg:          cfg,
-		clock:        clock,
+		cfg:   cfg,
+		clock: clock,
+		tel:   tel,
+		ctr: fwCounters{
+			delivered:    reg.Counter("fw.delivered", "host", cfg.HostName),
+			forwarded:    reg.Counter("fw.forwarded", "host", cfg.HostName),
+			queued:       reg.Counter("fw.queued", "host", cfg.HostName),
+			expired:      reg.Counter("fw.expired", "host", cfg.HostName),
+			authFailures: reg.Counter("fw.auth_failures", "host", cfg.HostName),
+			mgmtOps:      reg.Counter("fw.mgmt_ops", "host", cfg.HostName),
+			errors:       reg.Counter("fw.errors", "host", cfg.HostName),
+		},
 		regs:         make(map[string][]*Registration),
 		nextInstance: 0x1000,
 	}
+	if tel.Detailed() {
+		fw.histSend = reg.Histogram("fw.send", "host", cfg.HostName)
+		fw.histInbound = reg.Histogram("fw.inbound", "host", cfg.HostName)
+	}
 	cfg.Node.SetHandler(fw.handleInbound)
 	return fw, nil
+}
+
+// Telemetry returns the firewall's telemetry instance: the Stats-superseding
+// observability API (metrics registry, trace spans, audit event log).
+func (fw *Firewall) Telemetry() *telemetry.Telemetry { return fw.tel }
+
+// event appends one audit-log entry (no-op when events are disabled).
+func (fw *Firewall) event(typ, principal, target, cause string) {
+	ev := fw.tel.Events()
+	if ev == nil {
+		return
+	}
+	ev.Append(telemetry.Event{
+		Time: fw.clock.Now(), Type: typ,
+		Principal: principal, Target: target, Cause: cause,
+	})
+}
+
+// span opens a mediation span when span collection is on and the briefcase
+// carries a trace context; otherwise it returns the nil no-op span.
+func (fw *Firewall) span(bc *briefcase.Briefcase, name string) *telemetry.Span {
+	spans := fw.tel.Spans()
+	if spans == nil {
+		return nil
+	}
+	trace, ok := bc.GetString(briefcase.FolderSysTrace)
+	if !ok {
+		return nil
+	}
+	parent, _ := bc.GetString(briefcase.FolderSysSpan)
+	return spans.Start(fw.clock, fw.cfg.HostName, trace, parent, name)
 }
 
 // HostName returns the host name this firewall serves.
@@ -173,11 +251,19 @@ func (fw *Firewall) Clock() vclock.Clock { return fw.clock }
 // SystemPrincipal returns the local system principal's name.
 func (fw *Firewall) SystemPrincipal() string { return fw.cfg.SystemPrincipal }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, read from the telemetry
+// registry (the counters' single home since the registry superseded the
+// ad-hoc struct).
 func (fw *Firewall) Stats() Stats {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
-	return fw.stats
+	return Stats{
+		Delivered:    fw.ctr.delivered.Value(),
+		Forwarded:    fw.ctr.forwarded.Value(),
+		Queued:       fw.ctr.queued.Value(),
+		Expired:      fw.ctr.expired.Value(),
+		AuthFailures: fw.ctr.authFailures.Value(),
+		MgmtOps:      fw.ctr.mgmtOps.Value(),
+		Errors:       fw.ctr.errors.Value(),
+	}
 }
 
 // Close shuts the firewall down: kills every registration and stops
@@ -202,6 +288,7 @@ func (fw *Firewall) Close() error {
 	}
 	for _, p := range pend {
 		p.timer.Stop()
+		fw.event(telemetry.EventDrop, p.senderPrincipal, p.target.String(), "firewall closed")
 	}
 	return nil
 }
@@ -235,7 +322,11 @@ func (fw *Firewall) Register(vmName, principal, name string) (*Registration, err
 
 	for _, bc := range flush {
 		if err := r.deliver(bc); err == nil {
-			fw.bump(func(s *Stats) { s.Delivered++ })
+			fw.ctr.delivered.Inc()
+			fw.event(telemetry.EventAllow, r.uri.Principal, r.uri.String(), "unparked on registration")
+		} else {
+			fw.ctr.errors.Inc()
+			fw.event(telemetry.EventDrop, r.uri.Principal, r.uri.String(), "unpark failed: "+err.Error())
 		}
 	}
 	return r, nil
@@ -328,48 +419,96 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 	if closed {
 		return ErrClosed
 	}
+	var t0 time.Time
+	if fw.histSend != nil {
+		t0 = time.Now()
+	}
 	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
 	if !ok {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventError, sender.Principal, "", "briefcase has no target")
 		return ErrNoTarget
 	}
 	target, err := uri.Parse(targetStr)
 	if err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventError, sender.Principal, targetStr, "bad target: "+err.Error())
 		return fmt.Errorf("firewall: bad target: %w", err)
 	}
 	bc.SetString(briefcase.FolderSysSender, sender.String())
 
+	sp := fw.span(bc, "fw.send")
+	sp.SetAttr("target", targetStr)
+
 	if fw.isLocal(target) {
-		return fw.routeLocal(sender.Principal, target, bc)
+		err := fw.routeLocal(sender.Principal, target, bc)
+		sp.SetErr(err)
+		sp.End()
+		if fw.histSend != nil {
+			fw.histSend.Observe(time.Since(t0))
+		}
+		return err
 	}
 	addr, err := fw.cfg.Resolve(target.Host, target.EffectivePort())
 	if err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventError, sender.Principal, targetStr, "resolve: "+err.Error())
+		sp.SetErr(err)
+		sp.End()
 		return fmt.Errorf("firewall: resolve %s: %w", target.Host, err)
 	}
-	if err := fw.cfg.Node.Send(addr, sealFrame(fw.cfg.ChannelSigner, bc.Encode())); err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+	frame := sealFrame(fw.cfg.ChannelSigner, bc.Encode())
+	// The network transfer gets its own child span so per-hop migration
+	// cost splits into mediation versus wire time.
+	var tsp *telemetry.Span
+	if sp != nil {
+		trace, _ := bc.GetString(briefcase.FolderSysTrace)
+		tsp = fw.tel.Spans().Start(fw.clock, fw.cfg.HostName, trace, sp.ID(), "net.transfer")
+		tsp.SetAttr("to", addr)
+		tsp.SetAttr("bytes", strconv.Itoa(len(frame)))
+	}
+	err = fw.cfg.Node.Send(addr, frame)
+	tsp.SetErr(err)
+	tsp.End()
+	if err != nil {
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
+		sp.SetErr(err)
+		sp.End()
 		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
 	}
-	fw.bump(func(s *Stats) { s.Forwarded++ })
+	fw.ctr.forwarded.Inc()
+	fw.event(telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
+	sp.End()
+	if fw.histSend != nil {
+		fw.histSend.Observe(time.Since(t0))
+	}
 	return nil
 }
 
-// handleInbound processes a frame arriving from a remote firewall.
+// handleInbound processes a frame arriving from a remote firewall. Every
+// path that discards the briefcase emits an audit event: a mediating
+// reference monitor must not lose messages without a trace.
 func (fw *Firewall) handleInbound(from string, payload []byte) {
+	var t0 time.Time
+	if fw.histInbound != nil {
+		t0 = time.Now()
+	}
 	inner, err := openFrame(fw.cfg.Trust, fw.cfg.ChannelAuth, payload)
 	if err != nil {
 		if errors.Is(err, ErrChannelAuth) {
-			fw.bump(func(s *Stats) { s.AuthFailures++ })
+			fw.ctr.authFailures.Inc()
+			fw.event(telemetry.EventDeny, "", "", "channel auth from "+from+": "+err.Error())
 		} else {
-			fw.bump(func(s *Stats) { s.Errors++ })
+			fw.ctr.errors.Inc()
+			fw.event(telemetry.EventDrop, "", "", "bad frame from "+from+": "+err.Error())
 		}
 		return
 	}
 	bc, err := briefcase.Decode(inner)
 	if err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventDrop, "", "", "undecodable briefcase from "+from+": "+err.Error())
 		return
 	}
 	senderStr, _ := bc.GetString(briefcase.FolderSysSender)
@@ -378,11 +517,17 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 		sender = uri.URI{Host: from}
 	}
 
+	sp := fw.span(bc, "fw.inbound")
+	sp.SetAttr("from", from)
+
 	// First-level authentication (§3.2): inbound agent transfers must
 	// carry a core signed by a principal this host knows.
 	if Kind(bc) == KindTransfer && fw.cfg.RequireAuth {
 		if _, err := VerifyCore(bc, fw.cfg.Trust, identity.Untrusted); err != nil {
-			fw.bump(func(s *Stats) { s.AuthFailures++ })
+			fw.ctr.authFailures.Inc()
+			fw.event(telemetry.EventDeny, sender.Principal, "", "transfer auth: "+err.Error())
+			sp.SetErr(err)
+			sp.End()
 			fw.replyError(bc, sender, fmt.Sprintf("transfer rejected: %v", err))
 			return
 		}
@@ -390,7 +535,10 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 
 	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
 	if !ok {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventDrop, sender.Principal, "", "inbound briefcase has no target")
+		sp.SetAttr("outcome", "dropped")
+		sp.End()
 		return
 	}
 	target, err := uri.Parse(targetStr)
@@ -398,11 +546,19 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 		// This host is not the target; TAX does not relay third-party
 		// traffic (the location-transparent wrapper handles forwarding
 		// above the firewall).
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventDrop, sender.Principal, targetStr, "target not on this host")
+		sp.SetAttr("outcome", "dropped")
+		sp.End()
 		return
 	}
 	if err := fw.routeLocal(sender.Principal, target, bc); err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		sp.SetErr(err)
+	}
+	sp.End()
+	if fw.histInbound != nil {
+		fw.histInbound.Observe(time.Since(t0))
 	}
 }
 
@@ -412,9 +568,13 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 	if target.Name == FirewallName || Kind(bc) == KindManagement {
 		return fw.handleManagement(senderPrincipal, bc)
 	}
+	sp := fw.span(bc, "fw.route")
 	fw.mu.Lock()
 	if fw.closed {
 		fw.mu.Unlock()
+		fw.event(telemetry.EventDrop, senderPrincipal, target.String(), "firewall closed")
+		sp.SetErr(ErrClosed)
+		sp.End()
 		return ErrClosed
 	}
 	matches := fw.lookupLocked(target, senderPrincipal)
@@ -431,18 +591,26 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 	}
 	if chosen == nil {
 		fw.parkLocked(senderPrincipal, target, bc)
-		fw.stats.Queued++
 		fw.mu.Unlock()
+		fw.ctr.queued.Inc()
+		fw.event(telemetry.EventPark, senderPrincipal, target.String(), "receiver not registered")
+		sp.SetAttr("outcome", "parked")
+		sp.End()
 		return nil
 	}
 	fw.mu.Unlock()
 
 	if err := chosen.deliver(bc); err != nil {
-		fw.bump(func(s *Stats) { s.Errors++ })
+		fw.ctr.errors.Inc()
+		fw.event(telemetry.EventDrop, senderPrincipal, target.String(), err.Error())
+		sp.SetErr(err)
+		sp.End()
 		return err
 	}
 	fw.clock.Advance(fw.cfg.LocalHopCost)
-	fw.bump(func(s *Stats) { s.Delivered++ })
+	fw.ctr.delivered.Inc()
+	fw.event(telemetry.EventAllow, senderPrincipal, chosen.uri.String(), "")
+	sp.End()
 	return nil
 }
 
@@ -466,13 +634,13 @@ func (fw *Firewall) expire(p *pendingMsg) {
 			break
 		}
 	}
-	if found {
-		fw.stats.Expired++
-	}
 	fw.mu.Unlock()
 	if !found {
 		return
 	}
+	fw.ctr.expired.Inc()
+	fw.event(telemetry.EventExpire, p.senderPrincipal, p.target.String(),
+		fmt.Sprintf("queue timeout after %v", fw.cfg.QueueTimeout))
 	senderStr, ok := p.bc.GetString(briefcase.FolderSysSender)
 	if !ok || Kind(p.bc) == KindError {
 		return
@@ -526,13 +694,6 @@ func (fw *Firewall) selfURI() uri.URI {
 	}
 }
 
-// bump applies a counter update under the lock.
-func (fw *Firewall) bump(f func(*Stats)) {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
-	f(&fw.stats)
-}
-
 // List returns information about every registered agent, sorted by URI.
 func (fw *Firewall) List() []AgentInfo {
 	fw.mu.Lock()
@@ -567,6 +728,10 @@ const (
 	OpStop = "stop"
 	// OpResume resumes a stopped agent.
 	OpResume = "resume"
+	// OpMetrics asks for the telemetry registry snapshot.
+	OpMetrics = "metrics"
+	// OpTrace asks for the spans of one trace id (in _ARG).
+	OpTrace = "trace"
 )
 
 // Management folder names.
@@ -581,17 +746,18 @@ const (
 
 // handleManagement serves a briefcase addressed to the firewall itself.
 func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Briefcase) error {
-	fw.bump(func(s *Stats) { s.MgmtOps++ })
+	fw.ctr.mgmtOps.Inc()
 	op, _ := bc.GetString(FolderOp)
 
 	required := identity.System
-	if op == OpList || op == OpRuntime {
+	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace {
 		required = identity.Trusted
 	}
 	var opErr error
 	var rows []string
 	if err := fw.cfg.Trust.Require(senderPrincipal, required); err != nil {
 		opErr = fmt.Errorf("%w: %v", ErrDenied, err)
+		fw.event(telemetry.EventDeny, senderPrincipal, FirewallName, "mgmt "+op+": "+err.Error())
 	} else {
 		rows, opErr = fw.applyOp(op, bc)
 	}
@@ -637,6 +803,41 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 			rows = append(rows, strings.Join([]string{
 				in.URI.String(), in.VM, in.State.String(),
 				strconv.FormatInt(int64(in.Runtime), 10),
+			}, "|"))
+		}
+		return rows, nil
+	case OpMetrics:
+		snap := fw.tel.Registry().Snapshot()
+		rows := make([]string, 0, len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms))
+		for k, v := range snap.Counters {
+			rows = append(rows, "counter|"+k+"|"+strconv.FormatInt(v, 10))
+		}
+		for k, v := range snap.Gauges {
+			rows = append(rows, "gauge|"+k+"|"+strconv.FormatInt(v, 10))
+		}
+		for k, h := range snap.Histograms {
+			rows = append(rows, "histogram|"+k+"|count="+strconv.FormatInt(h.Count, 10)+
+				"|sum="+h.Sum.String())
+		}
+		sort.Strings(rows)
+		return rows, nil
+	case OpTrace:
+		traceID, ok := bc.GetString(FolderArg)
+		if !ok {
+			return nil, fmt.Errorf("firewall: %s needs %s", op, FolderArg)
+		}
+		spans := fw.tel.Spans()
+		if spans == nil {
+			return nil, errors.New("firewall: span collection disabled")
+		}
+		recs := spans.ForTrace(traceID)
+		rows := make([]string, 0, len(recs))
+		for _, r := range recs {
+			rows = append(rows, strings.Join([]string{
+				r.SpanID, r.Parent, r.Name, r.Host,
+				strconv.FormatInt(int64(r.Start), 10),
+				strconv.FormatInt(int64(r.End), 10),
+				r.Err,
 			}, "|"))
 		}
 		return rows, nil

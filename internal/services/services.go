@@ -247,6 +247,14 @@ func NewAgExec(cfg ExecConfig) vm.Handler {
 				if cfg.Store == nil {
 					return nil, errors.New("ag_exec: no binary store on this host")
 				}
+				// With detailed telemetry on, split the request into
+				// resolve (unpack/select/verify) and run time — the two
+				// components of the execution-cost breakdown.
+				tel := ctx.FW().Telemetry()
+				var t0 time.Time
+				if tel.Detailed() {
+					t0 = time.Now()
+				}
 				bins, err := vm.UnpackBinaries(req)
 				if err != nil {
 					return nil, fmt.Errorf("ag_exec: %w", err)
@@ -259,6 +267,9 @@ func NewAgExec(cfg ExecConfig) vm.Handler {
 				if err != nil {
 					return nil, err
 				}
+				if tel.Detailed() {
+					tel.Registry().Histogram("agexec.resolve", "host", ctx.Host()).Observe(time.Since(t0))
+				}
 				emit("executing %s/%s", carried.Name, carried.Arch)
 				// The binary runs inline with the request briefcase as
 				// its state; results land in its RESULTS folder.
@@ -266,8 +277,15 @@ func NewAgExec(cfg ExecConfig) vm.Handler {
 				run.Drop(FolderOp)
 				run.Drop(firewall.FolderMsgID)
 				sub := agent.NewContext(ctxFirewall(ctx), ctx.Registration(), run, nil, nil)
+				var t1 time.Time
+				if tel.Detailed() {
+					t1 = time.Now()
+				}
 				if err := handler(sub); err != nil {
 					return nil, fmt.Errorf("ag_exec: %s: %w", carried.Name, err)
+				}
+				if tel.Detailed() {
+					tel.Registry().Histogram("agexec.run", "host", ctx.Host()).Observe(time.Since(t1))
 				}
 				return run, nil
 

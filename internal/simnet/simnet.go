@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"tax/internal/telemetry"
 	"tax/internal/vclock"
 )
 
@@ -109,6 +110,10 @@ type link struct {
 	busyUntil time.Duration // virtual time the link is transmitting until
 	messages  int64
 	bytes     int64
+	// ctrMsgs/ctrBytes mirror the counters into the attached telemetry
+	// registry (nil when no telemetry is attached; nil-safe no-ops).
+	ctrMsgs  *telemetry.Counter
+	ctrBytes *telemetry.Counter
 }
 
 // Network is a set of simulated hosts and the links between them.
@@ -121,6 +126,11 @@ type Network struct {
 	profiles       map[pairKey]Profile // per-pair overrides (symmetric)
 	partitioned    map[pairKey]bool    // symmetric
 	closed         bool
+
+	tel *telemetry.Telemetry
+	// histTransfer observes each transfer's simulated duration (departure
+	// to arrival, virtual time); non-nil only with detailed telemetry.
+	histTransfer *telemetry.Histogram
 }
 
 // New creates a network whose host pairs default to the given profile.
@@ -132,6 +142,23 @@ func New(defaultProfile Profile) *Network {
 		links:          make(map[pairKey]*link),
 		profiles:       make(map[pairKey]Profile),
 		partitioned:    make(map[pairKey]bool),
+	}
+}
+
+// SetTelemetry attaches a telemetry instance: per-link message and byte
+// counters mirror into its registry, and with detailed telemetry every
+// transfer's simulated duration feeds the net.transfer histogram.
+func (n *Network) SetTelemetry(t *telemetry.Telemetry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tel = t
+	n.histTransfer = nil
+	if t.Detailed() {
+		n.histTransfer = t.Registry().Histogram("net.transfer")
+	}
+	for k, l := range n.links {
+		l.ctrMsgs = t.Registry().Counter("net.messages", "from", k.from, "to", k.to)
+		l.ctrBytes = t.Registry().Counter("net.bytes", "from", k.from, "to", k.to)
 	}
 }
 
@@ -325,6 +352,10 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	l, ok := n.links[key]
 	if !ok {
 		l = &link{profile: n.profileFor(h.name, to)}
+		if n.tel != nil {
+			l.ctrMsgs = n.tel.Registry().Counter("net.messages", "from", key.from, "to", key.to)
+			l.ctrBytes = n.tel.Registry().Counter("net.bytes", "from", key.from, "to", key.to)
+		}
 		n.links[key] = l
 	} else {
 		// Profiles may be re-set between experiments; keep link current.
@@ -341,7 +372,12 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	arrive := txEnd + l.profile.Latency
 	l.messages++
 	l.bytes += int64(len(payload))
+	l.ctrMsgs.Inc()
+	l.ctrBytes.Add(int64(len(payload)))
+	hist := n.histTransfer
 	n.mu.Unlock()
+
+	hist.Observe(arrive - depart)
 
 	h.clock.AdvanceTo(txEnd)
 	dst.clock.AdvanceTo(arrive)

@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Event types: every mediation decision a firewall takes on a briefcase is
+// one of these — the paper's reference-monitor audit trail.
+const (
+	// EventAllow records a successful local delivery.
+	EventAllow = "allow"
+	// EventDeny records a policy or authentication rejection.
+	EventDeny = "deny"
+	// EventPark records a briefcase queued for an absent receiver.
+	EventPark = "park"
+	// EventExpire records a parked briefcase dropped on timeout.
+	EventExpire = "expire"
+	// EventDrop records a briefcase discarded for any other reason
+	// (malformed frame, no target, wrong host, full mailbox, shutdown).
+	EventDrop = "drop"
+	// EventForward records a briefcase sent on to a remote firewall.
+	EventForward = "forward"
+	// EventError records a routing error reported back to the caller.
+	EventError = "error"
+)
+
+// Event is one structured audit-log entry.
+type Event struct {
+	// Time is the recording host's virtual time.
+	Time time.Duration `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Principal is the authenticated sender principal ("" when unknown).
+	Principal string `json:"principal,omitempty"`
+	// Target is the destination agent URI the decision concerned.
+	Target string `json:"target,omitempty"`
+	// Cause explains the decision ("mailbox full", "queue timeout", ...).
+	Cause string `json:"cause,omitempty"`
+}
+
+// EventLog is a bounded ring buffer of events: the newest Cap entries are
+// retained. A nil log disables event collection; Append on nil is a no-op.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventLog returns a log keeping the newest cap events (default 1024
+// when cap <= 0).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Append records one event.
+func (l *EventLog) Append(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next] = e
+		l.next = (l.next + 1) % cap(l.buf)
+	}
+	l.total++
+}
+
+// Total returns the number of events ever appended (including overwritten
+// ones); 0 on nil.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out
+}

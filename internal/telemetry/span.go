@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tax/internal/vclock"
+)
+
+// idCounter feeds process-unique span and trace id suffixes.
+var idCounter atomic.Uint64
+
+// NewTraceID mints a fresh trace id. The prefix (typically a host name)
+// keeps ids from different processes distinct in a TCP deployment.
+func NewTraceID(prefix string) string {
+	return "t:" + prefix + ":" + strconv.FormatUint(idCounter.Add(1), 16)
+}
+
+func newSpanID(prefix string) string {
+	return "s:" + prefix + ":" + strconv.FormatUint(idCounter.Add(1), 16)
+}
+
+// SpanRecord is one finished span: a named interval on a host's virtual
+// clock, linked into a trace tree by parent span id. A whole itinerary —
+// agent hops, firewall mediations, VM activations — renders as one tree
+// under a single trace id.
+type SpanRecord struct {
+	TraceID string `json:"trace"`
+	SpanID  string `json:"span"`
+	// Parent is the parent span id; empty marks a trace root.
+	Parent string `json:"parent,omitempty"`
+	// Name labels the operation ("agent.go", "fw.send", "vm.exec", ...).
+	Name string `json:"name"`
+	// Host is the host the span was recorded on.
+	Host string `json:"host,omitempty"`
+	// Start and End are virtual times on the recording host's clock.
+	Start time.Duration `json:"start"`
+	End   time.Duration `json:"end"`
+	// Attrs are flattened key/value pairs (target URIs, byte counts, ...).
+	Attrs []string `json:"attrs,omitempty"`
+	// Err records a failure outcome ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// Span is a live, not-yet-finished span handle. A nil Span is the disabled
+// no-op: every method is safe and ID returns "".
+type Span struct {
+	store *SpanStore
+	clock vclock.Clock
+	rec   SpanRecord
+}
+
+// ID returns the span's id ("" on nil), used as the parent of child spans
+// and carried in briefcases as the trace-context folder.
+func (s *Span) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.rec.SpanID
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, k, v)
+}
+
+// SetErr records a failure outcome.
+func (s *Span) SetErr(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.rec.Err = err.Error()
+}
+
+// End stamps the end time from the span's clock and commits the record to
+// the store. End is idempotent in effect only through caller discipline:
+// call it exactly once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.End = s.clock.Now()
+	s.store.add(s.rec)
+}
+
+// SpanStore collects finished spans in a bounded ring: the newest Cap
+// spans are kept, older ones are overwritten (the store is a flight
+// recorder, not an archive). A nil store disables span collection.
+type SpanStore struct {
+	mu    sync.Mutex
+	buf   []SpanRecord
+	next  int
+	total uint64
+}
+
+// NewSpanStore returns a store keeping the newest cap spans (default 4096
+// when cap <= 0).
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &SpanStore{buf: make([]SpanRecord, 0, capacity)}
+}
+
+// Start opens a span at clock.Now(). Returns nil (the no-op span) on a nil
+// store, so callers need no disabled-path branching.
+func (st *SpanStore) Start(clock vclock.Clock, host, traceID, parent, name string) *Span {
+	if st == nil || traceID == "" {
+		return nil
+	}
+	return &Span{
+		store: st,
+		clock: clock,
+		rec: SpanRecord{
+			TraceID: traceID,
+			SpanID:  newSpanID(host),
+			Parent:  parent,
+			Name:    name,
+			Host:    host,
+			Start:   clock.Now(),
+		},
+	}
+}
+
+func (st *SpanStore) add(rec SpanRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.buf) < cap(st.buf) {
+		st.buf = append(st.buf, rec)
+	} else {
+		st.buf[st.next] = rec
+		st.next = (st.next + 1) % cap(st.buf)
+	}
+	st.total++
+}
+
+// Total returns the number of spans ever recorded (including overwritten
+// ones); 0 on nil.
+func (st *SpanStore) Total() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.total
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (st *SpanStore) Snapshot() []SpanRecord {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]SpanRecord, 0, len(st.buf))
+	out = append(out, st.buf[st.next:]...)
+	out = append(out, st.buf[:st.next]...)
+	return out
+}
+
+// ForTrace returns the retained spans of one trace, oldest first.
+func (st *SpanStore) ForTrace(traceID string) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range st.Snapshot() {
+		if r.TraceID == traceID {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"tax/internal/briefcase"
 	"tax/internal/firewall"
 	"tax/internal/identity"
+	"tax/internal/telemetry"
 	"tax/internal/uri"
 )
 
@@ -207,6 +208,13 @@ type BinVM struct {
 	cfg BinConfig
 	reg *firewall.Registration
 
+	// ctrActivated/ctrRejected count activations; histResolve times the
+	// verify/unpack/select/store-check pipeline an arriving binary passes
+	// through (nil unless detailed telemetry is on).
+	ctrActivated *telemetry.Counter
+	ctrRejected  *telemetry.Counter
+	histResolve  *telemetry.Histogram
+
 	mu     sync.Mutex
 	agents map[uint64]*firewall.Registration
 	closed bool
@@ -241,6 +249,13 @@ func NewBin(cfg BinConfig) (*BinVM, error) {
 		return nil, fmt.Errorf("vm: register %s: %w", cfg.Name, err)
 	}
 	v := &BinVM{cfg: cfg, reg: reg, agents: make(map[uint64]*firewall.Registration)}
+	tel := cfg.FW.Telemetry()
+	mreg := tel.Registry()
+	v.ctrActivated = mreg.Counter("vm.activated", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	v.ctrRejected = mreg.Counter("vm.rejected", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	if tel.Detailed() {
+		v.histResolve = mreg.Histogram("vm.resolve", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	}
 	v.wg.Add(1)
 	go v.loop()
 	return v, nil
@@ -279,6 +294,7 @@ func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
 	msgID, hasMsgID := bc.GetString(firewall.FolderMsgID)
 	reject := func(reason string) {
 		v.trace("rejected: %s", reason)
+		v.ctrRejected.Inc()
 		if sender == "" {
 			return
 		}
@@ -292,6 +308,10 @@ func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
 		_ = v.cfg.FW.Send(v.reg.GlobalURI(), report)
 	}
 
+	var t0 time.Time
+	if v.histResolve != nil {
+		t0 = time.Now()
+	}
 	// §3.3: execute "provided the binary is signed by a trusted
 	// principal". The signature covers the BINARIES folder, so a swapped
 	// image also fails here.
@@ -314,6 +334,9 @@ func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
 	if err != nil {
 		reject(err.Error())
 		return
+	}
+	if v.histResolve != nil {
+		v.histResolve.Observe(time.Since(t0))
 	}
 
 	name, ok := bc.GetString(FolderAgentName)
@@ -390,9 +413,11 @@ func (v *BinVM) run(principal, name string, handler Handler, bc *briefcase.Brief
 	v.mu.Unlock()
 
 	ctx := agent.NewContext(v.cfg.FW, reg, bc, v, nil)
+	v.ctrActivated.Inc()
 	v.wg.Add(1)
 	go func() {
 		defer v.wg.Done()
+		sp := v.execSpan(bc, name)
 		var err error
 		if v.cfg.PreLaunch != nil {
 			err = v.cfg.PreLaunch(ctx)
@@ -400,6 +425,10 @@ func (v *BinVM) run(principal, name string, handler Handler, bc *briefcase.Brief
 		if err == nil {
 			err = runHandler(handler, ctx)
 		}
+		if err != nil && !errors.Is(err, agent.ErrMoved) {
+			sp.SetErr(err)
+		}
+		sp.End()
 		v.mu.Lock()
 		delete(v.agents, reg.URI().Instance)
 		v.mu.Unlock()
@@ -409,6 +438,24 @@ func (v *BinVM) run(principal, name string, handler Handler, bc *briefcase.Brief
 		}
 	}()
 	return reg, nil
+}
+
+// execSpan mirrors GoVM.execSpan for binary activations.
+func (v *BinVM) execSpan(bc *briefcase.Briefcase, name string) *telemetry.Span {
+	spans := v.cfg.FW.Telemetry().Spans()
+	if spans == nil {
+		return nil
+	}
+	trace, ok := bc.GetString(briefcase.FolderSysTrace)
+	if !ok {
+		return nil
+	}
+	parent, _ := bc.GetString(briefcase.FolderSysSpan)
+	sp := spans.Start(v.cfg.FW.Clock(), v.cfg.FW.HostName(), trace, parent, "vm.exec")
+	sp.SetAttr("vm", v.cfg.Name)
+	sp.SetAttr("program", name)
+	bc.SetString(briefcase.FolderSysSpan, sp.ID())
+	return sp
 }
 
 // Move implements agent.Mover for binary agents: the BINARIES folder

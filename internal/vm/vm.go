@@ -38,6 +38,7 @@ import (
 	"tax/internal/briefcase"
 	"tax/internal/firewall"
 	"tax/internal/identity"
+	"tax/internal/telemetry"
 	"tax/internal/uri"
 )
 
@@ -136,6 +137,13 @@ type GoVM struct {
 	cfg Config
 	reg *firewall.Registration
 
+	// ctrActivated/ctrRejected count agent activations; histRun times
+	// handler execution in wall-clock terms (nil unless detailed telemetry
+	// is on, so the disabled path never reads the wall clock).
+	ctrActivated *telemetry.Counter
+	ctrRejected  *telemetry.Counter
+	histRun      *telemetry.Histogram
+
 	mu     sync.Mutex
 	agents map[uint64]*entry // by instance number
 	closed bool
@@ -165,6 +173,13 @@ func New(cfg Config) (*GoVM, error) {
 		return nil, fmt.Errorf("vm: register %s: %w", cfg.Name, err)
 	}
 	v := &GoVM{cfg: cfg, reg: reg, agents: make(map[uint64]*entry)}
+	tel := cfg.FW.Telemetry()
+	mreg := tel.Registry()
+	v.ctrActivated = mreg.Counter("vm.activated", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	v.ctrRejected = mreg.Counter("vm.rejected", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	if tel.Detailed() {
+		v.histRun = mreg.Histogram("vm.run", "host", cfg.FW.HostName(), "vm", cfg.Name)
+	}
 	v.wg.Add(1)
 	go v.loop()
 	return v, nil
@@ -257,6 +272,7 @@ func (v *GoVM) rejectTransfer(bc *briefcase.Briefcase, reason string) {
 
 func (v *GoVM) rejectTransferTo(sender, msgID string, hasMsgID bool, reason string) {
 	v.trace("rejected transfer: %s", reason)
+	v.ctrRejected.Inc()
 	if sender == "" {
 		return
 	}
@@ -320,10 +336,16 @@ func (v *GoVM) launch(principal, name, program string, bc *briefcase.Briefcase) 
 		local = v.resolveLocal
 	}
 	ctx := agent.NewContext(v.cfg.FW, reg, bc, v, local)
+	v.ctrActivated.Inc()
 
 	v.wg.Add(1)
 	go func() {
 		defer v.wg.Done()
+		sp := v.execSpan(bc, program)
+		var t0 time.Time
+		if v.histRun != nil {
+			t0 = time.Now()
+		}
 		var err error
 		if v.cfg.PreLaunch != nil {
 			err = v.cfg.PreLaunch(ctx)
@@ -331,6 +353,13 @@ func (v *GoVM) launch(principal, name, program string, bc *briefcase.Briefcase) 
 		if err == nil {
 			err = runHandler(handler, ctx)
 		}
+		if v.histRun != nil {
+			v.histRun.Observe(time.Since(t0))
+		}
+		if err != nil && !errors.Is(err, agent.ErrMoved) {
+			sp.SetErr(err)
+		}
+		sp.End()
 		v.mu.Lock()
 		delete(v.agents, reg.URI().Instance)
 		v.mu.Unlock()
@@ -340,6 +369,28 @@ func (v *GoVM) launch(principal, name, program string, bc *briefcase.Briefcase) 
 		}
 	}()
 	return reg, nil
+}
+
+// execSpan opens the span covering one local activation — the unit the
+// paper's per-hop breakdown measures — and re-points the briefcase's
+// parent-span folder at it, so hops and meets the handler performs become
+// its children. Nil (no-op) when spans are off or the briefcase carries
+// no trace context.
+func (v *GoVM) execSpan(bc *briefcase.Briefcase, program string) *telemetry.Span {
+	spans := v.cfg.FW.Telemetry().Spans()
+	if spans == nil {
+		return nil
+	}
+	trace, ok := bc.GetString(briefcase.FolderSysTrace)
+	if !ok {
+		return nil
+	}
+	parent, _ := bc.GetString(briefcase.FolderSysSpan)
+	sp := spans.Start(v.cfg.FW.Clock(), v.cfg.FW.HostName(), trace, parent, "vm.exec")
+	sp.SetAttr("vm", v.cfg.Name)
+	sp.SetAttr("program", program)
+	bc.SetString(briefcase.FolderSysSpan, sp.ID())
+	return sp
 }
 
 // runHandler isolates handler panics the way OS memory protection

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"time"
 
+	"tax/internal/telemetry"
 	"tax/internal/vclock"
 	"tax/internal/websim"
 )
@@ -110,6 +111,15 @@ type Robot struct {
 	Clock vclock.Clock
 	// Constraints bound the crawl.
 	Constraints Constraints
+	// Telemetry, when set, receives crawl totals (bot.pages, bot.bytes,
+	// bot.links) and — with spans enabled and TraceID set — one bot.crawl
+	// span per Run, so a mobile robot's crawl phase shows up inside its
+	// itinerary's trace tree.
+	Telemetry *telemetry.Telemetry
+	// TraceID attaches Run's span to an existing trace ("" records none).
+	TraceID string
+	// SpanParent optionally parents the crawl span (a vm.exec span id).
+	SpanParent string
 }
 
 // Run crawls depth-first from startURL and returns the gathered
@@ -129,14 +139,24 @@ func (r *Robot) Run(startURL string) (*Stats, error) {
 	}
 	st := &Stats{TypeCounts: make(map[string]int)}
 	start := r.Clock.Now()
+	sp := r.Telemetry.Spans().Start(r.Clock, r.Telemetry.Host(), r.TraceID, r.SpanParent, "bot.crawl")
+	sp.SetAttr("start", startURL)
 	c := &crawlState{
 		bestDepth: map[string]int{},
 		pageCache: map[string]*websim.Page{},
 	}
 	if err := r.crawl(startURL, "", 0, c, st); err != nil {
+		sp.SetErr(err)
+		sp.End()
 		return nil, err
 	}
 	st.Elapsed = r.Clock.Now() - start
+	sp.End()
+	if reg := r.Telemetry.Registry(); reg != nil {
+		reg.Counter("bot.pages").Add(int64(st.PagesVisited))
+		reg.Counter("bot.bytes").Add(int64(st.BytesFetched))
+		reg.Counter("bot.links").Add(int64(st.LinksChecked))
+	}
 	return st, nil
 }
 
