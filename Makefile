@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check ci chaos bench clean
 
 all: check
 
@@ -20,11 +20,28 @@ race:
 # detector.
 check: vet build race
 
+# ci is the minimal pipeline entry point.
+ci:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# chaos runs the fault-injection layer under the race detector: the
+# chaostest harness (3-hop itineraries under seeded fault plans — the
+# fixed seed list 1, 7, 42, 1999, 31337 plus a sweep lives in
+# internal/chaostest/chaostest_test.go, chaosSeeds), the rear-guard
+# recovery tests, and the deterministic injector/plan tests. Seeded and
+# virtual-clock driven: reruns reproduce the same fault sequences.
+chaos:
+	$(GO) test -race -timeout 120s -count=1 ./internal/chaostest/ ./internal/rearguard/ ./internal/faults/
+	$(GO) test -race -timeout 120s -count=1 -run 'Partition|Crash|Injector|TransferTime' ./internal/simnet/
+	$(GO) test -race -timeout 120s -count=1 -run 'Retry|Forward|Dedup|Expiry|Pending' ./internal/firewall/
+	$(GO) test -race -timeout 120s -count=1 -run 'Prop' ./internal/briefcase/
+
 # bench regenerates every evaluation table; the tel experiment also
-# writes BENCH_telemetry.json.
+# writes BENCH_telemetry.json, the faults experiment BENCH_faults.json.
 bench:
 	$(GO) run ./cmd/taxbench
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json
+	rm -f BENCH_telemetry.json BENCH_faults.json

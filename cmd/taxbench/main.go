@@ -4,11 +4,16 @@
 //
 //	taxbench            # run every experiment
 //	taxbench -exp e1    # one experiment: e1, e1wan, crossover, f3,
-//	                    # twrap, tbc, tfw, tel
+//	                    # twrap, tbc, tfw, tel, faults
 //
 // The tel experiment measures telemetry overhead on the firewall hot
 // path and records the machine-readable deltas to BENCH_telemetry.json
 // (path overridable with -json, disable with -json '').
+//
+// The faults experiment sweeps injected message-drop probability against
+// the rear-guarded chaos itinerary and records completion rate and
+// recovery latency to BENCH_faults.json (-faults-json to override,
+// -faults-seeds for runs per point).
 package main
 
 import (
@@ -22,17 +27,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
+	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
+	faultsSeeds := flag.Int("faults-seeds", 10, "seeded runs per drop-probability point in the faults experiment")
 	flag.Parse()
-	if err := run(*exp, *jsonPath, *rounds); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, jsonPath string, rounds int) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -63,6 +70,19 @@ func run(exp, jsonPath string, rounds int) error {
 			}
 			return t, nil
 		}},
+		{"faults", func() (*bench.Table, error) {
+			t, results, err := bench.Faults(faultsSeeds)
+			if err != nil {
+				return nil, err
+			}
+			if faultsJSON != "" {
+				if err := writeFaultsJSON(faultsJSON, faultsSeeds, results); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", faultsJSON)
+			}
+			return t, nil
+		}},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -80,6 +100,27 @@ func run(exp, jsonPath string, rounds int) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// writeFaultsJSON records the fault-sweep results (completion rate and
+// recovery latency vs drop probability) for regression tracking.
+func writeFaultsJSON(path string, seeds int, results []bench.FaultsResult) error {
+	doc := struct {
+		Time    time.Time            `json:"time"`
+		Seeds   int                  `json:"seeds_per_point"`
+		Results []bench.FaultsResult `json:"results"`
+	}{Time: time.Now(), Seeds: seeds, Results: results}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTelemetryJSON records the overhead results for regression

@@ -40,14 +40,24 @@ func main() {
 	telOn := flag.Bool("telemetry", false, "collect trace spans and audit events (metrics are always on)")
 	telDump := flag.String("telemetry-dump", "", "file to periodically write a telemetry JSON snapshot to")
 	telEvery := flag.Duration("telemetry-interval", 30*time.Second, "telemetry dump period")
+	retry := flag.String("retry", "", "default forward-retry policy 'attempts|backoff|deadline' (durations in ns) for agents without a _RETRY folder")
 	flag.Parse()
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string) error {
+	var retryPolicy firewall.RetryPolicy
+	if retry != "" {
+		p, err := firewall.ParseRetryPolicy(retry)
+		if err != nil {
+			return fmt.Errorf("-retry: %w", err)
+		}
+		retryPolicy = p
+	}
+
 	node, err := simnet.ListenTCP(listen)
 	if err != nil {
 		return err
@@ -90,7 +100,8 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		Resolve: func(h string, p int) (string, error) {
 			return net.JoinHostPort(h, strconv.Itoa(p)), nil
 		},
-		Telemetry: tel,
+		Telemetry:    tel,
+		ForwardRetry: retryPolicy,
 	})
 	if err != nil {
 		return err

@@ -83,6 +83,10 @@ type Context struct {
 	// receiving a briefcase, and wrappers intercept exactly those.
 	sendHook func(*briefcase.Briefcase) (*briefcase.Briefcase, error)
 	recvHook func(*briefcase.Briefcase) (*briefcase.Briefcase, error)
+
+	// finalizer runs when the hosting VM reaps the agent (see Finish);
+	// wrappers use it for end-of-life work such as pruning checkpoints.
+	finalizer func(err error)
 }
 
 // NewContext binds an agent to its briefcase and registration. mover and
@@ -131,6 +135,21 @@ func (c *Context) SetInterceptors(
 	recv func(*briefcase.Briefcase) (*briefcase.Briefcase, error),
 ) {
 	c.sendHook, c.recvHook = send, recv
+}
+
+// SetFinalizer registers fn to run when the hosting VM reaps the agent.
+// Wrapper stacks install it so wrappers can act on the agent's terminal
+// outcome (nil on clean completion, ErrMoved after a move, else the
+// fault) — the briefcase equivalent of a process exit handler.
+func (c *Context) SetFinalizer(fn func(err error)) { c.finalizer = fn }
+
+// Finish runs the registered finalizer, if any. VMs call it exactly once
+// after the handler returns and before unregistering, so the finalizer
+// can still send and receive on the agent's behalf.
+func (c *Context) Finish(err error) {
+	if c.finalizer != nil {
+		c.finalizer(err)
+	}
 }
 
 // Activate sends a briefcase to the target agent URI and returns
@@ -271,6 +290,13 @@ func (c *Context) Reply(request, response *briefcase.Briefcase) error {
 	}
 	if id, ok := request.GetString(firewall.FolderMsgID); ok {
 		response.SetString(firewall.FolderReplyTo, id)
+	}
+	// The retry policy rides the conversation: a request that asked to be
+	// retried gets a reply that retries the same way.
+	if pol, ok := request.GetString(briefcase.FolderSysRetry); ok {
+		if _, has := response.GetString(briefcase.FolderSysRetry); !has {
+			response.SetString(briefcase.FolderSysRetry, pol)
+		}
 	}
 	return c.Activate(sender, response)
 }

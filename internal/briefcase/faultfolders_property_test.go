@@ -1,0 +1,119 @@
+package briefcase_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+)
+
+// genFaultBriefcase builds a random briefcase carrying the fault-layer
+// system folders (_RETRY, _RGHOME) next to random payload folders.
+func genFaultBriefcase(rng *rand.Rand) (*briefcase.Briefcase, firewall.RetryPolicy, string) {
+	b := briefcase.New()
+	nf := rng.Intn(5)
+	for i := 0; i < nf; i++ {
+		f := b.Ensure(string(rune('A' + rng.Intn(6))))
+		for j := rng.Intn(4); j > 0; j-- {
+			e := make([]byte, rng.Intn(48))
+			rng.Read(e)
+			f.Append(e)
+		}
+	}
+	pol := firewall.RetryPolicy{
+		Attempts: rng.Intn(16),
+		Backoff:  time.Duration(rng.Int63n(int64(time.Second))),
+		Deadline: time.Duration(rng.Int63n(int64(time.Minute))),
+	}
+	firewall.SetRetryPolicy(b, pol)
+	guard := "tacoma://home/system/rg-" + string(rune('a'+rng.Intn(26)))
+	b.SetString(briefcase.FolderSysRearGuard, guard)
+	return b, pol, guard
+}
+
+// TestPropFaultFoldersSurviveTransit: _RETRY and _RGHOME round-trip
+// through encode/decode (one network hop) and through Clone (one
+// checkpoint snapshot) without loss or mutation.
+func TestPropFaultFoldersSurviveTransit(t *testing.T) {
+	f := func(seed int64) bool {
+		b, pol, guard := genFaultBriefcase(rand.New(rand.NewSource(seed)))
+		hop, err := briefcase.Decode(b.Encode())
+		if err != nil {
+			return false
+		}
+		for _, carrier := range []*briefcase.Briefcase{hop, b.Clone()} {
+			got, ok, err := firewall.RetryPolicyFrom(carrier)
+			if !ok || err != nil || got != pol {
+				return false
+			}
+			g, ok := carrier.GetString(briefcase.FolderSysRearGuard)
+			if !ok || g != guard {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCorruptedFrameNeverSilentlyAccepted models the injector's
+// deterministic corruption (mid and last byte flipped, as in
+// simnet.corruptPayload): a damaged frame must either fail to decode or
+// decode to something observably different — never pass for the
+// original.
+func TestPropCorruptedFrameNeverSilentlyAccepted(t *testing.T) {
+	f := func(seed int64) bool {
+		b, _, _ := genFaultBriefcase(rand.New(rand.NewSource(seed)))
+		frame := b.Encode()
+		if len(frame) == 0 {
+			return true
+		}
+		damaged := append([]byte(nil), frame...)
+		damaged[len(damaged)/2] ^= 0xA5
+		damaged[len(damaged)-1] ^= 0x5A
+		got, err := briefcase.Decode(damaged)
+		if err != nil {
+			return true // rejected: the firewall audits and drops it
+		}
+		return !got.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRetryPolicyParseTotal: ParseRetryPolicy is total on arbitrary
+// input — it never panics, and anything it accepts is a sane
+// (non-negative) policy whose re-encoding parses to the same value.
+func TestPropRetryPolicyParseTotal(t *testing.T) {
+	f := func(s string) bool {
+		p, err := firewall.ParseRetryPolicy(s)
+		if err != nil {
+			return true
+		}
+		if p.Attempts < 0 || p.Backoff < 0 || p.Deadline < 0 {
+			return false
+		}
+		again, err := firewall.ParseRetryPolicy(p.Encode())
+		return err == nil && again == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+	// And on near-miss structured inputs quick is unlikely to find.
+	for _, s := range []string{"1|2|3", "1|2|3|", "0|0|0", "9999999|1|1"} {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("ParseRetryPolicy(%q) panicked: %v", s, r)
+				}
+			}()
+			_, _ = firewall.ParseRetryPolicy(s)
+		}()
+	}
+}

@@ -1,0 +1,266 @@
+// Package chaostest is the chaos/property harness of the fault-injection
+// layer: it boots a simulated 4-host deployment (home + 3 stops), binds a
+// deterministic faults.Plan to the network, and drives a rear-guarded,
+// checkpointed 3-hop itinerary whose visit effects are idempotent.
+//
+// The harness is the executable statement of the §4 recovery contract:
+// execution is at-least-once (a "dead" hop may have been merely
+// partitioned, and recovery replays from the last snapshot), so visit
+// effects are deduplicated by stop — and the tests assert the resulting
+// end-to-end guarantee: under injected faults every run either completes
+// with exactly-once effects on every non-skipped stop, or ends in a
+// typed failure. No hangs, no silent loss.
+package chaostest
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/faults"
+	"tax/internal/firewall"
+	"tax/internal/rearguard"
+	"tax/internal/simnet"
+	"tax/internal/wrapper"
+)
+
+// Stops is the fixed 3-hop itinerary every scenario drives.
+var Stops = []string{"h1", "h2", "h3"}
+
+const (
+	home     = "home"
+	program  = "chaos-tour"
+	ckptPath = "/ckpt/chaos"
+)
+
+// Scenario is one chaos run: a seed, message-level fault probabilities,
+// and optional scheduled events (crashes, partitions) in virtual time.
+type Scenario struct {
+	// Seed drives the fault plan; same scenario, same seed, same faults.
+	Seed int64
+	// Drop, Duplicate, Delay, Corrupt are per-transfer probabilities
+	// (see faults.Config).
+	Drop, Duplicate, Delay, Corrupt float64
+	// MaxDelay bounds injected jitter (default faults.Config's).
+	MaxDelay time.Duration
+	// Events are scheduled topology faults in virtual time.
+	Events []faults.Event
+	// CrashOnArrival names a stop whose first visit crashes its host
+	// (transport-level) mid-visit — the rear-guard's canonical prey.
+	CrashOnArrival string
+	// RestartDelay, when positive, restarts the crashed host after this
+	// much wall-clock time, letting the reinserted stop be reached on
+	// recovery instead of skipped.
+	RestartDelay time.Duration
+	// HopDeadline is the guard's silence threshold (default 500ms).
+	HopDeadline time.Duration
+	// MaxRecoveries bounds guard relaunches (default 5).
+	MaxRecoveries int
+	// Retry is the itinerary briefcase's _RETRY policy (default 8
+	// attempts, 200µs backoff).
+	Retry firewall.RetryPolicy
+	// WaitTimeout bounds the whole run (default 20s); expiry surfaces
+	// as rearguard.ErrWaitTimeout in Result.Err, never as a test hang.
+	WaitTimeout time.Duration
+}
+
+// Result is the observable outcome of one run.
+type Result struct {
+	// Err is the terminal outcome: nil on completion, else a typed
+	// rearguard error (or the guard's transport error).
+	Err error
+	// Recoveries counts rear-guard relaunches.
+	Recoveries int
+	// Attempts counts visit executions per stop (≥ Effects: recovery
+	// replays re-execute).
+	Attempts map[string]int
+	// Effects counts applied (deduplicated) visit effects per stop; the
+	// exactly-once contract is Effects[stop] ∈ {0, 1} with 0 only for
+	// skipped stops.
+	Effects map[string]int
+	// Skipped lists itinerary stops recorded unreachable.
+	Skipped []string
+	// FaultLog is the plan's canonical JSON log (see faults.LogJSON).
+	FaultLog []byte
+}
+
+// Completed reports whether the itinerary reached its done report.
+func (r Result) Completed() bool { return r.Err == nil }
+
+// ExactlyOnce verifies the effect contract: every stop either carries
+// exactly one applied effect or was recorded skipped (never both absent,
+// never a double application). It returns the first violating stop.
+func (r Result) ExactlyOnce() (string, bool) {
+	skipped := make(map[string]bool)
+	for _, s := range r.Skipped {
+		for _, stop := range Stops {
+			if s == stopURI(stop) || s == stop {
+				skipped[stop] = true
+			}
+		}
+	}
+	for _, stop := range Stops {
+		switch r.Effects[stop] {
+		case 1:
+		case 0:
+			if !skipped[stop] {
+				return stop, false
+			}
+		default:
+			return stop, false
+		}
+	}
+	return "", true
+}
+
+func stopURI(host string) string { return "tacoma://" + host + "//vm_go" }
+
+// Run executes one scenario to its terminal outcome.
+func Run(sc Scenario) (Result, error) {
+	if sc.HopDeadline <= 0 {
+		sc.HopDeadline = 500 * time.Millisecond
+	}
+	if sc.MaxRecoveries <= 0 {
+		sc.MaxRecoveries = 5
+	}
+	if !sc.Retry.Enabled() {
+		sc.Retry = firewall.RetryPolicy{Attempts: 8, Backoff: 200 * time.Microsecond}
+	}
+	if sc.WaitTimeout <= 0 {
+		sc.WaitTimeout = 20 * time.Second
+	}
+
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.Close()
+	for i, h := range append([]string{home}, Stops...) {
+		opts := core.NodeOptions{NoCVM: true, DedupWindow: 256}
+		if i == 0 {
+			opts.NameService = true
+		}
+		if _, err := s.AddNode(h, opts); err != nil {
+			return Result{}, err
+		}
+	}
+
+	plan := faults.New(faults.Config{
+		Seed:      sc.Seed,
+		Drop:      sc.Drop,
+		Duplicate: sc.Duplicate,
+		Delay:     sc.Delay,
+		MaxDelay:  sc.MaxDelay,
+		Corrupt:   sc.Corrupt,
+	})
+	plan.Schedule(sc.Events...)
+	plan.Bind(s.Net)
+
+	s.DeployWrapper("checkpoint:"+ckptPath, func() wrapper.Wrapper {
+		return &wrapper.Checkpoint{
+			StoreURI: "tacoma://" + home + "//ag_fs",
+			Path:     ckptPath,
+			Retry:    sc.Retry,
+		}
+	})
+	s.DeployWrapper(rearguard.WrapperName, func() wrapper.Wrapper {
+		return &rearguard.Beacon{}
+	})
+
+	// Idempotent visit effects: every execution is counted in attempts,
+	// but the effect applies once per stop — the discipline that turns
+	// at-least-once execution into exactly-once outcomes.
+	var mu sync.Mutex
+	attempts := make(map[string]int)
+	effects := make(map[string]int)
+	var skipped []string
+	s.DeployProgram(program, func(ctx *agent.Context) error {
+		err := agent.RunItinerary(ctx, func(ctx *agent.Context) error {
+			h := ctx.Host()
+			if h == home {
+				return nil // launch/recovery site, not an itinerary stop
+			}
+			mu.Lock()
+			attempts[h]++
+			first := attempts[h] == 1
+			if first {
+				effects[h]++
+			}
+			mu.Unlock()
+			if first && h == sc.CrashOnArrival {
+				s.Net.Crash(h)
+				if sc.RestartDelay > 0 {
+					time.AfterFunc(sc.RestartDelay, func() { s.Net.Restart(h) })
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			mu.Lock()
+			skipped = append(skipped, agent.Skipped(ctx)...)
+			mu.Unlock()
+		}
+		return err
+	})
+
+	homeNode, err := s.Node(home)
+	if err != nil {
+		return Result{}, err
+	}
+	guard, err := rearguard.NewGuard(rearguard.Config{
+		FW: homeNode.FW,
+		Launch: func(p, n, prog string, bc *briefcase.Briefcase) (*firewall.Registration, error) {
+			return homeNode.VM.Launch(p, n, prog, bc)
+		},
+		Program:         program,
+		Checkpoint:      ckptPath,
+		HopDeadline:     sc.HopDeadline,
+		MaxRecoveries:   sc.MaxRecoveries,
+		ReinsertLastHop: true,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	defer guard.Close()
+
+	bc := briefcase.New()
+	bc.Ensure(briefcase.FolderSysWrap).AppendString("checkpoint:"+ckptPath, rearguard.WrapperName)
+	stops := bc.Ensure(briefcase.FolderHosts)
+	for _, stop := range Stops {
+		stops.AppendString(stopURI(stop))
+	}
+	firewall.SetRetryPolicy(bc, sc.Retry)
+
+	if _, err := guard.Launch(bc); err != nil {
+		return Result{}, err
+	}
+	waitErr := guard.Wait(sc.WaitTimeout)
+
+	logJSON, err := plan.LogJSON()
+	if err != nil {
+		return Result{}, err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	res := Result{
+		Err:        waitErr,
+		Recoveries: guard.Recoveries(),
+		Attempts:   copyCounts(attempts),
+		Effects:    copyCounts(effects),
+		Skipped:    append([]string(nil), skipped...),
+		FaultLog:   logJSON,
+	}
+	sort.Strings(res.Skipped)
+	return res, nil
+}
+
+func copyCounts(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package chaostest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/core"
+	"tax/internal/firewall"
+	"tax/internal/rearguard"
+	"tax/internal/simnet"
+	"tax/internal/wrapper"
+)
+
+// chaosSeeds are the documented fixed seeds `make chaos` replays; keep in
+// sync with the Makefile.
+var chaosSeeds = []int64{1, 7, 42, 1999, 31337}
+
+// TestChaosDeterministicFaultLog: the acceptance bar for reproducibility
+// — the same scenario under the same seed yields a byte-identical
+// canonical fault log on a second run, and a different seed does not.
+func TestChaosDeterministicFaultLog(t *testing.T) {
+	sc := Scenario{
+		Seed:      42,
+		Drop:      0.15,
+		Duplicate: 0.1,
+		Delay:     0.3,
+	}
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Err != nil {
+		t.Fatalf("seed 42 run failed: %v", first.Err)
+	}
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.FaultLog, second.FaultLog) {
+		t.Errorf("same seed, different fault logs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			first.FaultLog, second.FaultLog)
+	}
+	sc.Seed = 43
+	other, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(first.FaultLog, other.FaultLog) {
+		t.Error("different seeds produced identical fault logs")
+	}
+}
+
+// TestChaosRecoveryRate: under drop probability 0.3 the retry + rear-
+// guard machinery completes at least 95% of 3-hop itineraries across the
+// seed corpus, and every non-completion is a typed rearguard failure —
+// never a hang, never an untyped error.
+func TestChaosRecoveryRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep in -short mode")
+	}
+	seeds := make([]int64, 0, 20)
+	seeds = append(seeds, chaosSeeds...)
+	for s := int64(100); len(seeds) < 20; s++ {
+		seeds = append(seeds, s)
+	}
+	completed := 0
+	for _, seed := range seeds {
+		res, err := Run(Scenario{Seed: seed, Drop: 0.3, Duplicate: 0.1, Delay: 0.2})
+		if err != nil {
+			t.Fatalf("seed %d: harness error: %v", seed, err)
+		}
+		if res.Completed() {
+			completed++
+			if stop, ok := res.ExactlyOnce(); !ok {
+				t.Errorf("seed %d: effect contract violated at %s: effects=%v skipped=%v",
+					seed, stop, res.Effects, res.Skipped)
+			}
+		} else {
+			var typed bool
+			for _, want := range []error{
+				rearguard.ErrUnrecovered, rearguard.ErrRecoveryFailed, rearguard.ErrWaitTimeout,
+			} {
+				if errors.Is(res.Err, want) {
+					typed = true
+				}
+			}
+			if !typed {
+				t.Errorf("seed %d: non-completion with untyped error: %v", seed, res.Err)
+			}
+			t.Logf("seed %d did not complete: %v (recoveries=%d)", seed, res.Err, res.Recoveries)
+		}
+	}
+	if min := (len(seeds)*95 + 99) / 100; completed < min {
+		t.Errorf("completion rate %d/%d below 95%%", completed, len(seeds))
+	}
+}
+
+// TestChaosCrashedStopIsSkippedExactlyOnce: a stop that crashes on
+// arrival and never returns forces a recovery; the tour still completes
+// with the dead stop recorded skipped and every live stop's effect
+// applied exactly once.
+func TestChaosCrashedStopIsSkippedExactlyOnce(t *testing.T) {
+	res, err := Run(Scenario{Seed: 7, CrashOnArrival: "h2", HopDeadline: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatalf("run did not complete: %v", res.Err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("recoveries = %d, want >= 1", res.Recoveries)
+	}
+	if stop, ok := res.ExactlyOnce(); !ok {
+		t.Errorf("effect contract violated at %s: effects=%v skipped=%v", stop, res.Effects, res.Skipped)
+	}
+	if res.Effects["h1"] != 1 || res.Effects["h3"] != 1 {
+		t.Errorf("live stops not applied exactly once: %v", res.Effects)
+	}
+}
+
+// TestChaosCrashWithRestartRecoversTheStop: when the crashed host comes
+// back before recovery retries it, the reinserted stop is executed and
+// its effect still applies exactly once despite the replay.
+func TestChaosCrashWithRestartRecoversTheStop(t *testing.T) {
+	res, err := Run(Scenario{
+		Seed:           11,
+		CrashOnArrival: "h2",
+		RestartDelay:   50 * time.Millisecond,
+		HopDeadline:    400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatalf("run did not complete: %v", res.Err)
+	}
+	if stop, ok := res.ExactlyOnce(); !ok {
+		t.Errorf("effect contract violated at %s: effects=%v skipped=%v", stop, res.Effects, res.Skipped)
+	}
+	if res.Effects["h2"] != 1 {
+		t.Errorf("restarted stop h2 effects = %d, want 1 (attempts=%v)", res.Effects["h2"], res.Attempts)
+	}
+}
+
+// TestRecoveryFromAnyPrefixIsIdempotent is the property test: for every
+// checkpoint prefix k of the itinerary (the snapshot taken before hop
+// k+1), relaunching from that snapshot — even though the original run
+// already completed — converges to the same exactly-once effects. The
+// replayed visits are absorbed by the idempotent-effect discipline.
+func TestRecoveryFromAnyPrefixIsIdempotent(t *testing.T) {
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	for i, h := range append([]string{home}, Stops...) {
+		opts := core.NodeOptions{NoCVM: true, DedupWindow: 64}
+		if i == 0 {
+			opts.NameService = true
+		}
+		if _, err := s.AddNode(h, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.DeployWrapper(rearguard.WrapperName, func() wrapper.Wrapper { return &rearguard.Beacon{} })
+
+	var mu sync.Mutex
+	effects := make(map[string]int)
+	attempts := make(map[string]int)
+	done := make(chan struct{}, 16)
+	s.DeployProgram(program, func(ctx *agent.Context) error {
+		err := agent.RunItinerary(ctx, func(ctx *agent.Context) error {
+			h := ctx.Host()
+			if h == home {
+				return nil
+			}
+			mu.Lock()
+			attempts[h]++
+			if attempts[h] == 1 {
+				effects[h]++
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err == nil {
+			done <- struct{}{}
+		}
+		return err
+	})
+
+	homeNode, err := s.Node(home)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launch := func(k int) {
+		t.Helper()
+		// The k-prefix snapshot: the briefcase as sent toward stop k+1 —
+		// stops 0..k-1 already popped from HOSTS.
+		bc := briefcase.New()
+		bc.Ensure(briefcase.FolderSysWrap).AppendString(rearguard.WrapperName)
+		hosts := bc.Ensure(briefcase.FolderHosts)
+		for _, stop := range Stops[k:] {
+			hosts.AppendString(stopURI(stop))
+		}
+		firewall.SetRetryPolicy(bc, firewall.RetryPolicy{Attempts: 4, Backoff: 100 * time.Microsecond})
+		name := fmt.Sprintf("prefix-%d", k)
+		if _, err := homeNode.VM.Launch(homeNode.FW.SystemPrincipal(), name, program, bc); err != nil {
+			t.Fatalf("prefix %d: %v", k, err)
+		}
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("prefix %d relaunch never completed", k)
+		}
+	}
+
+	// Baseline full run, then a relaunch from every prefix.
+	for k := 0; k <= len(Stops); k++ {
+		launch(0)
+		if k > 0 {
+			launch(k)
+		}
+		mu.Lock()
+		for _, stop := range Stops {
+			if effects[stop] != 1 {
+				t.Fatalf("after prefix %d replay: effects[%s] = %d, want 1 (attempts=%v)",
+					k, stop, effects[stop], attempts)
+			}
+		}
+		// Reset for the next prefix so each round checks independently.
+		effects = make(map[string]int)
+		attempts = make(map[string]int)
+		mu.Unlock()
+	}
+}

@@ -36,6 +36,12 @@ type NodeOptions struct {
 	RequireAuth bool
 	// QueueTimeout overrides the firewall's parked-message timeout.
 	QueueTimeout time.Duration
+	// ForwardRetry is the node's default retry policy for remote
+	// forwards (briefcases may override it via _RETRY).
+	ForwardRetry firewall.RetryPolicy
+	// DedupWindow enables inbound duplicate-frame suppression on the
+	// node's firewall (see firewall.Config.DedupWindow).
+	DedupWindow int
 	// Trace receives kernel instrumentation events.
 	Trace func(event string)
 	// NoServices skips launching the standard service agents.
@@ -231,6 +237,8 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		LocalHopCost:  150 * time.Microsecond,
 		ChannelSigner: channelSigner,
 		ChannelAuth:   opts.SecureChannels,
+		ForwardRetry:  opts.ForwardRetry,
+		DedupWindow:   opts.DedupWindow,
 		Telemetry:     nodeTel,
 	})
 	if err != nil {

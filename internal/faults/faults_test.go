@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"tax/internal/simnet"
+)
+
+// drive replays a fixed traffic pattern against a plan and returns its
+// canonical log.
+func drive(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	pairs := [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}}
+	for i := 0; i < 50; i++ {
+		for _, pr := range pairs {
+			p.Decide(pr[0], pr[1], time.Duration(i)*time.Millisecond, 100+i)
+		}
+	}
+	log, err := p.LogJSON()
+	if err != nil {
+		t.Fatalf("LogJSON: %v", err)
+	}
+	return log
+}
+
+func TestPlanDeterministicLog(t *testing.T) {
+	cfg := Config{Seed: 42, Drop: 0.2, Duplicate: 0.1, Delay: 0.3, MaxDelay: time.Millisecond, Corrupt: 0.05}
+	a := drive(t, New(cfg))
+	b := drive(t, New(cfg))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different logs:\n%s\n----\n%s", a, b)
+	}
+	if len(New(Config{Seed: 42}).Log()) != 0 {
+		t.Fatalf("zero-probability plan recorded faults")
+	}
+	c := drive(t, New(Config{Seed: 43, Drop: 0.2, Duplicate: 0.1, Delay: 0.3, MaxDelay: time.Millisecond, Corrupt: 0.05}))
+	if bytes.Equal(a, c) {
+		t.Fatalf("different seeds produced identical logs")
+	}
+}
+
+func TestPlanInterleavingInvariance(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.5}
+	// Same per-pair traffic, different global interleaving: the canonical
+	// log must not change.
+	p1 := New(cfg)
+	for i := 0; i < 20; i++ {
+		p1.Decide("a", "b", 0, 10)
+		p1.Decide("b", "a", 0, 10)
+	}
+	p2 := New(cfg)
+	for i := 0; i < 20; i++ {
+		p2.Decide("a", "b", 0, 10)
+	}
+	for i := 0; i < 20; i++ {
+		p2.Decide("b", "a", 0, 10)
+	}
+	l1, _ := p1.LogJSON()
+	l2, _ := p2.LogJSON()
+	if !bytes.Equal(l1, l2) {
+		t.Fatalf("interleaving changed the canonical log:\n%s\n----\n%s", l1, l2)
+	}
+}
+
+func TestScheduledEventsFireInOrder(t *testing.T) {
+	net := simnet.New(simnet.LAN100)
+	ha, err := net.AddHost("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.AddHost("b"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = net.Close() }()
+
+	p := New(Config{Seed: 1})
+	p.Schedule(
+		Event{At: 10 * time.Millisecond, Op: OpHeal, A: "a", B: "b"},
+		Event{At: 5 * time.Millisecond, Op: OpPartition, A: "a", B: "b"},
+		Event{At: 20 * time.Millisecond, Op: OpCrash, A: "b"},
+		Event{At: 30 * time.Millisecond, Op: OpRestart, A: "b"},
+	)
+	p.Bind(net)
+
+	if err := ha.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send before any event: %v", err)
+	}
+	// Advance past partition time: the next decision applies it, and the
+	// send fails.
+	ha.Clock().AdvanceTo(6 * time.Millisecond)
+	if err := ha.Send("b", []byte("x")); err == nil {
+		t.Fatalf("send during scheduled partition succeeded")
+	} else if !net.Partitioned("a", "b") {
+		t.Fatalf("partition event did not apply (err=%v)", err)
+	}
+	ha.Clock().AdvanceTo(11 * time.Millisecond)
+	if err := ha.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send after scheduled heal: %v", err)
+	}
+	ha.Clock().AdvanceTo(21 * time.Millisecond)
+	if err := ha.Send("b", []byte("x")); err == nil || !net.Crashed("b") {
+		t.Fatalf("crash event did not apply (err=%v)", err)
+	}
+	ha.Clock().AdvanceTo(31 * time.Millisecond)
+	if err := ha.Send("b", []byte("x")); err != nil {
+		t.Fatalf("send after scheduled restart: %v", err)
+	}
+	applied := p.Applied()
+	if len(applied) != 4 {
+		t.Fatalf("applied %d events, want 4: %+v", len(applied), applied)
+	}
+	wantOps := []string{OpPartition, OpHeal, OpCrash, OpRestart}
+	for i, op := range wantOps {
+		if applied[i].Op != op {
+			t.Fatalf("applied[%d] = %s, want %s", i, applied[i].Op, op)
+		}
+	}
+}

@@ -85,6 +85,17 @@ type Config struct {
 	// ChannelAuth, when set, rejects inbound frames that are not signed
 	// by a trusted (or better) principal.
 	ChannelAuth bool
+	// ForwardRetry is the host-default retry policy for remote forwards,
+	// used when a briefcase carries no _RETRY folder of its own. The
+	// zero value sends exactly once, the pre-retry behavior.
+	ForwardRetry RetryPolicy
+	// DedupWindow, when positive, remembers the hashes of the last N
+	// inbound frames and silently drops exact duplicates. Networks that
+	// duplicate messages (fault injection, at-least-once transports)
+	// need it so a redelivered agent transfer does not activate twice;
+	// it is off by default because legitimate traffic may repeat
+	// byte-identically.
+	DedupWindow int
 	// Resolve maps an agent-URI host and port to a transport address.
 	// Nil means the host name is the transport address (simnet).
 	Resolve func(host string, port int) (string, error)
@@ -132,6 +143,8 @@ type fwCounters struct {
 	authFailures *telemetry.Counter
 	mgmtOps      *telemetry.Counter
 	errors       *telemetry.Counter
+	retries      *telemetry.Counter
+	dupDropped   *telemetry.Counter
 }
 
 // Firewall is the per-host broker. Create with New, shut down with Close.
@@ -147,9 +160,14 @@ type Firewall struct {
 	histSend    *telemetry.Histogram
 	histInbound *telemetry.Histogram
 
+	// gaugePending mirrors len(pending) into the registry so parked
+	// messages are observable without polling Pending().
+	gaugePending *telemetry.Gauge
+
 	mu           sync.Mutex
 	regs         map[string][]*Registration // keyed by agent name
 	pending      []*pendingMsg
+	dedup        *dedupWindow // nil unless cfg.DedupWindow > 0
 	nextInstance uint64
 	closed       bool
 }
@@ -199,9 +217,15 @@ func New(cfg Config) (*Firewall, error) {
 			authFailures: reg.Counter("fw.auth_failures", "host", cfg.HostName),
 			mgmtOps:      reg.Counter("fw.mgmt_ops", "host", cfg.HostName),
 			errors:       reg.Counter("fw.errors", "host", cfg.HostName),
+			retries:      reg.Counter("fw.retries", "host", cfg.HostName),
+			dupDropped:   reg.Counter("fw.dup_dropped", "host", cfg.HostName),
 		},
+		gaugePending: reg.Gauge("fw.pending", "host", cfg.HostName),
 		regs:         make(map[string][]*Registration),
 		nextInstance: 0x1000,
+	}
+	if cfg.DedupWindow > 0 {
+		fw.dedup = newDedupWindow(cfg.DedupWindow)
 	}
 	if tel.Detailed() {
 		fw.histSend = reg.Histogram("fw.send", "host", cfg.HostName)
@@ -282,6 +306,7 @@ func (fw *Firewall) Close() error {
 	}
 	pend := fw.pending
 	fw.pending = nil
+	fw.gaugePending.Set(0)
 	fw.mu.Unlock()
 	for _, r := range regs {
 		r.kill()
@@ -459,7 +484,8 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 	}
 	frame := sealFrame(fw.cfg.ChannelSigner, bc.Encode())
 	// The network transfer gets its own child span so per-hop migration
-	// cost splits into mediation versus wire time.
+	// cost splits into mediation versus wire time. Retries stay inside
+	// it: the wire time of a lossy hop includes its backoffs.
 	var tsp *telemetry.Span
 	if sp != nil {
 		trace, _ := bc.GetString(briefcase.FolderSysTrace)
@@ -467,12 +493,44 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 		tsp.SetAttr("to", addr)
 		tsp.SetAttr("bytes", strconv.Itoa(len(frame)))
 	}
-	err = fw.cfg.Node.Send(addr, frame)
+	policy := fw.forwardPolicy(bc)
+	attempts := policy.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := policy.Backoff
+	start := fw.clock.Now()
+	var attempt int
+	for attempt = 1; ; attempt++ {
+		err = fw.cfg.Node.Send(addr, frame)
+		if err == nil || attempt >= attempts {
+			break
+		}
+		if policy.Deadline > 0 && fw.clock.Now()-start+backoff > policy.Deadline {
+			break
+		}
+		fw.ctr.retries.Inc()
+		fw.event(telemetry.EventRetry, sender.Principal, targetStr,
+			fmt.Sprintf("attempt %d/%d failed (%v); backing off %v", attempt, attempts, err, backoff))
+		// The host clock pays the backoff: virtual clocks advance without
+		// sleeping, real clocks really wait.
+		fw.clock.Advance(backoff)
+		if backoff > 0 {
+			backoff *= 2
+		}
+	}
+	if tsp != nil && attempt > 1 {
+		tsp.SetAttr("attempts", strconv.Itoa(attempt))
+	}
 	tsp.SetErr(err)
 	tsp.End()
 	if err != nil {
 		fw.ctr.errors.Inc()
 		fw.event(telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
+		if policy.Enabled() {
+			fw.event(telemetry.EventGiveUp, sender.Principal, targetStr,
+				fmt.Sprintf("forward abandoned after %d attempts: %v", attempt, err))
+		}
 		sp.SetErr(err)
 		sp.End()
 		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
@@ -493,6 +551,16 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	var t0 time.Time
 	if fw.histInbound != nil {
 		t0 = time.Now()
+	}
+	if fw.dedup != nil {
+		fw.mu.Lock()
+		dup := fw.dedup.observe(payload)
+		fw.mu.Unlock()
+		if dup {
+			fw.ctr.dupDropped.Inc()
+			fw.event(telemetry.EventDrop, "", "", "duplicate frame from "+from)
+			return
+		}
 	}
 	inner, err := openFrame(fw.cfg.Trust, fw.cfg.ChannelAuth, payload)
 	if err != nil {
@@ -620,10 +688,21 @@ func (fw *Firewall) parkLocked(senderPrincipal string, target uri.URI, bc *brief
 	p := &pendingMsg{target: target, senderPrincipal: senderPrincipal, bc: bc}
 	p.timer = time.AfterFunc(fw.cfg.QueueTimeout, func() { fw.expire(p) })
 	fw.pending = append(fw.pending, p)
+	fw.gaugePending.Set(int64(len(fw.pending)))
 }
 
-// expire drops a parked message whose timeout lapsed and reports the
-// failure to the sender when one is known.
+// Pending returns the number of currently parked messages.
+func (fw *Firewall) Pending() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return len(fw.pending)
+}
+
+// expire handles a parked message whose timeout lapsed: the expiry is
+// audited, the sender is notified with a typed KindError envelope, and —
+// when the reply path is itself unreachable — the envelope is parked
+// here rather than silently lost, so it stays observable (Pending, the
+// event log) and is retried once more when its own timeout fires.
 func (fw *Firewall) expire(p *pendingMsg) {
 	fw.mu.Lock()
 	found := false
@@ -634,6 +713,7 @@ func (fw *Firewall) expire(p *pendingMsg) {
 			break
 		}
 	}
+	fw.gaugePending.Set(int64(len(fw.pending)))
 	fw.mu.Unlock()
 	if !found {
 		return
@@ -641,15 +721,45 @@ func (fw *Firewall) expire(p *pendingMsg) {
 	fw.ctr.expired.Inc()
 	fw.event(telemetry.EventExpire, p.senderPrincipal, p.target.String(),
 		fmt.Sprintf("queue timeout after %v", fw.cfg.QueueTimeout))
+	if Kind(p.bc) == KindError {
+		// An expired error envelope gets one last delivery attempt — its
+		// reply path may have healed while it waited — and is then gone
+		// for good; re-parking it would loop forever against a dead path.
+		if !fw.isLocal(p.target) {
+			_ = fw.Send(fw.selfURI(), p.bc)
+		}
+		return
+	}
 	senderStr, ok := p.bc.GetString(briefcase.FolderSysSender)
-	if !ok || Kind(p.bc) == KindError {
+	if !ok {
 		return
 	}
 	sender, err := uri.Parse(senderStr)
-	if err != nil {
+	if err != nil || (sender.Name == "" && !sender.HasInstance && sender.Principal == "") {
 		return
 	}
-	fw.replyError(p.bc, sender, fmt.Sprintf("message to %s expired after %v", p.target, fw.cfg.QueueTimeout))
+	reason := fmt.Sprintf("message to %s expired after %v", p.target, fw.cfg.QueueTimeout)
+	report := errorReport(fw.selfURI().String(), sender.String(), reason)
+	if id, okID := p.bc.GetString(FolderMsgID); okID {
+		report.SetString(FolderReplyTo, id)
+	}
+	// The notification inherits the original's retry policy so it can
+	// ride out a transiently partitioned reply path.
+	if pol, has, polErr := RetryPolicyFrom(p.bc); has && polErr == nil {
+		SetRetryPolicy(report, pol)
+	}
+	if sendErr := fw.Send(fw.selfURI(), report); sendErr != nil {
+		fw.mu.Lock()
+		if fw.closed {
+			fw.mu.Unlock()
+			return
+		}
+		fw.parkLocked(fw.cfg.SystemPrincipal, sender, report)
+		fw.mu.Unlock()
+		fw.ctr.queued.Inc()
+		fw.event(telemetry.EventPark, fw.cfg.SystemPrincipal, sender.String(),
+			"reply path unreachable; parked expiry notice: "+sendErr.Error())
+	}
 }
 
 // matchPendingLocked removes and returns parked messages deliverable to
@@ -669,6 +779,7 @@ func (fw *Firewall) matchPendingLocked(r *Registration) []*briefcase.Briefcase {
 		}
 	}
 	fw.pending = rest
+	fw.gaugePending.Set(int64(len(rest)))
 	return out
 }
 

@@ -1,0 +1,148 @@
+package firewall
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/telemetry"
+)
+
+// RetryPolicy governs how the firewall retries a failed remote forward:
+// up to Attempts tries with exponential backoff starting at Backoff,
+// abandoned once the next wait would cross Deadline (zero means no
+// deadline). The zero value (and any Attempts <= 1) disables retrying.
+//
+// The policy travels in a briefcase's reserved _RETRY folder, so the
+// agent that chose it keeps it across hops and the firewalls along the
+// way need no per-agent configuration — the same pattern the briefcase
+// uses for the wrapper stack (_WRAP) and trace context (_TRACE).
+type RetryPolicy struct {
+	// Attempts is the total number of send attempts (first try included).
+	Attempts int
+	// Backoff is the wait after the first failure; it doubles per retry.
+	// The host clock pays it, so simulated deployments back off in
+	// virtual time (no sleeping) while live TCP nodes really wait.
+	Backoff time.Duration
+	// Deadline bounds the total time from first attempt to giving up.
+	Deadline time.Duration
+}
+
+// Enabled reports whether the policy asks for any retrying at all.
+func (p RetryPolicy) Enabled() bool { return p.Attempts > 1 }
+
+// Encode renders the policy in its _RETRY wire form.
+func (p RetryPolicy) Encode() string {
+	return strconv.Itoa(p.Attempts) + "|" +
+		strconv.FormatInt(int64(p.Backoff), 10) + "|" +
+		strconv.FormatInt(int64(p.Deadline), 10)
+}
+
+// ErrBadRetryPolicy is returned when a _RETRY folder does not parse.
+var ErrBadRetryPolicy = errors.New("firewall: bad retry policy")
+
+// ParseRetryPolicy is the inverse of Encode. It is strict: three fields,
+// integral, non-negative — a corrupted policy must fail loudly rather
+// than retry forever.
+func ParseRetryPolicy(s string) (RetryPolicy, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) != 3 {
+		return RetryPolicy{}, fmt.Errorf("%w: %q: want 3 fields, got %d", ErrBadRetryPolicy, s, len(parts))
+	}
+	attempts, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return RetryPolicy{}, fmt.Errorf("%w: %q: attempts: %v", ErrBadRetryPolicy, s, err)
+	}
+	backoff, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return RetryPolicy{}, fmt.Errorf("%w: %q: backoff: %v", ErrBadRetryPolicy, s, err)
+	}
+	deadline, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return RetryPolicy{}, fmt.Errorf("%w: %q: deadline: %v", ErrBadRetryPolicy, s, err)
+	}
+	if attempts < 0 || backoff < 0 || deadline < 0 {
+		return RetryPolicy{}, fmt.Errorf("%w: %q: negative field", ErrBadRetryPolicy, s)
+	}
+	return RetryPolicy{
+		Attempts: attempts,
+		Backoff:  time.Duration(backoff),
+		Deadline: time.Duration(deadline),
+	}, nil
+}
+
+// SetRetryPolicy stamps the policy onto a briefcase's _RETRY folder.
+func SetRetryPolicy(bc *briefcase.Briefcase, p RetryPolicy) {
+	bc.SetString(briefcase.FolderSysRetry, p.Encode())
+}
+
+// RetryPolicyFrom reads a briefcase's _RETRY folder. ok is false when
+// the folder is absent; err is non-nil when present but malformed.
+func RetryPolicyFrom(bc *briefcase.Briefcase) (p RetryPolicy, ok bool, err error) {
+	s, has := bc.GetString(briefcase.FolderSysRetry)
+	if !has {
+		return RetryPolicy{}, false, nil
+	}
+	p, err = ParseRetryPolicy(s)
+	if err != nil {
+		return RetryPolicy{}, true, err
+	}
+	return p, true, nil
+}
+
+// forwardPolicy resolves the retry policy for one remote forward: the
+// briefcase's own _RETRY folder when present and well-formed, else the
+// host default. A malformed folder is audited and ignored.
+func (fw *Firewall) forwardPolicy(bc *briefcase.Briefcase) RetryPolicy {
+	pol, has, err := RetryPolicyFrom(bc)
+	if !has {
+		return fw.cfg.ForwardRetry
+	}
+	if err != nil {
+		fw.event(telemetry.EventError, "", "", "ignoring malformed retry policy: "+err.Error())
+		return fw.cfg.ForwardRetry
+	}
+	return pol
+}
+
+// dedupWindow is the firewall's recent-frame memory for duplicate
+// suppression (Config.DedupWindow): a fixed-size ring of payload hashes.
+// Injected duplicates and blind retransmissions hash identically, so a
+// window of recent hashes makes redelivery safe for side-effecting
+// frames (an agent transfer activated twice is two agents).
+type dedupWindow struct {
+	seen map[uint64]int
+	ring []uint64
+	next int
+}
+
+func newDedupWindow(size int) *dedupWindow {
+	return &dedupWindow{seen: make(map[uint64]int, size), ring: make([]uint64, size)}
+}
+
+// observe records the payload and reports whether it was already in the
+// window. Callers hold fw.mu.
+func (d *dedupWindow) observe(payload []byte) bool {
+	h := fnv.New64a()
+	_, _ = h.Write(payload)
+	sum := h.Sum64()
+	if d.seen[sum] > 0 {
+		return true
+	}
+	old := d.ring[d.next]
+	if old != 0 {
+		if d.seen[old] <= 1 {
+			delete(d.seen, old)
+		} else {
+			d.seen[old]--
+		}
+	}
+	d.ring[d.next] = sum
+	d.next = (d.next + 1) % len(d.ring)
+	d.seen[sum]++
+	return false
+}

@@ -32,7 +32,38 @@ var (
 	ErrPartitioned = errors.New("simnet: hosts partitioned")
 	// ErrClosed is returned when the host or network has been shut down.
 	ErrClosed = errors.New("simnet: closed")
+	// ErrHostDown is returned when either endpoint of a transfer is
+	// crashed (Crash without a matching Restart).
+	ErrHostDown = errors.New("simnet: host down")
+	// ErrDropped is returned when an injected fault loses the message in
+	// flight. The sender sees it the way a TCP sender sees a reset: the
+	// link time was spent but nothing arrived.
+	ErrDropped = errors.New("simnet: message dropped by fault injection")
 )
+
+// Decision is what a fault injector rules for one transfer. The zero
+// value passes the message through untouched.
+type Decision struct {
+	// Drop loses the message: the link is charged but nothing is
+	// delivered and the sender gets ErrDropped.
+	Drop bool
+	// Duplicate delivers the message twice (same payload, same arrival).
+	Duplicate bool
+	// Delay adds jitter to the arrival time on top of the link cost.
+	Delay time.Duration
+	// Corrupt flips bytes in the delivered payload (the sender's copy is
+	// untouched); receivers see it as a decode or authentication failure.
+	Corrupt bool
+}
+
+// Injector is consulted on every inter-host transfer. Implementations
+// must be deterministic for a given (from, to, call sequence) to keep
+// simulations reproducible, and may call back into the Network
+// (Partition, Heal, Crash, Restart) to apply scheduled fault events —
+// the network lock is not held during the call.
+type Injector interface {
+	Decide(from, to string, now time.Duration, size int) Decision
+}
 
 // Node is the transport endpoint the TAX firewall binds to: one per host,
 // addressed by name, delivering opaque payloads. Both the simulated Host
@@ -125,6 +156,8 @@ type Network struct {
 	links          map[pairKey]*link
 	profiles       map[pairKey]Profile // per-pair overrides (symmetric)
 	partitioned    map[pairKey]bool    // symmetric
+	crashed        map[string]bool
+	inj            Injector
 	closed         bool
 
 	tel *telemetry.Telemetry
@@ -142,7 +175,16 @@ func New(defaultProfile Profile) *Network {
 		links:          make(map[pairKey]*link),
 		profiles:       make(map[pairKey]Profile),
 		partitioned:    make(map[pairKey]bool),
+		crashed:        make(map[string]bool),
 	}
+}
+
+// SetInjector installs (or, with nil, removes) the fault injector
+// consulted on every inter-host transfer.
+func (n *Network) SetInjector(inj Injector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.inj = inj
 }
 
 // SetTelemetry attaches a telemetry instance: per-link message and byte
@@ -215,19 +257,72 @@ func (n *Network) SetProfile(a, b string, p Profile) {
 }
 
 // Partition cuts communication between hosts a and b in both directions.
+// Partitioning a host from itself is a no-op: loopback is machine-local
+// and never crosses the network.
 func (n *Network) Partition(a, b string) {
+	if a == b {
+		return
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partitioned[pairKey{a, b}] = true
 	n.partitioned[pairKey{b, a}] = true
 }
 
-// Heal restores communication between hosts a and b.
+// Heal restores communication between hosts a and b. Healing a pair that
+// is not partitioned (or an unknown host) is a no-op, so double heals
+// are safe.
 func (n *Network) Heal(a, b string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.partitioned, pairKey{a, b})
 	delete(n.partitioned, pairKey{b, a})
+}
+
+// Partitioned reports whether the pair is currently cut.
+func (n *Network) Partitioned(a, b string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned[pairKey{a, b}]
+}
+
+// Crash marks a host's transport as down: sends to and from it fail with
+// ErrHostDown and its undelivered inbox is discarded, as a machine
+// losing power would lose it. Agent processes on the host are not
+// touched — a crashed host's agents are unreachable and their state is
+// lost to the rest of the system, which is exactly the failure the
+// rear-guard recovers from.
+func (n *Network) Crash(name string) {
+	n.mu.Lock()
+	h, ok := n.hosts[name]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	n.crashed[name] = true
+	n.mu.Unlock()
+	for {
+		select {
+		case <-h.queue:
+		default:
+			return
+		}
+	}
+}
+
+// Restart brings a crashed host's transport back. The inbox starts
+// empty; the host's virtual clock keeps its pre-crash value.
+func (n *Network) Restart(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, name)
+}
+
+// Crashed reports whether the named host is currently crashed.
+func (n *Network) Crashed(name string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[name]
 }
 
 // Stats returns traffic counters for every directed link that carried at
@@ -334,6 +429,17 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	}
 
 	n := h.net
+	// Consult the fault injector before taking the network lock: the
+	// injector may call back into Partition/Heal/Crash/Restart to apply
+	// scheduled fault events as the sender's virtual time passes them.
+	n.mu.Lock()
+	inj := n.inj
+	n.mu.Unlock()
+	var dec Decision
+	if inj != nil && h.name != to {
+		dec = inj.Decide(h.name, to, h.clock.Now(), len(payload))
+	}
+
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -343,6 +449,14 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	if !ok {
 		n.mu.Unlock()
 		return 0, fmt.Errorf("%w: %q", ErrUnknownHost, to)
+	}
+	if n.crashed[h.name] || n.crashed[to] {
+		down := to
+		if n.crashed[h.name] {
+			down = h.name
+		}
+		n.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrHostDown, down)
 	}
 	if n.partitioned[pairKey{h.name, to}] {
 		n.mu.Unlock()
@@ -369,7 +483,7 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	}
 	txEnd := start + l.profile.TransferTime(len(payload))
 	l.busyUntil = txEnd
-	arrive := txEnd + l.profile.Latency
+	arrive := txEnd + l.profile.Latency + dec.Delay
 	l.messages++
 	l.bytes += int64(len(payload))
 	l.ctrMsgs.Inc()
@@ -380,15 +494,42 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	hist.Observe(arrive - depart)
 
 	h.clock.AdvanceTo(txEnd)
+	if dec.Drop {
+		// The link time was spent, but the message is lost in flight.
+		return 0, fmt.Errorf("%w: %s -> %s", ErrDropped, h.name, to)
+	}
 	dst.clock.AdvanceTo(arrive)
 
-	msg := delivery{from: h.name, payload: append([]byte(nil), payload...), arriveAt: arrive}
+	data := append([]byte(nil), payload...)
+	if dec.Corrupt {
+		corruptPayload(data)
+	}
+	msg := delivery{from: h.name, payload: data, arriveAt: arrive}
 	select {
 	case dst.queue <- msg:
-		return arrive, nil
 	case <-dst.done:
 		return 0, ErrClosed
 	}
+	if dec.Duplicate {
+		dup := delivery{from: h.name, payload: append([]byte(nil), data...), arriveAt: arrive}
+		select {
+		case dst.queue <- dup:
+		case <-dst.done:
+			return 0, ErrClosed
+		}
+	}
+	return arrive, nil
+}
+
+// corruptPayload flips fixed byte positions so damage is deterministic
+// for a given payload: receivers see a frame that fails decoding or
+// signature checks rather than a truncated one.
+func corruptPayload(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	p[len(p)/2] ^= 0xA5
+	p[len(p)-1] ^= 0x5A
 }
 
 // dispatch drains the inbox, invoking the handler serially.

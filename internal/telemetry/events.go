@@ -23,6 +23,15 @@ const (
 	EventForward = "forward"
 	// EventError records a routing error reported back to the caller.
 	EventError = "error"
+	// EventRetry records a failed remote forward being retried after a
+	// backoff (the attempt that failed, not the one about to start).
+	EventRetry = "retry"
+	// EventGiveUp records a remote forward abandoned after exhausting its
+	// retry policy (attempts or deadline).
+	EventGiveUp = "giveup"
+	// EventRecover records a rear-guard restoring an agent from its last
+	// checkpoint after declaring a hop dead.
+	EventRecover = "recover"
 )
 
 // Event is one structured audit-log entry.

@@ -429,6 +429,9 @@ func (v *BinVM) run(principal, name string, handler Handler, bc *briefcase.Brief
 			sp.SetErr(err)
 		}
 		sp.End()
+		// Wrapper finalizers run before the registration is torn down so
+		// they can still communicate on the agent's behalf.
+		ctx.Finish(err)
 		v.mu.Lock()
 		delete(v.agents, reg.URI().Instance)
 		v.mu.Unlock()

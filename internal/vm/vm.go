@@ -360,6 +360,9 @@ func (v *GoVM) launch(principal, name, program string, bc *briefcase.Briefcase) 
 			sp.SetErr(err)
 		}
 		sp.End()
+		// Wrapper finalizers run before the registration is torn down so
+		// they can still communicate on the agent's behalf.
+		ctx.Finish(err)
 		v.mu.Lock()
 		delete(v.agents, reg.URI().Instance)
 		v.mu.Unlock()

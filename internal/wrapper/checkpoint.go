@@ -24,9 +24,15 @@ type Checkpoint struct {
 	Path string
 	// Timeout bounds each store RPC; zero means 5 seconds.
 	Timeout time.Duration
+	// Retry, when enabled, is stamped onto every store RPC so snapshots
+	// survive a lossy path to the home store.
+	Retry firewall.RetryPolicy
 }
 
-var _ Wrapper = (*Checkpoint)(nil)
+var (
+	_ Wrapper   = (*Checkpoint)(nil)
+	_ Finalizer = (*Checkpoint)(nil)
+)
 
 // Name implements Wrapper.
 func (c *Checkpoint) Name() string { return "checkpoint:" + c.Path }
@@ -55,6 +61,30 @@ func (c *Checkpoint) OnReceive(_ *agent.Context, bc *briefcase.Briefcase) (*brie
 	return bc, nil
 }
 
+// OnDone implements Finalizer: when the agent completes cleanly on this
+// host (its itinerary is over, not a move and not a fault), the snapshot
+// is stale — there is nothing left to recover — so it is pruned from the
+// home store. Without this the store accumulated one orphaned snapshot
+// per completed itinerary forever. Failed or moved agents keep theirs:
+// that snapshot is exactly what recovery needs.
+func (c *Checkpoint) OnDone(ctx *agent.Context, err error) {
+	if err != nil {
+		return
+	}
+	req := briefcase.New()
+	req.SetString("_SVCOP", "del")
+	req.SetString("_PATH", c.Path)
+	if c.Retry.Enabled() {
+		firewall.SetRetryPolicy(req, c.Retry)
+	}
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	// Best effort: a failed prune costs store space, not correctness.
+	_, _ = ctx.MeetDirect(c.StoreURI, req, timeout)
+}
+
 // snapshot stores the briefcase's encoding at the home file service.
 func (c *Checkpoint) snapshot(ctx *agent.Context, bc *briefcase.Briefcase) error {
 	timeout := c.Timeout
@@ -71,6 +101,9 @@ func (c *Checkpoint) snapshot(ctx *agent.Context, bc *briefcase.Briefcase) error
 	req.SetString("_SVCOP", "put")
 	req.SetString("_PATH", c.Path)
 	req.Ensure("_DATA").Append(snap.Encode())
+	if c.Retry.Enabled() {
+		firewall.SetRetryPolicy(req, c.Retry)
+	}
 	resp, err := ctx.MeetDirect(c.StoreURI, req, timeout)
 	if err != nil {
 		return fmt.Errorf("checkpoint %s: %w", c.Path, err)

@@ -14,8 +14,9 @@ import (
 	"tax/internal/wrapper"
 )
 
-// readCheckpoint fetches and decodes a snapshot from a node's ag_fs.
-func readCheckpoint(t *testing.T, n *core.Node, path string) *briefcase.Briefcase {
+// fetchCheckpoint fetches and decodes a snapshot from a node's ag_fs,
+// returning the store's error (e.g. "no such file") verbatim.
+func fetchCheckpoint(t *testing.T, n *core.Node, path string) (*briefcase.Briefcase, error) {
 	t.Helper()
 	reg, err := n.FW.Register("test", "system", "ckpt-reader")
 	if err != nil {
@@ -28,7 +29,7 @@ func readCheckpoint(t *testing.T, n *core.Node, path string) *briefcase.Briefcas
 	req.SetString("_PATH", path)
 	resp, err := ctx.MeetDirect("ag_fs", req, 5*time.Second)
 	if err != nil {
-		t.Fatalf("checkpoint read %s: %v", path, err)
+		return nil, err
 	}
 	data, err := resp.Folder("_DATA")
 	if err != nil {
@@ -42,12 +43,25 @@ func readCheckpoint(t *testing.T, n *core.Node, path string) *briefcase.Briefcas
 	if err != nil {
 		t.Fatalf("checkpoint %s does not decode: %v", path, err)
 	}
+	return snap, nil
+}
+
+// readCheckpoint is fetchCheckpoint for callers that require the
+// snapshot to exist.
+func readCheckpoint(t *testing.T, n *core.Node, path string) *briefcase.Briefcase {
+	t.Helper()
+	snap, err := fetchCheckpoint(t, n, path)
+	if err != nil {
+		t.Fatalf("checkpoint read %s: %v", path, err)
+	}
 	return snap
 }
 
 // TestCheckpointSnapshotsProgress verifies the passive-replication
 // wrapper stores a decodable snapshot at home reflecting the agent's
-// progress across hops.
+// progress across hops — and prunes it once the itinerary completes
+// cleanly (the regression half: the snapshot used to be orphaned in the
+// store forever).
 func TestCheckpointSnapshotsProgress(t *testing.T) {
 	s := newSystem(t, "home", "h2")
 	home, _ := s.Node("home")
@@ -56,6 +70,7 @@ func TestCheckpointSnapshotsProgress(t *testing.T) {
 		return &wrapper.Checkpoint{StoreURI: "tacoma://home//ag_fs", Path: "/ckpt/job"}
 	})
 	arrived := make(chan string, 2)
+	release := make(chan struct{})
 	s.DeployProgram("job", func(ctx *agent.Context) error {
 		arrived <- ctx.Host()
 		ctx.Briefcase().SetString("PROGRESS", "visited "+ctx.Host())
@@ -64,6 +79,9 @@ func TestCheckpointSnapshotsProgress(t *testing.T) {
 				return err
 			}
 		}
+		// Hold the agent alive on h2 so the test can observe the
+		// mid-tour snapshot before completion prunes it.
+		<-release
 		return nil
 	})
 	bc := briefcase.New()
@@ -78,7 +96,7 @@ func TestCheckpointSnapshotsProgress(t *testing.T) {
 			t.Fatal("itinerary stalled")
 		}
 	}
-	// Init on h2 re-snapshots after arrival; poll for the final state.
+	// Init on h2 re-snapshots after arrival; poll for the settled state.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		snap := readCheckpoint(t, home, "/ckpt/job")
@@ -90,6 +108,20 @@ func TestCheckpointSnapshotsProgress(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			t.Fatalf("snapshot never converged: %v", snap)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Clean completion must prune the now-stale snapshot from the store.
+	close(release)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		_, err := fetchCheckpoint(t, home, "/ckpt/job")
+		if err != nil && strings.Contains(err.Error(), "no such file") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("completed itinerary's snapshot never pruned (err=%v)", err)
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
@@ -173,6 +205,12 @@ func TestCrashRecoveryFromCheckpoint(t *testing.T) {
 			t.Fatal("crash never observed")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A faulted agent must keep its snapshot — it is exactly what
+	// recovery needs (only clean completion prunes).
+	if _, err := fetchCheckpoint(t, home, ckpt); err != nil {
+		t.Fatalf("crashed agent's snapshot missing: %v", err)
 	}
 
 	// Home recovers the agent from the snapshot taken before the move to

@@ -38,6 +38,16 @@ type Wrapper interface {
 	OnReceive(ctx *agent.Context, bc *briefcase.Briefcase) (*briefcase.Briefcase, error)
 }
 
+// Finalizer is an optional interface a Wrapper may implement to observe
+// the wrapped agent's end of life on a host. OnDone runs on the agent
+// goroutine after the handler returns and before the registration is
+// torn down, with the terminal error (nil on clean completion,
+// agent.ErrMoved after a move, else the fault) — so a wrapper can, for
+// example, prune the checkpoints of an itinerary that completed.
+type Finalizer interface {
+	OnDone(ctx *agent.Context, err error)
+}
+
 // Stack is an ordered set of wrappers around one agent; index 0 is the
 // outermost. Sends pass innermost→outermost (the agent's own wrapper sees
 // its traffic first); receives pass outermost→innermost, mirroring the
@@ -103,6 +113,15 @@ func (s *Stack) Install(ctx *agent.Context) error {
 			return cur, nil
 		},
 	)
+	ctx.SetFinalizer(func(err error) {
+		// Innermost first, mirroring send order: the wrapper closest to
+		// the agent sees its termination first.
+		for i := len(s.wrappers) - 1; i >= 0; i-- {
+			if f, ok := s.wrappers[i].(Finalizer); ok {
+				f.OnDone(ctx, err)
+			}
+		}
+	})
 	f := ctx.Briefcase().Ensure(briefcase.FolderSysWrap)
 	f.Clear()
 	for _, w := range s.wrappers {
