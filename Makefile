@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race check ci chaos bench clean
+# CHAOS_PARALLEL sets how many concurrent guarded tours the parallel
+# chaos stress tests drive (internal/chaostest/parallel_test.go).
+CHAOS_PARALLEL ?= 16
+
+.PHONY: all build vet test race check ci chaos fuzz-short bench clean
 
 all: check
 
@@ -20,28 +24,41 @@ race:
 # detector.
 check: vet build race
 
-# ci is the minimal pipeline entry point.
+# ci is the pipeline entry point: vet, staticcheck when installed, the
+# full suite twice under the race detector (flushes order-dependent
+# flakes), and the parallel fleet benchmark artifact.
 ci:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "ci: staticcheck not installed, skipping"; fi
+	$(GO) test -race -count=2 ./...
+	$(GO) run ./cmd/taxbench -exp parallel
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
 # fixed seed list 1, 7, 42, 1999, 31337 plus a sweep lives in
-# internal/chaostest/chaostest_test.go, chaosSeeds), the rear-guard
-# recovery tests, and the deterministic injector/plan tests. Seeded and
-# virtual-clock driven: reruns reproduce the same fault sequences.
+# internal/chaostest/chaostest_test.go, chaosSeeds), the parallel
+# fleet stress tests (CHAOS_PARALLEL concurrent guarded tours), the
+# rear-guard recovery tests, and the deterministic injector/plan tests.
+# Seeded and virtual-clock driven: reruns reproduce the same fault
+# sequences.
 chaos:
-	$(GO) test -race -timeout 120s -count=1 ./internal/chaostest/ ./internal/rearguard/ ./internal/faults/
+	CHAOS_PARALLEL=$(CHAOS_PARALLEL) $(GO) test -race -timeout 120s -count=1 ./internal/chaostest/ ./internal/rearguard/ ./internal/faults/
 	$(GO) test -race -timeout 120s -count=1 -run 'Partition|Crash|Injector|TransferTime' ./internal/simnet/
-	$(GO) test -race -timeout 120s -count=1 -run 'Retry|Forward|Dedup|Expiry|Pending' ./internal/firewall/
+	$(GO) test -race -timeout 120s -count=1 -run 'Retry|Forward|Dedup|Expiry|Pending|Park' ./internal/firewall/
 	$(GO) test -race -timeout 120s -count=1 -run 'Prop' ./internal/briefcase/
 
+# fuzz-short runs the briefcase wire-format fuzzer briefly — enough to
+# exercise the mutation engine on every seed without tying up CI.
+fuzz-short:
+	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/briefcase/
+
 # bench regenerates every evaluation table; the tel experiment also
-# writes BENCH_telemetry.json, the faults experiment BENCH_faults.json.
+# writes BENCH_telemetry.json, the faults experiment BENCH_faults.json,
+# and the parallel experiment BENCH_parallel.json.
 bench:
 	$(GO) run ./cmd/taxbench
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json

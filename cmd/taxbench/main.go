@@ -14,6 +14,11 @@
 // the rear-guarded chaos itinerary and records completion rate and
 // recovery latency to BENCH_faults.json (-faults-json to override,
 // -faults-seeds for runs per point).
+//
+// The parallel experiment sweeps fleet worker counts over an 8-server
+// campus, measures virtual-time fleet throughput, verifies the parallel
+// crawl is byte-identical to serial, and records the sweep to
+// BENCH_parallel.json (-parallel-json to override).
 package main
 
 import (
@@ -27,19 +32,20 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
 	faultsSeeds := flag.Int("faults-seeds", 10, "seeded runs per drop-probability point in the faults experiment")
+	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON results ('' disables)")
 	flag.Parse()
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -67,6 +73,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int) e
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", jsonPath)
+			}
+			return t, nil
+		}},
+		{"parallel", func() (*bench.Table, error) {
+			t, results, identical, err := bench.Parallel()
+			if err != nil {
+				return nil, err
+			}
+			if parallelJSON != "" {
+				if err := writeParallelJSON(parallelJSON, results, identical); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", parallelJSON)
 			}
 			return t, nil
 		}},
@@ -100,6 +119,28 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int) e
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// writeParallelJSON records the fleet worker sweep (virtual-time
+// throughput per worker count) and the serial-vs-parallel crawl
+// identity check for regression tracking.
+func writeParallelJSON(path string, results []bench.ParallelResult, identical bool) error {
+	doc := struct {
+		Time           time.Time              `json:"time"`
+		StatsIdentical bool                   `json:"parallel_crawl_stats_identical"`
+		Results        []bench.ParallelResult `json:"results"`
+	}{Time: time.Now(), StatsIdentical: identical, Results: results}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeFaultsJSON records the fault-sweep results (completion rate and

@@ -26,10 +26,12 @@ import (
 	"tax/internal/agent"
 	"tax/internal/briefcase"
 	"tax/internal/firewall"
+	"tax/internal/fleet"
 	"tax/internal/identity"
 	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
+	"tax/internal/uri"
 	"tax/internal/vclock"
 	"tax/internal/vm"
 )
@@ -41,14 +43,16 @@ func main() {
 	telDump := flag.String("telemetry-dump", "", "file to periodically write a telemetry JSON snapshot to")
 	telEvery := flag.Duration("telemetry-interval", 30*time.Second, "telemetry dump period")
 	retry := flag.String("retry", "", "default forward-retry policy 'attempts|backoff|deadline' (durations in ns) for agents without a _RETRY folder")
+	fleetN := flag.Int("fleet", 1, "with -launch: number of agent copies to launch through the fleet scheduler")
+	workers := flag.Int("workers", 4, "with -fleet: concurrent launch bound (fleet pool width)")
 	flag.Parse()
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int) error {
 	var retryPolicy firewall.RetryPolicy
 	if retry != "" {
 		p, err := firewall.ParseRetryPolicy(retry)
@@ -151,17 +155,53 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 	fmt.Printf("taxd listening on %s (agent URIs: tacoma://%s:%d/...)\n", node.Addr(), host, port)
 
 	if launch != "" {
-		bc := briefcase.New()
-		f := bc.Ensure(briefcase.FolderHosts)
-		for _, stop := range strings.Split(launch, ",") {
-			f.AppendString(strings.TrimSpace(stop))
+		stops := strings.Split(launch, ",")
+		buildBC := func() *briefcase.Briefcase {
+			bc := briefcase.New()
+			f := bc.Ensure(briefcase.FolderHosts)
+			for _, stop := range stops {
+				f.AppendString(strings.TrimSpace(stop))
+			}
+			if telOn {
+				id := agent.StampTrace(bc, host)
+				fmt.Printf("taxd: launching with trace %s (taxctl trace '%s')\n", id, id)
+			}
+			return bc
 		}
-		if telOn {
-			id := agent.StampTrace(bc, host)
-			fmt.Printf("taxd: launching with trace %s (taxctl trace '%s')\n", id, id)
-		}
-		if _, err := gvm.Launch("system", "hello", "hello_world", bc); err != nil {
-			return err
+		if fleetN <= 1 {
+			if _, err := gvm.Launch("system", "hello", "hello_world", buildBC()); err != nil {
+				return err
+			}
+		} else {
+			// Launch N copies through the fleet scheduler: the pool
+			// bounds concurrent launches, and each task holds an
+			// admission slot on its itinerary's first-hop host so one
+			// peer is not swamped by the whole fleet at once.
+			firstHop := ""
+			if len(stops) > 0 {
+				if u, err := uri.Parse(strings.TrimSpace(stops[0])); err == nil {
+					firstHop = u.Host
+				}
+			}
+			tasks := make([]fleet.Task, fleetN)
+			for i := range tasks {
+				name := fmt.Sprintf("hello-%d", i)
+				var hosts []string
+				if firstHop != "" {
+					hosts = []string{firstHop}
+				}
+				tasks[i] = fleet.Task{
+					ID:    name,
+					Hosts: hosts,
+					Run: func() (any, time.Duration, error) {
+						_, err := gvm.Launch("system", name, "hello_world", buildBC())
+						return name, 0, err
+					},
+				}
+			}
+			rep := fleet.New(fleet.Config{Workers: workers, HostLimit: workers, Telemetry: tel}).Run(tasks)
+			fmt.Printf("taxd: fleet launched %d agents (%d failed) in %v\n",
+				fleetN, rep.Failed(), rep.Wall)
 		}
 	}
 

@@ -239,6 +239,21 @@ func Run(sc Scenario) (Result, error) {
 	}
 	waitErr := guard.Wait(sc.WaitTimeout)
 
+	// Wait returns on the guard's done report, but trailing traffic can
+	// still be in flight (the checkpoint wrapper prunes its snapshot at
+	// the store after completion, and its RPC reply travels back).
+	// Settle until the fault log stops growing before snapshotting it,
+	// so the same seed yields the same — complete — canonical log.
+	settle := func() int { return len(plan.Log()) }
+	for last, stable := settle(), 0; stable < 3; {
+		time.Sleep(10 * time.Millisecond)
+		if n := settle(); n != last {
+			last, stable = n, 0
+		} else {
+			stable++
+		}
+	}
+
 	logJSON, err := plan.LogJSON()
 	if err != nil {
 		return Result{}, err

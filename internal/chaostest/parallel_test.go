@@ -1,0 +1,82 @@
+package chaostest
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// parallelAgents reads the CHAOS_PARALLEL knob (default 16): the number
+// of concurrent guarded tours the stress tests drive. `make chaos` sets
+// it explicitly so the fleet width is part of the recorded run.
+func parallelAgents() int {
+	if v := os.Getenv("CHAOS_PARALLEL"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 16
+}
+
+// TestChaosParallelFaultFree: concurrent fault-free tours all complete
+// with exactly-once effects — the baseline that flushes out data races
+// in the shared kernel paths (sharded firewall mediation, per-source
+// simnet queues) under `go test -race`.
+func TestChaosParallelFaultFree(t *testing.T) {
+	n := parallelAgents()
+	results, err := RunParallel(Scenario{Seed: 7}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("agent %d failed: %v", i, r.Err)
+			continue
+		}
+		if stop, ok := r.ExactlyOnce(); !ok {
+			t.Errorf("agent %d violates exactly-once at %s: attempts=%v effects=%v",
+				i, stop, r.Attempts, r.Effects)
+		}
+		if len(r.Skipped) != 0 {
+			t.Errorf("agent %d skipped %v without faults", i, r.Skipped)
+		}
+	}
+}
+
+// TestChaosParallelUnderFaults: the fleet-level exactly-once assertion
+// under message-level chaos. Every tour independently either completes
+// with exactly-once effects on every non-skipped stop or fails typed —
+// concurrent recoveries (shared network, shared stops, per-agent
+// guards and snapshots) must not leak effects across agents.
+func TestChaosParallelUnderFaults(t *testing.T) {
+	n := parallelAgents()
+	sc := Scenario{
+		Seed:        1999,
+		Drop:        0.05,
+		Duplicate:   0.02,
+		Delay:       0.2,
+		WaitTimeout: 60 * time.Second,
+	}
+	results, err := RunParallel(sc, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i, r := range results {
+		if r.Err != nil {
+			t.Logf("agent %d terminal failure: %v (recoveries=%d)", i, r.Err, r.Recoveries)
+			continue
+		}
+		completed++
+		if stop, ok := r.ExactlyOnce(); !ok {
+			t.Errorf("agent %d violates exactly-once at %s: attempts=%v effects=%v",
+				i, stop, r.Attempts, r.Effects)
+		}
+	}
+	// Mild fault rates with retries and guards: the overwhelming
+	// majority of the fleet must complete.
+	if completed < n*3/4 {
+		t.Errorf("only %d/%d tours completed", completed, n)
+	}
+}

@@ -131,6 +131,7 @@ type pendingMsg struct {
 	senderPrincipal string
 	bc              *briefcase.Briefcase
 	timer           *time.Timer
+	shard           int // park-table stripe index (by target name)
 }
 
 // fwCounters are the firewall's pre-resolved registry counters: resolved
@@ -160,14 +161,25 @@ type Firewall struct {
 	histSend    *telemetry.Histogram
 	histInbound *telemetry.Histogram
 
-	// gaugePending mirrors len(pending) into the registry so parked
-	// messages are observable without polling Pending().
+	// gaugePending mirrors the park table's total depth into the
+	// registry so parked messages are observable without polling
+	// Pending(); per-stripe depths are the fw.pending_shard gauges.
 	gaugePending *telemetry.Gauge
 
-	mu           sync.Mutex
+	// park is the lock-striped store of messages awaiting a receiver;
+	// it has its own per-stripe locks so mediation for unrelated
+	// receivers does not serialize on mu.
+	park *parkTable
+
+	// dedup suppresses duplicate inbound frames; it carries its own
+	// lock (nil unless cfg.DedupWindow > 0).
+	dedup *dedupWindow
+
+	// mu guards the registration map. It is a RWMutex so concurrent
+	// mediations (lookups) proceed in parallel; only registration
+	// changes take the write side.
+	mu           sync.RWMutex
 	regs         map[string][]*Registration // keyed by agent name
-	pending      []*pendingMsg
-	dedup        *dedupWindow // nil unless cfg.DedupWindow > 0
 	nextInstance uint64
 	closed       bool
 }
@@ -220,10 +232,11 @@ func New(cfg Config) (*Firewall, error) {
 			retries:      reg.Counter("fw.retries", "host", cfg.HostName),
 			dupDropped:   reg.Counter("fw.dup_dropped", "host", cfg.HostName),
 		},
-		gaugePending: reg.Gauge("fw.pending", "host", cfg.HostName),
+		park:         newParkTable(reg, cfg.HostName),
 		regs:         make(map[string][]*Registration),
 		nextInstance: 0x1000,
 	}
+	fw.gaugePending = fw.park.total
 	if cfg.DedupWindow > 0 {
 		fw.dedup = newDedupWindow(cfg.DedupWindow)
 	}
@@ -304,10 +317,8 @@ func (fw *Firewall) Close() error {
 	for _, list := range fw.regs {
 		regs = append(regs, list...)
 	}
-	pend := fw.pending
-	fw.pending = nil
-	fw.gaugePending.Set(0)
 	fw.mu.Unlock()
+	pend := fw.park.drain()
 	for _, r := range regs {
 		r.kill()
 	}
@@ -342,11 +353,19 @@ func (fw *Firewall) Register(vmName, principal, name string) (*Registration, err
 		registeredAt: fw.clock.Now(),
 	}
 	fw.regs[name] = append(fw.regs[name], r)
-	flush := fw.matchPendingLocked(r)
 	fw.mu.Unlock()
 
-	for _, bc := range flush {
-		if err := r.deliver(bc); err == nil {
+	// Flush parked messages after releasing the registration lock: the
+	// park table arbitrates with its own stripe locks, so a message is
+	// taken by exactly one of a concurrent flush and expiry.
+	flush := fw.park.takeMatching(name, func(p *pendingMsg) bool {
+		return r.uri.Matches(p.target) &&
+			(p.target.Principal != "" || r.uri.Principal == fw.cfg.SystemPrincipal ||
+				r.uri.Principal == p.senderPrincipal)
+	})
+	for _, p := range flush {
+		p.timer.Stop()
+		if err := r.deliver(p.bc); err == nil {
 			fw.ctr.delivered.Inc()
 			fw.event(telemetry.EventAllow, r.uri.Principal, r.uri.String(), "unparked on registration")
 		} else {
@@ -380,8 +399,8 @@ func (fw *Firewall) Unregister(r *Registration) {
 // Lookup returns the registrations matching the query URI under the
 // paper's matching rules, given the querying principal.
 func (fw *Firewall) Lookup(q uri.URI, senderPrincipal string) []*Registration {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	return fw.lookupLocked(q, senderPrincipal)
 }
 
@@ -438,9 +457,9 @@ func (fw *Firewall) isLocal(u uri.URI) bool {
 // folder is overwritten with the authenticated sender URI, so receivers
 // can trust it. The target is read from _TARGET.
 func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
-	fw.mu.Lock()
+	fw.mu.RLock()
 	closed := fw.closed
-	fw.mu.Unlock()
+	fw.mu.RUnlock()
 	if closed {
 		return ErrClosed
 	}
@@ -553,10 +572,7 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 		t0 = time.Now()
 	}
 	if fw.dedup != nil {
-		fw.mu.Lock()
-		dup := fw.dedup.observe(payload)
-		fw.mu.Unlock()
-		if dup {
+		if fw.dedup.observe(payload) {
 			fw.ctr.dupDropped.Inc()
 			fw.event(telemetry.EventDrop, "", "", "duplicate frame from "+from)
 			return
@@ -637,9 +653,14 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 		return fw.handleManagement(senderPrincipal, bc)
 	}
 	sp := fw.span(bc, "fw.route")
-	fw.mu.Lock()
+	// The read lock lets unrelated mediations run concurrently while
+	// still ordering each one against registration changes: parking
+	// happens inside the read section, so a concurrent Register either
+	// completes before the lookup (and is found) or starts after the
+	// park (and its flush scan finds the parked message).
+	fw.mu.RLock()
 	if fw.closed {
-		fw.mu.Unlock()
+		fw.mu.RUnlock()
 		fw.event(telemetry.EventDrop, senderPrincipal, target.String(), "firewall closed")
 		sp.SetErr(ErrClosed)
 		sp.End()
@@ -658,15 +679,15 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 		chosen = matches[0]
 	}
 	if chosen == nil {
-		fw.parkLocked(senderPrincipal, target, bc)
-		fw.mu.Unlock()
+		fw.parkMsg(senderPrincipal, target, bc)
+		fw.mu.RUnlock()
 		fw.ctr.queued.Inc()
 		fw.event(telemetry.EventPark, senderPrincipal, target.String(), "receiver not registered")
 		sp.SetAttr("outcome", "parked")
 		sp.End()
 		return nil
 	}
-	fw.mu.Unlock()
+	fw.mu.RUnlock()
 
 	if err := chosen.deliver(bc); err != nil {
 		fw.ctr.errors.Inc()
@@ -682,20 +703,21 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 	return nil
 }
 
-// parkLocked queues a message for a receiver that has not arrived yet.
-// Callers hold fw.mu.
-func (fw *Firewall) parkLocked(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) {
-	p := &pendingMsg{target: target, senderPrincipal: senderPrincipal, bc: bc}
+// parkMsg queues a message for a receiver that has not arrived yet.
+// Callers hold at least the read side of fw.mu (to order the park
+// against Close and Register).
+func (fw *Firewall) parkMsg(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) {
+	p := &pendingMsg{
+		target: target, senderPrincipal: senderPrincipal, bc: bc,
+		shard: shardFor(target.Name),
+	}
 	p.timer = time.AfterFunc(fw.cfg.QueueTimeout, func() { fw.expire(p) })
-	fw.pending = append(fw.pending, p)
-	fw.gaugePending.Set(int64(len(fw.pending)))
+	fw.park.add(p)
 }
 
 // Pending returns the number of currently parked messages.
 func (fw *Firewall) Pending() int {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
-	return len(fw.pending)
+	return fw.park.size()
 }
 
 // expire handles a parked message whose timeout lapsed: the expiry is
@@ -704,18 +726,8 @@ func (fw *Firewall) Pending() int {
 // here rather than silently lost, so it stays observable (Pending, the
 // event log) and is retried once more when its own timeout fires.
 func (fw *Firewall) expire(p *pendingMsg) {
-	fw.mu.Lock()
-	found := false
-	for i, q := range fw.pending {
-		if q == p {
-			fw.pending = append(fw.pending[:i], fw.pending[i+1:]...)
-			found = true
-			break
-		}
-	}
-	fw.gaugePending.Set(int64(len(fw.pending)))
-	fw.mu.Unlock()
-	if !found {
+	if !fw.park.remove(p) {
+		// A registration flush (or Close) already took the message.
 		return
 	}
 	fw.ctr.expired.Inc()
@@ -749,38 +761,17 @@ func (fw *Firewall) expire(p *pendingMsg) {
 		SetRetryPolicy(report, pol)
 	}
 	if sendErr := fw.Send(fw.selfURI(), report); sendErr != nil {
-		fw.mu.Lock()
+		fw.mu.RLock()
 		if fw.closed {
-			fw.mu.Unlock()
+			fw.mu.RUnlock()
 			return
 		}
-		fw.parkLocked(fw.cfg.SystemPrincipal, sender, report)
-		fw.mu.Unlock()
+		fw.parkMsg(fw.cfg.SystemPrincipal, sender, report)
+		fw.mu.RUnlock()
 		fw.ctr.queued.Inc()
 		fw.event(telemetry.EventPark, fw.cfg.SystemPrincipal, sender.String(),
 			"reply path unreachable; parked expiry notice: "+sendErr.Error())
 	}
-}
-
-// matchPendingLocked removes and returns parked messages deliverable to
-// the newly registered agent. Callers hold fw.mu.
-func (fw *Firewall) matchPendingLocked(r *Registration) []*briefcase.Briefcase {
-	var out []*briefcase.Briefcase
-	rest := fw.pending[:0]
-	for _, p := range fw.pending {
-		match := r.uri.Matches(p.target) &&
-			(p.target.Principal != "" || r.uri.Principal == fw.cfg.SystemPrincipal ||
-				r.uri.Principal == p.senderPrincipal)
-		if match {
-			p.timer.Stop()
-			out = append(out, p.bc)
-		} else {
-			rest = append(rest, p)
-		}
-	}
-	fw.pending = rest
-	fw.gaugePending.Set(int64(len(rest)))
-	return out
 }
 
 // replyError sends a KindError report back to sender (best effort).
@@ -807,8 +798,8 @@ func (fw *Firewall) selfURI() uri.URI {
 
 // List returns information about every registered agent, sorted by URI.
 func (fw *Firewall) List() []AgentInfo {
-	fw.mu.Lock()
-	defer fw.mu.Unlock()
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
 	now := fw.clock.Now()
 	var out []AgentInfo
 	for _, list := range fw.regs {
@@ -963,7 +954,7 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 		}
 		// Management matching ignores the empty-principal restriction:
 		// the caller already proved System/Trusted privileges.
-		fw.mu.Lock()
+		fw.mu.RLock()
 		matches := fw.lookupLocked(q, q.Principal)
 		if q.Principal == "" {
 			matches = nil
@@ -975,7 +966,7 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 				}
 			}
 		}
-		fw.mu.Unlock()
+		fw.mu.RUnlock()
 		if len(matches) == 0 {
 			return nil, fmt.Errorf("%w: %s", ErrNoAgent, q)
 		}

@@ -1,0 +1,121 @@
+package firewall
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tax/internal/briefcase"
+)
+
+// TestParkTableStripesConsistent checks the striped bookkeeping: total
+// gauge == sum of shard gauges == Pending() while messages park, and
+// everything drains to zero when receivers register.
+func TestParkTableStripesConsistent(t *testing.T) {
+	f := newFixture(t, "h1")
+	fw := f.sites["h1"].fw
+	src, _ := fw.Register("vm_go", "alice", "src")
+
+	const receivers = 24
+	for i := 0; i < receivers; i++ {
+		bc := briefcase.New()
+		bc.SetString(briefcase.FolderSysTarget, fmt.Sprintf("alice/late%d", i))
+		if err := fw.Send(src.GlobalURI(), bc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fw.Pending(); got != receivers {
+		t.Fatalf("Pending() = %d, want %d", got, receivers)
+	}
+	if got := fw.gaugePending.Value(); got != receivers {
+		t.Fatalf("fw.pending gauge = %d, want %d", got, receivers)
+	}
+	var shardSum int64
+	for i := range fw.park.shards {
+		shardSum += fw.park.shards[i].gauge.Value()
+	}
+	if shardSum != receivers {
+		t.Fatalf("sum of shard gauges = %d, want %d", shardSum, receivers)
+	}
+
+	// Registering each receiver flushes exactly its own message.
+	for i := 0; i < receivers; i++ {
+		r, err := fw.Register("vm_go", "alice", fmt.Sprintf("late%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Recv(2 * time.Second); err != nil {
+			t.Fatalf("late%d: %v", i, err)
+		}
+	}
+	if got := fw.Pending(); got != 0 {
+		t.Fatalf("Pending() after flush = %d, want 0", got)
+	}
+	if got := fw.gaugePending.Value(); got != 0 {
+		t.Fatalf("fw.pending gauge after flush = %d, want 0", got)
+	}
+}
+
+// TestParkTableConcurrentParkAndRegister races parkers against late
+// registrations across many distinct receiver names (hence stripes):
+// every message must be delivered exactly once — none lost to the
+// park/register race, none duplicated by a flush racing an expiry.
+func TestParkTableConcurrentParkAndRegister(t *testing.T) {
+	f := newFixture(t, "h1")
+	fw := f.sites["h1"].fw
+	src, _ := fw.Register("vm_go", "alice", "src")
+
+	const receivers = 32
+	const perReceiver = 4
+	var wg sync.WaitGroup
+	sendErrs := make(chan error, receivers*perReceiver)
+	for i := 0; i < receivers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perReceiver; j++ {
+				bc := briefcase.New()
+				bc.SetString(briefcase.FolderSysTarget, fmt.Sprintf("alice/rcv%d", id))
+				if err := fw.Send(src.GlobalURI(), bc); err != nil {
+					sendErrs <- err
+				}
+			}
+		}(i)
+	}
+
+	got := make([]int, receivers)
+	var recvWG sync.WaitGroup
+	for i := 0; i < receivers; i++ {
+		recvWG.Add(1)
+		go func(id int) {
+			defer recvWG.Done()
+			r, err := fw.Register("vm_go", "alice", fmt.Sprintf("rcv%d", id))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j := 0; j < perReceiver; j++ {
+				if _, err := r.Recv(5 * time.Second); err != nil {
+					t.Errorf("rcv%d: %v", id, err)
+					return
+				}
+				got[id]++
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(sendErrs)
+	for err := range sendErrs {
+		t.Fatal(err)
+	}
+	recvWG.Wait()
+	for i, n := range got {
+		if n != perReceiver {
+			t.Errorf("rcv%d got %d messages, want %d", i, n, perReceiver)
+		}
+	}
+	if n := fw.Pending(); n != 0 {
+		t.Errorf("Pending() = %d after all receivers registered", n)
+	}
+}

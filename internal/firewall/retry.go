@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"tax/internal/briefcase"
@@ -115,6 +116,7 @@ func (fw *Firewall) forwardPolicy(bc *briefcase.Briefcase) RetryPolicy {
 // window of recent hashes makes redelivery safe for side-effecting
 // frames (an agent transfer activated twice is two agents).
 type dedupWindow struct {
+	mu   sync.Mutex
 	seen map[uint64]int
 	ring []uint64
 	next int
@@ -125,11 +127,15 @@ func newDedupWindow(size int) *dedupWindow {
 }
 
 // observe records the payload and reports whether it was already in the
-// window. Callers hold fw.mu.
+// window. It carries its own lock so concurrent inbound frames do not
+// serialize on the registration mutex; hashing stays outside the
+// critical section.
 func (d *dedupWindow) observe(payload []byte) bool {
 	h := fnv.New64a()
 	_, _ = h.Write(payload)
 	sum := h.Sum64()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.seen[sum] > 0 {
 		return true
 	}

@@ -1,0 +1,242 @@
+// Package fleet schedules many agent itineraries concurrently over one
+// deployment: a bounded worker pool launches tasks, per-host admission
+// limits keep any single server from being swamped (Gavalas' fleet-level
+// migration scheduling observation: mobile-agent throughput is won or
+// lost in how launches are spread over the network), and the per-task
+// virtual costs roll up into a fleet makespan so throughput is measured
+// on the same virtual clocks as every other experiment in this repo.
+//
+// The scheduler is deliberately mechanism-only: a task is any closure,
+// typically "launch one mwWebbot itinerary and wait for its report to
+// fan in at the collector" (see linkmine.RunFleet).
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/telemetry"
+)
+
+// Task is one unit of fleet work.
+type Task struct {
+	// ID labels the task in results (unique per Run by convention).
+	ID string
+	// Hosts are the deployment hosts the task occupies; the scheduler
+	// holds one admission slot on every listed host while the task
+	// runs. Order does not matter (slots are acquired in sorted order
+	// to exclude deadlock).
+	Hosts []string
+	// Run executes the task and returns its result value and the
+	// virtual time the task consumed (zero when not applicable).
+	Run func() (value any, cost time.Duration, err error)
+}
+
+// Result is one task's outcome.
+type Result struct {
+	// ID and Index identify the task (Index is its position in the
+	// Run slice; Results are returned in that order).
+	ID    string
+	Index int
+	// Value is what the task's Run returned.
+	Value any
+	// Err is the task's error, if any.
+	Err error
+	// Worker is the pool worker that executed the task.
+	Worker int
+	// Cost is the virtual time the task reported.
+	Cost time.Duration
+	// Wait is the wall-clock time spent queued before admission.
+	Wait time.Duration
+}
+
+// Report is the outcome of one Run.
+type Report struct {
+	// Results holds every task outcome, in task order.
+	Results []Result
+	// Wall is the wall-clock duration of the whole Run.
+	Wall time.Duration
+	// WorkerCost is each worker's summed virtual task cost under the
+	// observed (wall-clock, hence nondeterministic) task assignment.
+	WorkerCost []time.Duration
+	// Makespan is the fleet's virtual completion time under a modeled
+	// schedule: task costs list-scheduled in task order onto Workers
+	// virtual workers, each task to the least-loaded worker. Unlike
+	// the observed assignment this depends only on (costs, Workers),
+	// so the throughput metric is deterministic. With one worker it is
+	// the summed cost; with W workers and similar tasks it shrinks
+	// roughly W-fold — the fleet throughput metric.
+	Makespan time.Duration
+}
+
+// Failed counts tasks that returned an error.
+func (r *Report) Failed() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Workers bounds concurrently running tasks (<= 0 means 1).
+	Workers int
+	// HostLimit bounds tasks concurrently occupying one host
+	// (<= 0 means unlimited).
+	HostLimit int
+	// Telemetry, when set, receives fleet gauges: fleet.inflight,
+	// fleet.waiting, and per-host fleet.host_inflight.
+	Telemetry *telemetry.Telemetry
+}
+
+// Scheduler runs task batches under one admission policy.
+type Scheduler struct {
+	cfg Config
+
+	mu   sync.Mutex
+	sems map[string]*hostSlots
+
+	gInflight *telemetry.Gauge
+	gWaiting  *telemetry.Gauge
+}
+
+// hostSlots is one host's admission state: a slot semaphore plus the
+// gauge mirroring how many tasks currently occupy the host.
+type hostSlots struct {
+	sem   chan struct{}
+	gauge *telemetry.Gauge
+}
+
+// New creates a scheduler.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	s := &Scheduler{cfg: cfg, sems: make(map[string]*hostSlots)}
+	if cfg.Telemetry != nil {
+		reg := cfg.Telemetry.Registry()
+		s.gInflight = reg.Gauge("fleet.inflight")
+		s.gWaiting = reg.Gauge("fleet.waiting")
+	}
+	return s
+}
+
+// hostSem returns the admission state for a host.
+func (s *Scheduler) hostSem(host string) *hostSlots {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs, ok := s.sems[host]
+	if !ok {
+		hs = &hostSlots{sem: make(chan struct{}, s.cfg.HostLimit)}
+		if s.cfg.Telemetry != nil {
+			hs.gauge = s.cfg.Telemetry.Registry().Gauge("fleet.host_inflight", "host", host)
+		}
+		s.sems[host] = hs
+	}
+	return hs
+}
+
+// admit acquires one slot on every listed host, in sorted order so two
+// tasks contending for overlapping host sets cannot deadlock.
+func (s *Scheduler) admit(hosts []string) (release func()) {
+	if s.cfg.HostLimit <= 0 || len(hosts) == 0 {
+		return func() {}
+	}
+	ordered := append([]string(nil), hosts...)
+	sort.Strings(ordered)
+	// Duplicate hosts would self-deadlock at HostLimit 1; collapse them.
+	uniq := ordered[:0]
+	for i, h := range ordered {
+		if i == 0 || h != ordered[i-1] {
+			uniq = append(uniq, h)
+		}
+	}
+	var held []*hostSlots
+	for _, h := range uniq {
+		hs := s.hostSem(h)
+		hs.sem <- struct{}{}
+		if hs.gauge != nil {
+			hs.gauge.Add(1)
+		}
+		held = append(held, hs)
+	}
+	return func() {
+		for _, hs := range held {
+			if hs.gauge != nil {
+				hs.gauge.Add(-1)
+			}
+			<-hs.sem
+		}
+	}
+}
+
+// Run executes the batch and blocks until every task finishes. Results
+// come back in task order regardless of completion order.
+func (s *Scheduler) Run(tasks []Task) *Report {
+	rep := &Report{
+		Results:    make([]Result, len(tasks)),
+		WorkerCost: make([]time.Duration, s.cfg.Workers),
+	}
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range idx {
+				t := tasks[i]
+				queued := time.Now()
+				if s.gWaiting != nil {
+					s.gWaiting.Add(1)
+				}
+				release := s.admit(t.Hosts)
+				if s.gWaiting != nil {
+					s.gWaiting.Add(-1)
+				}
+				if s.gInflight != nil {
+					s.gInflight.Add(1)
+				}
+				wait := time.Since(queued)
+				value, cost, err := t.Run()
+				release()
+				if s.gInflight != nil {
+					s.gInflight.Add(-1)
+				}
+				rep.Results[i] = Result{
+					ID: t.ID, Index: i, Value: value, Err: err,
+					Worker: worker, Cost: cost, Wait: wait,
+				}
+				rep.WorkerCost[worker] += cost
+			}
+		}(w)
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	rep.Wall = time.Since(start)
+	// Modeled makespan: deterministic given per-task costs, independent
+	// of which wall-clock worker happened to grab which task.
+	loads := make([]time.Duration, s.cfg.Workers)
+	for _, res := range rep.Results {
+		min := 0
+		for w := 1; w < len(loads); w++ {
+			if loads[w] < loads[min] {
+				min = w
+			}
+		}
+		loads[min] += res.Cost
+	}
+	for _, l := range loads {
+		if l > rep.Makespan {
+			rep.Makespan = l
+		}
+	}
+	return rep
+}

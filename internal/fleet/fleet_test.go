@@ -1,0 +1,243 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tax/internal/telemetry"
+)
+
+// TestPoolBoundRespected: no more than Workers tasks run concurrently.
+func TestPoolBoundRespected(t *testing.T) {
+	const workers = 3
+	s := New(Config{Workers: workers})
+	var inflight, peak int64
+	tasks := make([]Task, 20)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID: fmt.Sprintf("t%d", i),
+			Run: func() (any, time.Duration, error) {
+				n := atomic.AddInt64(&inflight, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt64(&inflight, -1)
+				return nil, 0, nil
+			},
+		}
+	}
+	rep := s.Run(tasks)
+	if got := atomic.LoadInt64(&peak); got > workers {
+		t.Errorf("peak concurrency %d > %d workers", got, workers)
+	}
+	if rep.Failed() != 0 {
+		t.Errorf("failed tasks: %d", rep.Failed())
+	}
+}
+
+// TestHostAdmissionLimit: at most HostLimit tasks occupy one host at a
+// time even when the pool is much wider.
+func TestHostAdmissionLimit(t *testing.T) {
+	const limit = 2
+	s := New(Config{Workers: 8, HostLimit: limit})
+	var perHost sync.Map // host -> *int64
+	load := func(host string) *int64 {
+		v, _ := perHost.LoadOrStore(host, new(int64))
+		return v.(*int64)
+	}
+	var violations int64
+	tasks := make([]Task, 24)
+	for i := range tasks {
+		host := fmt.Sprintf("server%d", i%3)
+		tasks[i] = Task{
+			ID:    fmt.Sprintf("t%d", i),
+			Hosts: []string{host},
+			Run: func() (any, time.Duration, error) {
+				if n := atomic.AddInt64(load(host), 1); n > limit {
+					atomic.AddInt64(&violations, 1)
+				}
+				time.Sleep(time.Millisecond)
+				atomic.AddInt64(load(host), -1)
+				return nil, 0, nil
+			},
+		}
+	}
+	s.Run(tasks)
+	if violations != 0 {
+		t.Errorf("%d admissions above the per-host limit %d", violations, limit)
+	}
+}
+
+// TestOverlappingHostSetsNoDeadlock: tasks holding multi-host slot sets
+// in conflicting listed orders complete (sorted acquisition excludes
+// deadlock); duplicate hosts in one task don't self-deadlock.
+func TestOverlappingHostSetsNoDeadlock(t *testing.T) {
+	s := New(Config{Workers: 8, HostLimit: 1})
+	hosts := [][]string{
+		{"a", "b"}, {"b", "a"}, {"b", "c"}, {"c", "b"},
+		{"a", "c"}, {"c", "a"}, {"a", "a", "b"},
+	}
+	var tasks []Task
+	for i, hs := range hosts {
+		for rep := 0; rep < 4; rep++ {
+			tasks = append(tasks, Task{
+				ID:    fmt.Sprintf("t%d-%d", i, rep),
+				Hosts: hs,
+				Run: func() (any, time.Duration, error) {
+					time.Sleep(100 * time.Microsecond)
+					return nil, 0, nil
+				},
+			})
+		}
+	}
+	done := make(chan *Report, 1)
+	go func() { done <- s.Run(tasks) }()
+	select {
+	case rep := <-done:
+		if rep.Failed() != 0 {
+			t.Errorf("failed tasks: %d", rep.Failed())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("scheduler deadlocked")
+	}
+}
+
+// TestResultsDeterministicOrder: results land at their task index with
+// their task's value regardless of completion order, and per-worker
+// virtual costs sum to the total.
+func TestResultsDeterministicOrder(t *testing.T) {
+	s := New(Config{Workers: 4})
+	const n = 16
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID: fmt.Sprintf("t%d", i),
+			Run: func() (any, time.Duration, error) {
+				// Finish in scrambled order.
+				time.Sleep(time.Duration((n-i)%5) * time.Millisecond)
+				return i * 10, time.Duration(i) * time.Second, nil
+			},
+		}
+	}
+	rep := s.Run(tasks)
+	var total time.Duration
+	for i, res := range rep.Results {
+		if res.Index != i || res.ID != fmt.Sprintf("t%d", i) {
+			t.Errorf("result %d carries ID %s index %d", i, res.ID, res.Index)
+		}
+		if res.Value.(int) != i*10 {
+			t.Errorf("result %d value = %v, want %d", i, res.Value, i*10)
+		}
+		if res.Cost != time.Duration(i)*time.Second {
+			t.Errorf("result %d cost = %v", i, res.Cost)
+		}
+		total += res.Cost
+	}
+	var workerSum time.Duration
+	for _, c := range rep.WorkerCost {
+		workerSum += c
+	}
+	if workerSum != total {
+		t.Errorf("worker costs sum to %v, tasks sum to %v", workerSum, total)
+	}
+	if rep.Makespan < total/4 || rep.Makespan > total {
+		t.Errorf("modeled makespan %v outside [total/workers, total] for total %v", rep.Makespan, total)
+	}
+}
+
+// TestModeledMakespanDeterministic: the makespan is list-scheduled from
+// per-task costs in task order, so it is a pure function of (costs,
+// Workers) no matter how the wall-clock assignment scrambles.
+func TestModeledMakespanDeterministic(t *testing.T) {
+	costs := []time.Duration{3 * time.Second, time.Second, time.Second, time.Second, 2 * time.Second}
+	// List schedule onto 2 virtual workers: w0=3s; w1=1+1+1=3s; the 2s
+	// task ties and lands on w0 -> makespan 5s.
+	const want = 5 * time.Second
+	for round := 0; round < 3; round++ {
+		s := New(Config{Workers: 2})
+		tasks := make([]Task, len(costs))
+		for i := range tasks {
+			c := costs[i]
+			tasks[i] = Task{
+				ID: fmt.Sprintf("t%d", i),
+				Run: func() (any, time.Duration, error) {
+					// Scramble wall-clock completion order per round.
+					time.Sleep(time.Duration((i*7+round*3)%5) * time.Millisecond)
+					return nil, c, nil
+				},
+			}
+		}
+		if rep := s.Run(tasks); rep.Makespan != want {
+			t.Errorf("round %d: makespan = %v, want %v", round, rep.Makespan, want)
+		}
+	}
+}
+
+// TestSerialMakespanIsTotal: with one worker the makespan is the summed
+// virtual cost — the baseline the parallel speedup is measured against.
+func TestSerialMakespanIsTotal(t *testing.T) {
+	s := New(Config{Workers: 1})
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID:  fmt.Sprintf("t%d", i),
+			Run: func() (any, time.Duration, error) { return nil, time.Second, nil },
+		}
+	}
+	rep := s.Run(tasks)
+	if rep.Makespan != 8*time.Second {
+		t.Errorf("serial makespan = %v, want 8s", rep.Makespan)
+	}
+}
+
+// TestErrorsReported: task errors surface on their result, counted by
+// Failed, without aborting the batch.
+func TestErrorsReported(t *testing.T) {
+	s := New(Config{Workers: 2})
+	boom := errors.New("boom")
+	tasks := []Task{
+		{ID: "ok", Run: func() (any, time.Duration, error) { return "fine", 0, nil }},
+		{ID: "bad", Run: func() (any, time.Duration, error) { return nil, 0, boom }},
+		{ID: "ok2", Run: func() (any, time.Duration, error) { return "fine", 0, nil }},
+	}
+	rep := s.Run(tasks)
+	if rep.Failed() != 1 {
+		t.Fatalf("Failed() = %d, want 1", rep.Failed())
+	}
+	if !errors.Is(rep.Results[1].Err, boom) {
+		t.Errorf("result 1 err = %v", rep.Results[1].Err)
+	}
+}
+
+// TestTelemetryGauges: inflight gauges return to zero and per-host
+// gauges exist for every host touched.
+func TestTelemetryGauges(t *testing.T) {
+	tel := telemetry.New(telemetry.Options{Host: "fleet"})
+	s := New(Config{Workers: 4, HostLimit: 1, Telemetry: tel})
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		tasks[i] = Task{
+			ID:    fmt.Sprintf("t%d", i),
+			Hosts: []string{fmt.Sprintf("server%d", i%2)},
+			Run:   func() (any, time.Duration, error) { return nil, 0, nil },
+		}
+	}
+	s.Run(tasks)
+	reg := tel.Registry()
+	if v := reg.Gauge("fleet.inflight").Value(); v != 0 {
+		t.Errorf("fleet.inflight = %d after Run", v)
+	}
+	for _, host := range []string{"server0", "server1"} {
+		if v := reg.Gauge("fleet.host_inflight", "host", host).Value(); v != 0 {
+			t.Errorf("fleet.host_inflight{%s} = %d after Run", host, v)
+		}
+	}
+}

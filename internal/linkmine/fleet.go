@@ -1,0 +1,363 @@
+package linkmine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/fleet"
+	"tax/internal/telemetry"
+	"tax/internal/vm"
+)
+
+// FolderTask tags each fleet agent's briefcase with its task id so the
+// collector can attribute — and deduplicate — deliveries: the transport
+// is at-least-once under retries, the aggregate must count each scan
+// exactly once.
+const FolderTask = "TASK"
+
+// TaskResult is one agent's aggregated scan outcome.
+type TaskResult struct {
+	// ID is the task id from the TASK folder ("" on Totals).
+	ID string
+	// Pages, Bytes, Links are the crawl stats summed over CRAWLS rows
+	// (or the single-server CRAWL folder).
+	Pages, Bytes, Links int
+	// DeadLinks counts condensed RESULTS rows plus raw INVALID reports.
+	DeadLinks int
+	// Rejected counts raw REJECTED (out-of-prefix) reports.
+	Rejected int
+	// Elapsed is the virtual time the scan consumed on its server —
+	// the crawl's intrinsic cost, independent of what other fleet
+	// agents did to shared clocks, and therefore deterministic.
+	Elapsed time.Duration
+	// Skipped lists itinerary stops the agent recorded unreachable.
+	Skipped []string
+}
+
+// Aggregator is the collector-side fan-in for a fleet of concurrent
+// mwWebbot agents: deliveries keyed by the TASK folder aggregate
+// exactly once, no matter how duplicated, late, or out of order they
+// arrive. Totals are computed over tasks sorted by id, so the same set
+// of deliveries yields the same report in any arrival order.
+type Aggregator struct {
+	mu        sync.Mutex
+	seen      map[string]bool
+	tasks     map[string]TaskResult
+	dups      int
+	malformed int
+}
+
+// NewAggregator creates an empty aggregator.
+func NewAggregator() *Aggregator {
+	return &Aggregator{seen: make(map[string]bool), tasks: make(map[string]TaskResult)}
+}
+
+// Add ingests one delivered briefcase. It returns the task id and
+// whether the delivery was fresh; duplicates and briefcases without a
+// TASK folder are counted and otherwise ignored.
+func (a *Aggregator) Add(bc *briefcase.Briefcase) (string, bool) {
+	id, ok := bc.GetString(FolderTask)
+	if !ok {
+		a.mu.Lock()
+		a.malformed++
+		a.mu.Unlock()
+		return "", false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seen[id] {
+		a.dups++
+		return id, false
+	}
+	a.seen[id] = true
+	a.tasks[id] = parseTaskResult(id, bc)
+	return id, true
+}
+
+// parseTaskResult reads the crawl evidence out of a delivered
+// briefcase: the itinerant shape (CRAWLS rows + condensed RESULTS) and
+// the single-server shape (CRAWL + raw INVALID/REJECTED reports).
+func parseTaskResult(id string, bc *briefcase.Briefcase) TaskResult {
+	tr := TaskResult{ID: id}
+	if f, err := bc.Folder("CRAWLS"); err == nil {
+		for _, row := range f.Strings() {
+			parts := strings.Split(row, "|") // host|pages|bytes|links|elapsed
+			if len(parts) < 4 {
+				continue
+			}
+			tr.addCrawl(parts[1:])
+		}
+	}
+	if row, ok := bc.GetString(FolderCrawl); ok {
+		parts := strings.Split(row, "|") // pages|bytes|links|elapsed
+		if len(parts) >= 3 {
+			tr.addCrawl(parts)
+		}
+	}
+	if f, err := bc.Folder(briefcase.FolderResults); err == nil {
+		tr.DeadLinks += f.Len()
+	}
+	if f, err := bc.Folder(FolderInvalid); err == nil {
+		tr.DeadLinks += f.Len()
+	}
+	if f, err := bc.Folder(FolderRejected); err == nil {
+		tr.Rejected += f.Len()
+	}
+	if f, err := bc.Folder("SKIPPED"); err == nil {
+		tr.Skipped = append(tr.Skipped, f.Strings()...)
+	}
+	return tr
+}
+
+func (tr *TaskResult) addCrawl(parts []string) {
+	pages, _ := strconv.Atoi(parts[0])
+	bytes, _ := strconv.Atoi(parts[1])
+	links, _ := strconv.Atoi(parts[2])
+	tr.Pages += pages
+	tr.Bytes += bytes
+	tr.Links += links
+	if len(parts) >= 4 {
+		ns, _ := strconv.ParseInt(parts[3], 10, 64)
+		tr.Elapsed += time.Duration(ns)
+	}
+}
+
+// Task returns one task's aggregated result.
+func (a *Aggregator) Task(id string) (TaskResult, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tr, ok := a.tasks[id]
+	return tr, ok
+}
+
+// Tasks returns the per-task results sorted by task id.
+func (a *Aggregator) Tasks() []TaskResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TaskResult, 0, len(a.tasks))
+	for _, tr := range a.tasks {
+		out = append(out, tr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Totals sums every task's result; iteration is over the sorted task
+// list so the aggregate (including the Skipped order) is deterministic.
+func (a *Aggregator) Totals() TaskResult {
+	var tot TaskResult
+	for _, tr := range a.Tasks() {
+		tot.Pages += tr.Pages
+		tot.Bytes += tr.Bytes
+		tot.Links += tr.Links
+		tot.DeadLinks += tr.DeadLinks
+		tot.Rejected += tr.Rejected
+		tot.Elapsed += tr.Elapsed
+		tot.Skipped = append(tot.Skipped, tr.Skipped...)
+	}
+	sort.Strings(tot.Skipped)
+	return tot
+}
+
+// Duplicates reports how many duplicate deliveries were dropped.
+func (a *Aggregator) Duplicates() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dups
+}
+
+// Malformed reports how many deliveries lacked a TASK folder.
+func (a *Aggregator) Malformed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.malformed
+}
+
+// FleetOptions parameterizes a fleet run over an existing campus.
+type FleetOptions struct {
+	// Agents is the number of single-server itineraries to launch;
+	// zero means one per server. Agents are assigned to servers
+	// round-robin, so Agents > len(Servers) queues scans per host.
+	Agents int
+	// Workers bounds concurrently running itineraries (default 4).
+	Workers int
+	// HostLimit bounds agents concurrently occupying one server
+	// (default 1: one scan per server at a time).
+	HostLimit int
+	// Timeout bounds each task's wall-clock wait (default 120s).
+	Timeout time.Duration
+	// Telemetry, when set, receives the fleet scheduler's gauges.
+	Telemetry *telemetry.Telemetry
+}
+
+func (o FleetOptions) withDefaults(servers int) FleetOptions {
+	if o.Agents <= 0 {
+		o.Agents = servers
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.HostLimit == 0 {
+		o.HostLimit = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// FleetReport is one fleet run's outcome.
+type FleetReport struct {
+	Mode    string
+	Agents  int
+	Workers int
+	// Totals over every completed scan.
+	PagesVisited int
+	BytesFetched int
+	LinksChecked int
+	DeadLinks    int
+	// Duplicates is how many duplicate deliveries the collector dropped.
+	Duplicates int
+	// Skipped lists stops recorded unreachable (sorted).
+	Skipped []string
+	// Makespan is the fleet's virtual completion time: the maximum
+	// per-worker sum of intrinsic task costs (each task's crawl
+	// Elapsed, carried home in its CRAWL row). A 1-worker fleet's
+	// makespan is the summed scan time; W workers shrink it roughly
+	// W-fold. Computed from per-task virtual costs, the metric is
+	// deterministic and meaningful even on a single-core host, where
+	// wall-clock speedup is unavailable by construction.
+	Makespan time.Duration
+	// Wall is the run's wall-clock duration.
+	Wall time.Duration
+	// PerTask is each task's intrinsic virtual cost, in task order.
+	PerTask []time.Duration
+	// WorkerCost is each pool worker's summed virtual task cost.
+	WorkerCost []time.Duration
+	// LinkBytes is total campus traffic attributable to the run.
+	LinkBytes int64
+}
+
+// RunFleet scans the campus with a fleet of concurrent single-server
+// mwWebbot itineraries: each agent carries the Webbot binary to one
+// server, scans it there, and returns its condensed results to the
+// client, where a single collector fans every delivery into an
+// exactly-once Aggregator. The fleet scheduler bounds pool width and
+// per-server admission.
+func (d *MultiDeployment) RunFleet(opts FleetOptions) (*FleetReport, error) {
+	opts = opts.withDefaults(len(d.cfg.Servers))
+	bytesBefore := d.allLinkBytes()
+
+	agg := NewAggregator()
+	done := make(map[string]chan struct{}, opts.Agents)
+	taskID := func(i int) string { return fmt.Sprintf("task-%d", i) }
+	for i := 0; i < opts.Agents; i++ {
+		done[taskID(i)] = make(chan struct{})
+	}
+
+	// One collector instance loops over all deliveries; the aggregator
+	// drops duplicates, the done channels wake the waiting tasks.
+	d.Client.Programs.Register(CollectorName, func(ctx *agent.Context) error {
+		for fresh := 0; fresh < opts.Agents; {
+			bc, err := ctx.Await(opts.Timeout)
+			if err != nil {
+				return err
+			}
+			id, ok := agg.Add(bc)
+			if !ok {
+				continue
+			}
+			fresh++
+			if ch, exists := done[id]; exists {
+				close(ch)
+			}
+		}
+		return nil
+	})
+	sysName := d.Sys.SystemPrincipal.Name()
+	if _, err := d.Client.VM.Launch(sysName, CollectorName, CollectorName, nil); err != nil {
+		return nil, err
+	}
+
+	tasks := make([]fleet.Task, opts.Agents)
+	for i := range tasks {
+		i := i
+		id := taskID(i)
+		server := d.cfg.Servers[i%len(d.cfg.Servers)]
+		tasks[i] = fleet.Task{
+			ID:    id,
+			Hosts: []string{server},
+			Run: func() (any, time.Duration, error) {
+				bc := briefcase.New()
+				if b, ok := d.Client.Binaries.Resolve(BinaryName, d.Client.Arch); ok {
+					vm.PackBinaries(bc, vm.Binary{
+						Name: b.Name, Arch: b.Arch, Version: b.Version, Payload: b.Payload,
+					})
+				}
+				bc.SetInt(FolderDepth, int64(d.cfg.MaxDepth))
+				bc.SetString(FolderTask, id)
+				hosts := bc.Ensure(briefcase.FolderHosts)
+				hosts.AppendString("tacoma://" + server + "//vm_go")
+				hosts.AppendString("tacoma://" + d.cfg.ClientHost + "//vm_go")
+				if _, err := d.Client.VM.Launch(sysName, "mwWebbot-"+id, MultiProgram, bc); err != nil {
+					return nil, 0, err
+				}
+				select {
+				case <-done[id]:
+				case <-time.After(opts.Timeout):
+					return nil, 0, fmt.Errorf("linkmine: fleet task %s timed out", id)
+				}
+				// The task's virtual cost is its scan's intrinsic
+				// elapsed time, carried home in the CRAWL row: it
+				// depends only on the (seeded) site and the crawl, not
+				// on how other chains advanced shared clocks, so the
+				// fleet makespan is deterministic.
+				tr, ok := agg.Task(id)
+				if !ok {
+					return nil, 0, fmt.Errorf("linkmine: fleet task %s not aggregated", id)
+				}
+				return id, tr.Elapsed, nil
+			},
+		}
+	}
+
+	sched := fleet.New(fleet.Config{
+		Workers:   opts.Workers,
+		HostLimit: opts.HostLimit,
+		Telemetry: opts.Telemetry,
+	})
+	frep := sched.Run(tasks)
+	for _, res := range frep.Results {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+	}
+
+	tot := agg.Totals()
+	rep := &FleetReport{
+		Mode:         "fleet",
+		Agents:       opts.Agents,
+		Workers:      opts.Workers,
+		PagesVisited: tot.Pages,
+		BytesFetched: tot.Bytes,
+		LinksChecked: tot.Links,
+		DeadLinks:    tot.DeadLinks,
+		Duplicates:   agg.Duplicates(),
+		Skipped:      tot.Skipped,
+		Makespan:     frep.Makespan,
+		Wall:         frep.Wall,
+		PerTask:      make([]time.Duration, len(frep.Results)),
+		WorkerCost:   frep.WorkerCost,
+		LinkBytes:    d.allLinkBytes() - bytesBefore,
+	}
+	for i, res := range frep.Results {
+		rep.PerTask[i] = res.Cost
+	}
+	return rep, nil
+}

@@ -169,8 +169,8 @@ func (d *MultiDeployment) webbotHandler(n *core.Node) vm.Handler {
 		if err != nil {
 			return err
 		}
-		bc.SetString(FolderCrawl, fmt.Sprintf("%d|%d|%d",
-			st.PagesVisited, st.BytesFetched, st.LinksChecked))
+		bc.SetString(FolderCrawl, fmt.Sprintf("%d|%d|%d|%d",
+			st.PagesVisited, st.BytesFetched, st.LinksChecked, int64(st.Elapsed)))
 		encodeReports(bc.Ensure(FolderInvalid), st.Invalid)
 		encodeReports(bc.Ensure(FolderRejected), st.RejectedByPrefix())
 		return nil
@@ -348,9 +348,9 @@ func (d *MultiDeployment) RunMobileMulti() (*MultiReport, error) {
 	}
 	if f, err := result.Folder("CRAWLS"); err == nil {
 		for _, row := range f.Strings() {
-			// host|pages|bytes|links
+			// host|pages|bytes|links|elapsed
 			parts := strings.Split(row, "|")
-			if len(parts) != 4 {
+			if len(parts) < 4 {
 				continue
 			}
 			pages, _ := strconv.Atoi(parts[1])

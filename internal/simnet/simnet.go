@@ -8,10 +8,12 @@
 // vclock) and serialized on its link, so sequential request/response
 // flows yield exact elapsed times without sleeping.
 //
-// Messages are delivered in real time through per-host dispatcher
-// goroutines (one in-order queue per host), while the virtual timestamps
-// carry the simulated cost. A TCP implementation of the same Node
-// interface (tcp.go) backs the live multi-process deployment path.
+// Messages are delivered in real time through per-source dispatcher
+// goroutines (one in-order queue per directed link, so each sender's
+// messages arrive FIFO while different senders' handlers may run
+// concurrently), while the virtual timestamps carry the simulated cost.
+// A TCP implementation of the same Node interface (tcp.go) backs the
+// live multi-process deployment path.
 package simnet
 
 import (
@@ -73,8 +75,11 @@ type Node interface {
 	Addr() string
 	// Send delivers payload to the named peer.
 	Send(to string, payload []byte) error
-	// SetHandler installs the delivery callback. Deliveries to one node
-	// are serialized. Must be called before the first message arrives.
+	// SetHandler installs the delivery callback. Deliveries from one
+	// peer are serialized (per-link FIFO); deliveries from different
+	// peers may invoke the handler concurrently, so handlers must be
+	// safe for concurrent use. Must be called before the first message
+	// arrives.
 	SetHandler(h func(from string, payload []byte))
 	// Close shuts the node down; further sends fail with ErrClosed.
 	Close() error
@@ -228,11 +233,10 @@ func (n *Network) AddHost(name string) (*Host, error) {
 		name:  name,
 		net:   n,
 		clock: vclock.NewVirtual(),
-		queue: make(chan delivery, 1024),
+		peers: make(map[string]chan delivery),
 		done:  make(chan struct{}),
 	}
 	n.hosts[name] = h
-	go h.dispatch()
 	return h, nil
 }
 
@@ -301,11 +305,16 @@ func (n *Network) Crash(name string) {
 	}
 	n.crashed[name] = true
 	n.mu.Unlock()
-	for {
-		select {
-		case <-h.queue:
-		default:
-			return
+	h.peerMu.Lock()
+	defer h.peerMu.Unlock()
+	for _, q := range h.peers {
+		for {
+			select {
+			case <-q:
+				continue
+			default:
+			}
+			break
 		}
 	}
 }
@@ -377,12 +386,18 @@ type delivery struct {
 	arriveAt time.Duration
 }
 
-// Host is a simulated machine: a virtual clock plus an in-order inbox.
+// Host is a simulated machine: a virtual clock plus one in-order inbox
+// per sending peer. A dispatcher goroutine per peer preserves the
+// link's FIFO order while deliveries from different senders invoke the
+// handler concurrently — the per-destination queue sharding that lets
+// many agents use one host's firewall at once.
 type Host struct {
 	name  string
 	net   *Network
 	clock *vclock.Virtual
-	queue chan delivery
+
+	peerMu sync.Mutex
+	peers  map[string]chan delivery // per-source inboxes, by sender name
 
 	handlerMu sync.RWMutex
 	handler   func(from string, payload []byte)
@@ -505,20 +520,41 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 		corruptPayload(data)
 	}
 	msg := delivery{from: h.name, payload: data, arriveAt: arrive}
-	select {
-	case dst.queue <- msg:
-	case <-dst.done:
-		return 0, ErrClosed
+	if err := dst.enqueue(msg); err != nil {
+		return 0, err
 	}
 	if dec.Duplicate {
 		dup := delivery{from: h.name, payload: append([]byte(nil), data...), arriveAt: arrive}
-		select {
-		case dst.queue <- dup:
-		case <-dst.done:
-			return 0, ErrClosed
+		if err := dst.enqueue(dup); err != nil {
+			return 0, err
 		}
 	}
 	return arrive, nil
+}
+
+// enqueue places one delivery on the inbox for its sending peer,
+// creating the peer's queue and dispatcher on first contact.
+func (h *Host) enqueue(msg delivery) error {
+	h.peerMu.Lock()
+	q, ok := h.peers[msg.from]
+	if !ok {
+		select {
+		case <-h.done:
+			h.peerMu.Unlock()
+			return ErrClosed
+		default:
+		}
+		q = make(chan delivery, 1024)
+		h.peers[msg.from] = q
+		go h.dispatch(q)
+	}
+	h.peerMu.Unlock()
+	select {
+	case q <- msg:
+		return nil
+	case <-h.done:
+		return ErrClosed
+	}
 }
 
 // corruptPayload flips fixed byte positions so damage is deterministic
@@ -532,13 +568,14 @@ func corruptPayload(p []byte) {
 	p[len(p)-1] ^= 0x5A
 }
 
-// dispatch drains the inbox, invoking the handler serially.
-func (h *Host) dispatch() {
+// dispatch drains one peer's inbox, invoking the handler serially for
+// that peer; other peers' dispatchers run concurrently.
+func (h *Host) dispatch(q chan delivery) {
 	for {
 		select {
 		case <-h.done:
 			return
-		case d := <-h.queue:
+		case d := <-q:
 			h.handlerMu.RLock()
 			fn := h.handler
 			h.handlerMu.RUnlock()
@@ -549,7 +586,7 @@ func (h *Host) dispatch() {
 	}
 }
 
-// Close stops the host's dispatcher. Pending undelivered messages are
+// Close stops the host's dispatchers. Pending undelivered messages are
 // dropped, as they would be on a crashed machine.
 func (h *Host) Close() error {
 	h.closeOnce.Do(func() { close(h.done) })

@@ -1,0 +1,122 @@
+// Parallel crawling: prefetch the page set with K workers, then replay.
+//
+// The serial crawl's Stats depend on traversal order (depth-limited DFS
+// re-expands a page reached at a strictly shallower depth, so the link
+// logs count re-expansions), which a naive concurrent traversal cannot
+// reproduce. Instead the crawl is split in two phases:
+//
+//  1. Prefetch: a breadth-first wave discovery fetches every page with
+//     K workers on forked fetchers whose costs land on private virtual
+//     clocks, recording {response, cost} per URL. The fetched set is
+//     order-independent: the serial crawl's best-depth relaxation
+//     converges to the shortest-constraint-depth fixpoint, which is
+//     exactly what breadth-first discovery computes, so both phases
+//     fetch the same URLs.
+//  2. Replay: the unchanged serial traversal runs against the prefetch
+//     cache; each cache hit charges the robot's clock the recorded
+//     cost via ForkableFetcher.Replay. Virtual-clock charges commute,
+//     so the summed Elapsed is identical to the serial crawl's.
+//
+// A URL the discovery did not reach (possible only after a fetch error
+// cut a wave short) falls back to a live fetch through the parent
+// fetcher, which is what the serial crawl would have done.
+package webbot
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"tax/internal/vclock"
+	"tax/internal/websim"
+)
+
+// prefetched is one cached fetch outcome.
+type prefetched struct {
+	resp *websim.Response
+	cost time.Duration
+	err  error
+}
+
+// prefetchCache holds the parallel phase's results keyed by URL.
+type prefetchCache struct {
+	parent  websim.ForkableFetcher
+	results map[string]prefetched
+}
+
+// fetch serves the serial replay: cache hits charge the parent the
+// recorded cost; misses fall through to a live fetch.
+func (p *prefetchCache) fetch(url string) (*websim.Response, error) {
+	e, ok := p.results[url]
+	if !ok {
+		return p.parent.Fetch(url)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	p.parent.Replay(e.resp, e.cost)
+	return e.resp, nil
+}
+
+// prefetch fetches the crawl's page set with r.Workers concurrent
+// workers and returns the cache the serial replay runs against.
+func (r *Robot) prefetch(ff websim.ForkableFetcher, startURL string) *prefetchCache {
+	cache := &prefetchCache{parent: ff, results: make(map[string]prefetched)}
+	seen := map[string]bool{startURL: true}
+	wave := []string{startURL}
+	for depth := 0; len(wave) > 0; depth++ {
+		fetched := r.fetchWave(ff, wave)
+		var next []string
+		for i, url := range wave {
+			e := fetched[i]
+			cache.results[url] = e
+			if e.err != nil || e.resp.Status != websim.StatusOK || e.resp.Page == nil {
+				continue
+			}
+			for _, link := range e.resp.Page.Links {
+				if r.Constraints.Prefix != "" && !strings.HasPrefix(link.URL, r.Constraints.Prefix) {
+					continue
+				}
+				if depth+1 > r.Constraints.MaxDepth || seen[link.URL] {
+					continue
+				}
+				seen[link.URL] = true
+				next = append(next, link.URL)
+			}
+		}
+		wave = next
+	}
+	return cache
+}
+
+// fetchWave fetches one discovery wave's URLs with up to r.Workers
+// goroutines, each on its own fork with a private clock, and returns
+// the outcomes in wave order.
+func (r *Robot) fetchWave(ff websim.ForkableFetcher, wave []string) []prefetched {
+	out := make([]prefetched, len(wave))
+	workers := r.Workers
+	if workers > len(wave) {
+		workers = len(wave)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clk := vclock.NewVirtual()
+			fork := ff.Fork(clk)
+			for i := range idx {
+				before := clk.Now()
+				resp, err := fork.Fetch(wave[i])
+				out[i] = prefetched{resp: resp, cost: clk.Now() - before, err: err}
+			}
+		}()
+	}
+	for i := range wave {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,151 @@
+package webbot
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tax/internal/simnet"
+	"tax/internal/vclock"
+	"tax/internal/websim"
+)
+
+// TestParallelCrawlIdenticalToSerial is the tentpole determinism proof:
+// a K=8 parallel crawl of the 917-page case-study site produces Stats
+// byte-identical to the serial crawl — visit counts, byte totals, link
+// logs in order, age/type histograms, and the simulated Elapsed.
+func TestParallelCrawlIdenticalToSerial(t *testing.T) {
+	serialBot, site := newLocalRobot(t, 4)
+	serial, err := serialBot.Run(site.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{2, 8} {
+		par, _ := newLocalRobot(t, 4)
+		par.Workers = workers
+		got, err := par.Run(site.Root)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d: parallel Stats differ from serial\nparallel: %+v\nserial:   %+v",
+				workers, got, serial)
+		}
+		if got.Elapsed != serial.Elapsed {
+			t.Errorf("workers=%d: Elapsed %v != serial %v", workers, got.Elapsed, serial.Elapsed)
+		}
+	}
+}
+
+// TestParallelCrawlClockIdentical checks the robot's clock itself (not
+// just Stats.Elapsed) advances identically, and the fetcher's traffic
+// counters match: the fleet and bench layers read both.
+func TestParallelCrawlClockIdentical(t *testing.T) {
+	serialBot, site := newLocalRobot(t, 4)
+	if _, err := serialBot.Run(site.Root); err != nil {
+		t.Fatal(err)
+	}
+	serialClock := serialBot.Clock.Now()
+	serialClient := serialBot.Fetcher.(*websim.Client)
+
+	par, _ := newLocalRobot(t, 4)
+	par.Workers = 8
+	if _, err := par.Run(site.Root); err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Clock.Now(); got != serialClock {
+		t.Errorf("parallel clock = %v, serial clock = %v", got, serialClock)
+	}
+	parClient := par.Fetcher.(*websim.Client)
+	if parClient.Requests != serialClient.Requests || parClient.BytesFetched != serialClient.BytesFetched {
+		t.Errorf("parallel client counters (%d req, %d B) != serial (%d req, %d B)",
+			parClient.Requests, parClient.BytesFetched, serialClient.Requests, serialClient.BytesFetched)
+	}
+}
+
+// TestParallelCrawlDepthSweep checks determinism across depth limits,
+// including depth 0 (root only) where the discovery has a single wave.
+func TestParallelCrawlDepthSweep(t *testing.T) {
+	for _, depth := range []int{0, 1, 2, 3} {
+		serialBot, site := newLocalRobot(t, depth)
+		serial, err := serialBot.Run(site.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, _ := newLocalRobot(t, depth)
+		par.Workers = 4
+		got, err := par.Run(site.Root)
+		if err != nil {
+			t.Fatalf("depth=%d: %v", depth, err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("depth=%d: parallel Stats differ from serial", depth)
+		}
+	}
+}
+
+// TestParallelNeedsForkableFetcher: a Workers > 1 robot over a fetcher
+// that cannot be forked reports the typed error instead of racing.
+func TestParallelNeedsForkableFetcher(t *testing.T) {
+	clock := vclock.NewVirtual()
+	r := &Robot{
+		Fetcher: &websim.ExternalChecker{Link: simnet.WAN10, Clock: clock},
+		Clock:   clock,
+		Workers: 4,
+	}
+	if _, err := r.Run("http://x/"); !errors.Is(err, ErrNotForkable) {
+		t.Fatalf("err = %v, want ErrNotForkable", err)
+	}
+}
+
+// TestPrefixBoundaries covers the boundary cases the old hand-rolled
+// hasPrefix helper never had tests for: the empty prefix (matches
+// everything, so nothing is prefix-rejected) and a prefix longer than
+// the URL (rejects it).
+func TestPrefixBoundaries(t *testing.T) {
+	site, err := websim.Generate(websim.CaseStudySpec("webserv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(prefix string, maxDepth int) *Stats {
+		clock := vclock.NewVirtual()
+		r := &Robot{
+			Fetcher: &websim.Client{
+				Server:   websim.DefaultServer(site),
+				Universe: &websim.Universe{Origin: site},
+				Link:     simnet.Loopback,
+				Clock:    clock,
+			},
+			Clock:       clock,
+			Constraints: Constraints{MaxDepth: maxDepth, Prefix: prefix},
+		}
+		st, err := r.Run(site.Root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Empty prefix: no link is prefix-rejected; external links are
+	// followed (and mostly resolve through the universe).
+	st := run("", 1)
+	for _, rej := range st.Rejected {
+		if rej.Reason == "prefix" {
+			t.Fatalf("empty prefix rejected %q", rej.URL)
+		}
+	}
+
+	// A prefix longer than every URL matches nothing: all links are
+	// prefix-rejected and only the root is visited.
+	longPrefix := "http://webserv/this-prefix-is-longer-than-any-generated-url-on-the-site/really/it/is/"
+	st = run(longPrefix, 4)
+	if st.PagesVisited != 1 {
+		t.Errorf("long prefix: visited %d pages, want 1 (root only)", st.PagesVisited)
+	}
+	for _, rej := range st.Rejected {
+		if rej.Reason != "prefix" {
+			t.Errorf("long prefix: unexpected rejection reason %q for %q", rej.Reason, rej.URL)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"tax/internal/telemetry"
@@ -120,7 +121,19 @@ type Robot struct {
 	TraceID string
 	// SpanParent optionally parents the crawl span (a vm.exec span id).
 	SpanParent string
+	// Workers, when > 1, fetches with that many concurrent workers
+	// (the Fetcher must implement websim.ForkableFetcher). The crawl's
+	// Stats — visit order, link logs, byte counts and Elapsed — stay
+	// byte-identical to the serial crawl: workers prefetch the page set
+	// on forked fetchers with private clocks, then the serial traversal
+	// replays from the prefetch cache, charging the robot's clock the
+	// recorded per-fetch costs.
+	Workers int
 }
+
+// ErrNotForkable is returned when Workers > 1 but the Fetcher cannot be
+// forked for concurrent use.
+var ErrNotForkable = errors.New("webbot: Workers > 1 needs a websim.ForkableFetcher")
 
 // Run crawls depth-first from startURL and returns the gathered
 // statistics. The crawl is deterministic: links are followed in page
@@ -144,6 +157,16 @@ func (r *Robot) Run(startURL string) (*Stats, error) {
 	c := &crawlState{
 		bestDepth: map[string]int{},
 		pageCache: map[string]*websim.Page{},
+		fetch:     r.Fetcher.Fetch,
+	}
+	if r.Workers > 1 {
+		ff, ok := r.Fetcher.(websim.ForkableFetcher)
+		if !ok {
+			sp.SetErr(ErrNotForkable)
+			sp.End()
+			return nil, ErrNotForkable
+		}
+		c.fetch = r.prefetch(ff, startURL).fetch
 	}
 	if err := r.crawl(startURL, "", 0, c, st); err != nil {
 		sp.SetErr(err)
@@ -169,6 +192,7 @@ func (r *Robot) Run(startURL string) (*Stats, error) {
 type crawlState struct {
 	bestDepth map[string]int
 	pageCache map[string]*websim.Page // nil entry: the URL was invalid
+	fetch     func(url string) (*websim.Response, error)
 }
 
 // crawl fetches (once) and expands one page depth-first.
@@ -182,7 +206,7 @@ func (r *Robot) crawl(url, referrer string, depth int, c *crawlState, st *Stats)
 	}
 	c.bestDepth[url] = depth
 
-	resp, err := r.Fetcher.Fetch(url)
+	resp, err := c.fetch(url)
 	if err != nil {
 		return fmt.Errorf("webbot: fetch %s: %w", url, err)
 	}
@@ -225,7 +249,7 @@ func (r *Robot) expand(url string, depth int, c *crawlState, st *Stats) error {
 	}
 	for _, link := range page.Links {
 		st.LinksChecked++
-		if r.Constraints.Prefix != "" && !hasPrefix(link.URL, r.Constraints.Prefix) {
+		if r.Constraints.Prefix != "" && !strings.HasPrefix(link.URL, r.Constraints.Prefix) {
 			st.Rejected = append(st.Rejected, LinkReport{
 				URL: link.URL, Referrer: link.Referrer, Reason: "prefix",
 			})
@@ -242,10 +266,6 @@ func (r *Robot) expand(url string, depth int, c *crawlState, st *Stats) error {
 		}
 	}
 	return nil
-}
-
-func hasPrefix(s, prefix string) bool {
-	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
 }
 
 // ValidateLinks fetches each URL once through the fetcher and reports the

@@ -455,6 +455,23 @@ type Fetcher interface {
 	Fetch(url string) (*Response, error)
 }
 
+// ForkableFetcher is a Fetcher that supports concurrent crawling. Fork
+// yields an independent clone whose simulated costs are charged to the
+// given clock instead of the parent's, so worker goroutines can fetch
+// without sharing the parent's clock or counters. Replay then charges
+// the parent for one fetch a fork served, leaving the parent's clock
+// and traffic counters exactly as if it had performed the fetch itself
+// — which is what keeps a parallel-prefetched crawl's Stats identical
+// to the serial crawl's.
+type ForkableFetcher interface {
+	Fetcher
+	// Fork returns an independent fetcher charging costs to clock.
+	Fork(clock vclock.Clock) Fetcher
+	// Replay charges the parent for one fetch previously served by a
+	// fork (resp and the fork-measured cost).
+	Replay(resp *Response, cost time.Duration)
+}
+
 // Client fetches from a Server across a link profile, charging the full
 // request/response cost to a clock — the sequential-crawler cost model:
 //
@@ -476,7 +493,23 @@ type Client struct {
 	BytesFetched int
 }
 
-var _ Fetcher = (*Client)(nil)
+var _ ForkableFetcher = (*Client)(nil)
+
+// Fork implements ForkableFetcher: the clone shares the server, the
+// universe and the link profile but charges the given clock and keeps
+// its own traffic counters. The cost model is stateless per fetch, so a
+// fork observes exactly the costs the parent would have.
+func (c *Client) Fork(clock vclock.Clock) Fetcher {
+	return &Client{Server: c.Server, Universe: c.Universe, Link: c.Link, Clock: clock}
+}
+
+// Replay implements ForkableFetcher: it applies one fork-served fetch
+// to the parent's clock and counters.
+func (c *Client) Replay(resp *Response, cost time.Duration) {
+	c.Clock.Advance(cost)
+	c.Requests++
+	c.BytesFetched += resp.Bytes
+}
 
 // Fetch implements Fetcher.
 func (c *Client) Fetch(url string) (*Response, error) {
