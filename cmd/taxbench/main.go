@@ -8,7 +8,7 @@
 //
 // The tel experiment measures telemetry overhead on the firewall hot
 // path and records the machine-readable deltas to BENCH_telemetry.json
-// (path overridable with -json, disable with -json '').
+// (path overridable with -json, disable with -json ”).
 //
 // The faults experiment sweeps injected message-drop probability against
 // the rear-guarded chaos itinerary and records completion rate and
@@ -19,6 +19,12 @@
 // campus, measures virtual-time fleet throughput, verifies the parallel
 // crawl is byte-identical to serial, and records the sweep to
 // BENCH_parallel.json (-parallel-json to override).
+//
+// The durability experiment sweeps the file cabinet's snapshot interval
+// and fsync cost against virtual-clock recovery latency and the
+// crash-point completion rate, and records the grid to
+// BENCH_durability.json (-durability-json to override). The JSON embeds
+// no wall-clock time: reruns are byte-identical per seed.
 package main
 
 import (
@@ -32,20 +38,21 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
 	faultsSeeds := flag.Int("faults-seeds", 10, "seeded runs per drop-probability point in the faults experiment")
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON results ('' disables)")
+	durabilityJSON := flag.String("durability-json", "BENCH_durability.json", "file for the durability experiment's JSON results ('' disables)")
 	flag.Parse()
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON string) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -86,6 +93,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", parallelJSON)
+			}
+			return t, nil
+		}},
+		{"durability", func() (*bench.Table, error) {
+			t, results, err := bench.Durability()
+			if err != nil {
+				return nil, err
+			}
+			if durabilityJSON != "" {
+				if err := writeDurabilityJSON(durabilityJSON, results); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", durabilityJSON)
 			}
 			return t, nil
 		}},
@@ -130,6 +150,26 @@ func writeParallelJSON(path string, results []bench.ParallelResult, identical bo
 		StatsIdentical bool                   `json:"parallel_crawl_stats_identical"`
 		Results        []bench.ParallelResult `json:"results"`
 	}{Time: time.Now(), StatsIdentical: identical, Results: results}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeDurabilityJSON records the durability grid for regression
+// tracking. Deliberately no timestamp: every field is virtual-clock or
+// seeded, so the file is byte-identical run to run and diffs cleanly.
+func writeDurabilityJSON(path string, results []bench.DurabilityResult) error {
+	doc := struct {
+		Results []bench.DurabilityResult `json:"results"`
+	}{Results: results}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

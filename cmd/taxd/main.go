@@ -25,6 +25,7 @@ import (
 
 	"tax/internal/agent"
 	"tax/internal/briefcase"
+	"tax/internal/cabinet"
 	"tax/internal/firewall"
 	"tax/internal/fleet"
 	"tax/internal/identity"
@@ -45,14 +46,16 @@ func main() {
 	retry := flag.String("retry", "", "default forward-retry policy 'attempts|backoff|deadline' (durations in ns) for agents without a _RETRY folder")
 	fleetN := flag.Int("fleet", 1, "with -launch: number of agent copies to launch through the fleet scheduler")
 	workers := flag.Int("workers", 4, "with -fleet: concurrent launch bound (fleet pool width)")
+	fsyncCost := flag.Duration("fsync-cost", cabinet.DefaultSyncLatency, "modeled fsync latency of the node's file cabinet (slept for on a live node)")
+	snapEvery := flag.Int("snapshot-every", cabinet.DefaultSnapshotEvery, "cabinet transactions between WAL compactions (negative disables snapshots)")
 	flag.Parse()
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int) error {
 	var retryPolicy firewall.RetryPolicy
 	if retry != "" {
 		p, err := firewall.ParseRetryPolicy(retry)
@@ -92,14 +95,27 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 	if telOn || telDump != "" {
 		tel = telemetry.New(telemetry.Options{Host: node.Addr(), Spans: telOn, Events: telOn})
 	}
+	// A real clock (not the default idle virtual one) so agent run
+	// times and trace spans carry wall-clock durations on live nodes —
+	// and so the cabinet's fsync cost is actually slept for.
+	clock := vclock.NewReal()
+	cabOpts := cabinet.Options{
+		Clock:         clock,
+		FsyncCost:     fsyncCost,
+		SnapshotEvery: snapEvery,
+		Host:          host,
+	}
+	if tel != nil {
+		cabOpts.Telemetry = tel.Registry()
+	}
+	store := cabinet.NewStore(cabOpts)
 	fw, err := firewall.New(firewall.Config{
-		HostName: host,
-		Port:     port,
-		Node:     node,
-		Trust:    trust,
-		// A real clock (not the default idle virtual one) so agent run
-		// times and trace spans carry wall-clock durations on live nodes.
-		Clock:           vclock.NewReal(),
+		HostName:        host,
+		Port:            port,
+		Node:            node,
+		Trust:           trust,
+		Clock:           clock,
+		Durable:         store,
 		SystemPrincipal: "system",
 		Resolve: func(h string, p int) (string, error) {
 			return net.JoinHostPort(h, strconv.Itoa(p)), nil
@@ -127,8 +143,9 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 
 	// Standard services plus the figure-4 demo agent.
 	programs.Register("ag_fs", services.NewAgFS())
+	programs.Register("ag_cabinet", services.NewAgCabinet(store))
 	programs.Register("ag_cron", services.NewAgCron())
-	for _, svc := range []string{"ag_fs", "ag_cron"} {
+	for _, svc := range []string{"ag_fs", "ag_cabinet", "ag_cron"} {
 		if _, err := gvm.Launch("system", svc, svc, nil); err != nil {
 			return err
 		}

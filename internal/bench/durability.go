@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"tax/internal/cabinet"
+	"tax/internal/chaostest"
+	"tax/internal/vclock"
+)
+
+// DurabilityResult is one (snapshot interval, fsync cost) point of the
+// durability sweep, in machine-readable form for BENCH_durability.json.
+// Every field is computed on the virtual clock or from seeded runs, so
+// the JSON is byte-identical run to run.
+type DurabilityResult struct {
+	// SnapshotEvery is the cabinet's compaction interval in committed
+	// transactions.
+	SnapshotEvery int `json:"snapshot_every"`
+	// FsyncUS is the per-fsync latency in virtual microseconds.
+	FsyncUS int64 `json:"fsync_us"`
+
+	// Store-level measurements: a deterministic workload of Txns
+	// committed transactions, then a crash and a recovery.
+	//
+	// Txns is the workload size; WALBytes and SnapBytes are the durable
+	// on-disk footprint at the crash; RecoveredKeys the table rebuilt by
+	// Reopen.
+	Txns          int `json:"txns"`
+	WALBytes      int `json:"wal_bytes"`
+	SnapBytes     int `json:"snap_bytes"`
+	RecoveredKeys int `json:"recovered_keys"`
+	// WriteCostMS is the virtual-clock cost of committing the workload
+	// (the price of durability on the write path).
+	WriteCostMS float64 `json:"write_cost_ms"`
+	// RecoveryUS is the virtual-clock cost of Reopen after the crash
+	// (the recovery-latency signal: snapshotting trades write-path
+	// fsyncs for a shorter WAL to replay).
+	RecoveryUS float64 `json:"recovery_us"`
+
+	// End-to-end measurements: a crash-point sweep of the guarded 3-hop
+	// itinerary with this cabinet configuration.
+	//
+	// CrashRuns is the number of runs in the sweep, Crashes how many of
+	// them actually crashed the home host, Completed how many finished
+	// the itinerary, ExactlyOnce how many kept every visit effect
+	// exactly-once.
+	CrashRuns   int `json:"crash_runs"`
+	Crashes     int `json:"crashes"`
+	Completed   int `json:"completed"`
+	ExactlyOnce int `json:"exactly_once"`
+}
+
+// durabilityWorkload commits a fixed, deterministic transaction stream:
+// cycling keys, value sizes varying with the index, every 16th a delete.
+func durabilityWorkload(st *cabinet.Store, txns int) error {
+	for i := 0; i < txns; i++ {
+		key := fmt.Sprintf("k/%02d", i%64)
+		if i%16 == 15 {
+			if err := st.Delete(key); err != nil {
+				return err
+			}
+			continue
+		}
+		v := make([]byte, 64+(i*7)%192)
+		for j := range v {
+			v[j] = byte(i + j)
+		}
+		if err := st.Put(key, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Durability sweeps the cabinet's two durability knobs — snapshot
+// interval and fsync cost — against (a) a store-level crash/recovery
+// cycle measured on the virtual clock and (b) the end-to-end crash-point
+// sweep of the guarded itinerary. The trade the paper's file cabinets
+// buy into, in numbers: frequent snapshots cost write-path fsyncs but
+// bound the WAL replay; slow fsyncs price every committed promise.
+// Everything is seeded and virtual-clock driven, so reruns produce
+// identical results.
+func Durability() (*Table, []DurabilityResult, error) {
+	intervals := []int{4, 32, 256}
+	fsyncs := []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
+	// 509 is deliberately not a multiple of any snapshot interval, so
+	// the crash lands with a live WAL tail past the last compaction.
+	const txns = 509
+
+	var results []DurabilityResult
+	for gi, interval := range intervals {
+		for gj, fs := range fsyncs {
+			r := DurabilityResult{
+				SnapshotEvery: interval,
+				FsyncUS:       fs.Microseconds(),
+				Txns:          txns,
+			}
+
+			clock := vclock.NewVirtual()
+			disk := cabinet.NewDisk(cabinet.DiskConfig{Clock: clock, SyncLatency: fs})
+			st := cabinet.NewStore(cabinet.Options{
+				Clock:         clock,
+				Disk:          disk,
+				FsyncCost:     fs,
+				SnapshotEvery: interval,
+			})
+			if err := durabilityWorkload(st, txns); err != nil {
+				return nil, nil, err
+			}
+			r.WriteCostMS = float64(clock.Now().Microseconds()) / 1000
+			disk.Crash()
+			if b, ok := disk.DurableBytes("wal"); ok {
+				r.WALBytes = len(b)
+			}
+			if b, ok := disk.DurableBytes("snap"); ok {
+				r.SnapBytes = len(b)
+			}
+			recoverStart := clock.Now()
+			if _, err := st.Reopen(); err != nil {
+				return nil, nil, err
+			}
+			r.RecoveryUS = float64((clock.Now() - recoverStart).Nanoseconds()) / 1000
+			r.RecoveredKeys = st.Len()
+
+			points, err := chaostest.RunCrashPoints(chaostest.CrashPointScenario{
+				Seed:          int64(100 + 10*gi + gj),
+				FsyncCost:     fs,
+				SnapshotEvery: interval,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			r.CrashRuns = len(points)
+			for _, p := range points {
+				if p.Crashed {
+					r.Crashes++
+				}
+				if p.Completed() {
+					r.Completed++
+				}
+				if _, ok := p.Result.ExactlyOnce(); ok {
+					r.ExactlyOnce++
+				}
+			}
+			results = append(results, r)
+		}
+	}
+
+	t := &Table{
+		Title:  "DURABILITY",
+		Note:   "file-cabinet crash/recovery vs snapshot interval and fsync cost (virtual-clock costs; crash-point sweep of the guarded 3-hop itinerary)",
+		Header: []string{"snap every", "fsync µs", "wal B", "snap B", "write ms", "recover µs", "runs", "crashed", "completed", "1x"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.SnapshotEvery),
+			fmt.Sprintf("%d", r.FsyncUS),
+			fmt.Sprintf("%d", r.WALBytes),
+			fmt.Sprintf("%d", r.SnapBytes),
+			fmt.Sprintf("%.2f", r.WriteCostMS),
+			fmt.Sprintf("%.1f", r.RecoveryUS),
+			fmt.Sprintf("%d", r.CrashRuns),
+			fmt.Sprintf("%d", r.Crashes),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.ExactlyOnce),
+		})
+	}
+	return t, results, nil
+}

@@ -1,0 +1,468 @@
+package cabinet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/telemetry"
+	"tax/internal/vclock"
+)
+
+// File names the store keeps on its disk. The WAL is append-only; the
+// snapshot is replaced atomically via snap.tmp + fsync + rename.
+const (
+	walFile     = "wal"
+	snapFile    = "snap"
+	snapTmpFile = "snap.tmp"
+)
+
+// Options parameterizes a Store.
+type Options struct {
+	// Clock is the host clock; required when Disk is nil.
+	Clock vclock.Clock
+	// Disk backs the store; a fresh one is created from Clock/FsyncCost
+	// when nil.
+	Disk *Disk
+	// FsyncCost overrides the disk's sync latency when the store creates
+	// its own disk.
+	FsyncCost time.Duration
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// committed transactions (default 64; negative disables).
+	SnapshotEvery int
+	// Telemetry, when set, records cabinet.wal_appends, cabinet.fsyncs,
+	// cabinet.snapshots and cabinet.recovery_ms under the given Host
+	// label.
+	Telemetry *telemetry.Registry
+	// Host labels the telemetry series.
+	Host string
+}
+
+// DefaultSnapshotEvery is the WAL-transactions-per-snapshot compaction
+// interval when Options leaves it zero.
+const DefaultSnapshotEvery = 64
+
+// Op is one mutation inside a transaction.
+type Op struct {
+	// Del distinguishes deletes from puts.
+	Del bool
+	// Key is the entry being written or deleted.
+	Key string
+	// Value is the put payload (ignored for deletes).
+	Value []byte
+}
+
+// Store is a crash-consistent key-value store: every transaction is
+// WAL-journaled and fsynced before it mutates the in-memory table, and
+// the WAL is periodically compacted into a snapshot. After a Crash,
+// Reopen rebuilds exactly the durable history. Safe for concurrent use.
+type Store struct {
+	mu        sync.Mutex
+	disk      *Disk
+	opts      Options
+	table     map[string][]byte
+	seq       uint64 // last committed transaction sequence number
+	sinceSnap int
+	hook      func(seq uint64) // fired after each synced append, outside mu
+
+	walAppends *telemetry.Counter
+	fsyncs     *telemetry.Counter
+	snapshots  *telemetry.Counter
+	recoveryMS *telemetry.Histogram
+}
+
+// NewStore creates an empty store (and its disk, unless one is given).
+func NewStore(opts Options) *Store {
+	if opts.Disk == nil {
+		opts.Disk = NewDisk(DiskConfig{Clock: opts.Clock, SyncLatency: opts.FsyncCost})
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	s := &Store{disk: opts.Disk, opts: opts, table: make(map[string][]byte)}
+	if opts.Telemetry != nil {
+		s.walAppends = opts.Telemetry.Counter("cabinet.wal_appends", "host", opts.Host)
+		s.fsyncs = opts.Telemetry.Counter("cabinet.fsyncs", "host", opts.Host)
+		s.snapshots = opts.Telemetry.Counter("cabinet.snapshots", "host", opts.Host)
+		s.recoveryMS = opts.Telemetry.Histogram("cabinet.recovery_ms", "host", opts.Host)
+	}
+	return s
+}
+
+// Disk exposes the backing disk (the simnet crash hooks crash it
+// alongside the host).
+func (s *Store) Disk() *Disk { return s.disk }
+
+// SetAppendHook installs fn, called after every synced WAL append with
+// the committed sequence number. The hook runs outside the store lock,
+// so it may crash the host — the crash-point harness uses exactly that.
+func (s *Store) SetAppendHook(fn func(seq uint64)) {
+	s.mu.Lock()
+	s.hook = fn
+	s.mu.Unlock()
+}
+
+// Get returns the committed value for key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.table[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Keys returns the committed keys with the given prefix, sorted.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []string
+	for k := range s.table {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of committed entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+// Seq returns the last committed transaction sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Put commits a single-key write.
+func (s *Store) Put(key string, value []byte) error {
+	return s.Commit([]Op{{Key: key, Value: value}})
+}
+
+// Delete commits a single-key delete.
+func (s *Store) Delete(key string) error {
+	return s.Commit([]Op{{Del: true, Key: key}})
+}
+
+// Commit journals the ops as one atomic transaction: WAL append, fsync,
+// then the in-memory table mutates. Either every op survives a crash or
+// none does. An empty transaction is a no-op.
+func (s *Store) Commit(ops []Op) error {
+	return s.commit(ops, true)
+}
+
+// CommitNoSync journals the ops without forcing an fsync: they become
+// durable at the next synced commit or snapshot. For state where losing
+// the tail on crash is acceptable (the dedup journal) but per-write
+// fsync cost is not.
+func (s *Store) CommitNoSync(ops []Op) error {
+	return s.commit(ops, false)
+}
+
+func (s *Store) commit(ops []Op, sync bool) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.disk.Crashed() {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	s.seq++
+	seq := s.seq
+	frame := appendFrame(nil, encodeTxn(seq, ops))
+	if err := s.disk.Append(walFile, frame); err != nil {
+		s.seq--
+		s.mu.Unlock()
+		return err
+	}
+	if sync {
+		if err := s.disk.Sync(walFile); err != nil {
+			s.seq--
+			s.mu.Unlock()
+			return err
+		}
+		if s.fsyncs != nil {
+			s.fsyncs.Inc()
+		}
+	}
+	for _, op := range ops {
+		if op.Del {
+			delete(s.table, op.Key)
+		} else {
+			s.table[op.Key] = append([]byte(nil), op.Value...)
+		}
+	}
+	if s.walAppends != nil {
+		s.walAppends.Inc()
+	}
+	s.sinceSnap++
+	snap := s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery
+	if snap {
+		s.snapshotLocked()
+	}
+	hook := s.hook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(seq)
+	}
+	return nil
+}
+
+// Snapshot forces a compaction: the full table is written to snap.tmp,
+// fsynced, renamed over the snapshot, and the WAL truncated.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disk.Crashed() {
+		return ErrCrashed
+	}
+	s.snapshotLocked()
+	return nil
+}
+
+// snapshotLocked writes the snapshot under s.mu. A crash between the
+// rename and the truncate leaves WAL records the snapshot already
+// covers; replay skips them by sequence number, so the pair need not be
+// atomic together.
+func (s *Store) snapshotLocked() {
+	if err := s.disk.Truncate(snapTmpFile); err != nil {
+		return // crashed mid-sequence; recovery ignores snap.tmp
+	}
+	if s.disk.Append(snapTmpFile, encodeSnapshot(s.seq, s.table)) != nil {
+		return
+	}
+	if s.disk.Sync(snapTmpFile) != nil {
+		return
+	}
+	if s.fsyncs != nil {
+		s.fsyncs.Inc()
+	}
+	if s.disk.Rename(snapTmpFile, snapFile) != nil {
+		return
+	}
+	if s.disk.Truncate(walFile) != nil {
+		return
+	}
+	s.sinceSnap = 0
+	if s.snapshots != nil {
+		s.snapshots.Inc()
+	}
+}
+
+// Reopen recovers the store after a disk Crash: the disk is brought
+// back, the durable snapshot and WAL suffix are replayed, and the
+// in-memory table is rebuilt to exactly the durable history. Returns
+// the recovery duration charged to the host clock.
+func (s *Store) Reopen() (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cost := s.disk.Reopen()
+	snapBytes, _ := s.disk.DurableBytes(snapFile)
+	walBytes, _ := s.disk.DurableBytes(walFile)
+	table, seq, err := RecoverBytes(snapBytes, walBytes)
+	if err != nil {
+		return cost, err
+	}
+	s.table = table
+	s.seq = seq
+	s.sinceSnap = 0
+	// Drop any torn WAL suffix so new appends start at a frame boundary:
+	// rewrite the valid prefix. Truncate+Append+Sync is safe here — the
+	// content is exactly what recovery accepted.
+	valid, _ := ReplayWAL(walBytes, func([]byte) error { return nil })
+	if valid != len(walBytes) {
+		if err := s.disk.Truncate(walFile); err == nil {
+			_ = s.disk.Append(walFile, walBytes[:valid])
+			_ = s.disk.Sync(walFile)
+		}
+	}
+	if s.recoveryMS != nil {
+		s.recoveryMS.Observe(cost)
+	}
+	return cost, nil
+}
+
+// RecoverBytes is the recovery protocol as a pure function: given the
+// durable snapshot and WAL images, it returns the recovered table and
+// last committed sequence number. The crash-point harness calls it on
+// every byte prefix of a real WAL to prove recovery is total over torn
+// writes. Corruption is never an error — a bad snapshot falls back to
+// empty, a bad WAL frame ends the log — because a crashed host must
+// always reopen.
+func RecoverBytes(snapBytes, walBytes []byte) (map[string][]byte, uint64, error) {
+	table, snapSeq := decodeSnapshot(snapBytes)
+	seq := snapSeq
+	_, _ = ReplayWAL(walBytes, func(payload []byte) error {
+		txSeq, ops, err := decodeTxn(payload)
+		if err != nil {
+			return nil // frame passed CRC but payload malformed: skip
+		}
+		if txSeq <= snapSeq {
+			return nil // already folded into the snapshot
+		}
+		for _, op := range ops {
+			if op.Del {
+				delete(table, op.Key)
+			} else {
+				table[op.Key] = op.Value
+			}
+		}
+		if txSeq > seq {
+			seq = txSeq
+		}
+		return nil
+	})
+	return table, seq, nil
+}
+
+// Transaction payload encoding:
+//
+//	seq   uint64 LE
+//	count uvarint
+//	per op: kind byte (0 put, 1 del) | key len uvarint | key
+//	        | for puts: value len uvarint | value
+func encodeTxn(seq uint64, ops []Op) []byte {
+	var buf []byte
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], seq)
+	buf = append(buf, tmp[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		if op.Del {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(op.Key)))
+		buf = append(buf, op.Key...)
+		if !op.Del {
+			buf = binary.AppendUvarint(buf, uint64(len(op.Value)))
+			buf = append(buf, op.Value...)
+		}
+	}
+	return buf
+}
+
+func decodeTxn(b []byte) (uint64, []Op, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("cabinet: txn too short")
+	}
+	seq := binary.LittleEndian.Uint64(b[:8])
+	b = b[8:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > uint64(len(b)) {
+		return 0, nil, fmt.Errorf("cabinet: bad txn op count")
+	}
+	b = b[n:]
+	ops := make([]Op, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 1 {
+			return 0, nil, fmt.Errorf("cabinet: txn truncated")
+		}
+		kind := b[0]
+		if kind > 1 {
+			return 0, nil, fmt.Errorf("cabinet: bad txn op kind %d", kind)
+		}
+		b = b[1:]
+		klen, n := binary.Uvarint(b)
+		if n <= 0 || klen > uint64(len(b)-n) {
+			return 0, nil, fmt.Errorf("cabinet: bad txn key length")
+		}
+		key := string(b[n : n+int(klen)])
+		b = b[n+int(klen):]
+		op := Op{Del: kind == 1, Key: key}
+		if kind == 0 {
+			vlen, n := binary.Uvarint(b)
+			if n <= 0 || vlen > uint64(len(b)-n) {
+				return 0, nil, fmt.Errorf("cabinet: bad txn value length")
+			}
+			op.Value = append([]byte(nil), b[n:n+int(vlen)]...)
+			b = b[n+int(vlen):]
+		}
+		ops = append(ops, op)
+	}
+	if len(b) != 0 {
+		return 0, nil, fmt.Errorf("cabinet: %d trailing txn bytes", len(b))
+	}
+	return seq, ops, nil
+}
+
+// Snapshot file encoding:
+//
+//	magic   "TAXC"
+//	lastSeq uint64 LE
+//	count   uvarint
+//	entries key len uvarint | key | value len uvarint | value   (sorted)
+//	crc     uint32 LE over everything before it
+var snapMagic = []byte("TAXC")
+
+func encodeSnapshot(seq uint64, table map[string][]byte) []byte {
+	buf := append([]byte(nil), snapMagic...)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], seq)
+	buf = append(buf, tmp[:]...)
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(table[k])))
+		buf = append(buf, table[k]...)
+	}
+	binary.LittleEndian.PutUint32(tmp[:4], crc32.ChecksumIEEE(buf))
+	return append(buf, tmp[:4]...)
+}
+
+// decodeSnapshot parses a snapshot image, returning an empty table and
+// sequence 0 on any structural or CRC failure — a host must reopen even
+// when its snapshot is ruined, falling back to full WAL replay.
+func decodeSnapshot(b []byte) (map[string][]byte, uint64) {
+	table := make(map[string][]byte)
+	if len(b) < len(snapMagic)+8+4 || string(b[:4]) != string(snapMagic) {
+		return table, 0
+	}
+	body, crc := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return table, 0
+	}
+	seq := binary.LittleEndian.Uint64(body[4:12])
+	rest := body[12:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return make(map[string][]byte), 0
+	}
+	rest = rest[n:]
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(rest)
+		if n <= 0 || klen > uint64(len(rest)-n) {
+			return make(map[string][]byte), 0
+		}
+		key := string(rest[n : n+int(klen)])
+		rest = rest[n+int(klen):]
+		vlen, n := binary.Uvarint(rest)
+		if n <= 0 || vlen > uint64(len(rest)-n) {
+			return make(map[string][]byte), 0
+		}
+		table[key] = append([]byte(nil), rest[n:n+int(vlen)]...)
+		rest = rest[n+int(vlen):]
+	}
+	if len(rest) != 0 {
+		return make(map[string][]byte), 0
+	}
+	return table, seq
+}

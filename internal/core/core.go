@@ -16,6 +16,7 @@ import (
 
 	"tax/internal/agent"
 	"tax/internal/briefcase"
+	"tax/internal/cabinet"
 	"tax/internal/firewall"
 	"tax/internal/identity"
 	"tax/internal/naming"
@@ -62,6 +63,13 @@ type NodeOptions struct {
 	// reports into. Nil uses the system-wide instance when one was enabled
 	// (EnableTelemetry), else a private counters-only instance.
 	Telemetry *telemetry.Telemetry
+	// FsyncCost is the simulated latency of one fsync on the node's
+	// cabinet disk; zero uses cabinet.DefaultSyncLatency.
+	FsyncCost time.Duration
+	// SnapshotEvery is the cabinet's WAL-compaction interval in committed
+	// transactions; zero uses the cabinet default, negative disables
+	// snapshots (pure WAL).
+	SnapshotEvery int
 }
 
 // Node is one TAX host: firewall, VMs, service agents and local stores.
@@ -93,6 +101,15 @@ type Node struct {
 	Host *simnet.Host
 	// Arch is the host architecture tag.
 	Arch string
+	// Disk is the host's simulated durable disk.
+	Disk *cabinet.Disk
+	// Cabinet is the host's durable file-cabinet store (WAL + snapshots
+	// on Disk). It survives Net.Crash/Net.Restart; everything else on the
+	// node is volatile.
+	Cabinet *cabinet.Store
+
+	sys  *System
+	opts NodeOptions
 }
 
 // Recover relaunches an agent from a checkpoint stored by the
@@ -101,6 +118,14 @@ type Node struct {
 // recovered briefcase — the home site resuming a crashed or lost agent
 // from its last consistent state.
 func (n *Node) Recover(principal, name, program, checkpointPath string) (*firewall.Registration, error) {
+	return n.RecoverVia("ag_fs", principal, name, program, checkpointPath)
+}
+
+// RecoverVia is Recover reading the checkpoint from a chosen store
+// service: "ag_fs" for the fast volatile store, "ag_cabinet" for the
+// crash-surviving file cabinet (a checkpoint that must outlive a home
+// host crash belongs in the cabinet).
+func (n *Node) RecoverVia(storeService, principal, name, program, checkpointPath string) (*firewall.Registration, error) {
 	reg, err := n.FW.Register("recovery", n.FW.SystemPrincipal(), "recovery")
 	if err != nil {
 		return nil, err
@@ -111,7 +136,7 @@ func (n *Node) Recover(principal, name, program, checkpointPath string) (*firewa
 	req := briefcase.New()
 	req.SetString(services.FolderOp, "get")
 	req.SetString(services.FolderPath, checkpointPath)
-	resp, err := ctx.MeetDirect("ag_fs", req, 10*time.Second)
+	resp, err := ctx.MeetDirect(storeService, req, 10*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("core: recover %s: %w", checkpointPath, err)
 	}
@@ -224,6 +249,18 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 	if nodeTel == nil {
 		nodeTel = s.Telemetry()
 	}
+	disk := cabinet.NewDisk(cabinet.DiskConfig{
+		Clock:       host.Clock(),
+		SyncLatency: opts.FsyncCost,
+	})
+	store := cabinet.NewStore(cabinet.Options{
+		Clock:         host.Clock(),
+		Disk:          disk,
+		FsyncCost:     opts.FsyncCost,
+		SnapshotEvery: opts.SnapshotEvery,
+		Telemetry:     nodeTel.Registry(),
+		Host:          name,
+	})
 	fw, err := firewall.New(firewall.Config{
 		HostName:        name,
 		Node:            host,
@@ -240,6 +277,7 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		ForwardRetry:  opts.ForwardRetry,
 		DedupWindow:   opts.DedupWindow,
 		Telemetry:     nodeTel,
+		Durable:       store,
 	})
 	if err != nil {
 		return nil, err
@@ -253,6 +291,10 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		WrapperSpecs: wrapper.NewSpecRegistry(),
 		Host:         host,
 		Arch:         opts.Arch,
+		Disk:         disk,
+		Cabinet:      store,
+		sys:          s,
+		opts:         opts,
 	}
 	node.VM, err = vm.New(vm.Config{
 		FW:          fw,
@@ -295,10 +337,46 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 			return nil, errors.Join(err, node.Close())
 		}
 	}
+	s.Net.OnCrash(name, node.crash)
+	s.Net.OnRestart(name, node.restart)
 	s.mu.Lock()
 	s.nodes[name] = node
 	s.mu.Unlock()
 	return node, nil
+}
+
+// crash is the simnet OnCrash hook: the machine loses everything that
+// was not fsynced. The disk drops its page cache and the firewall wipes
+// every registration, parked message and dedup entry — which also makes
+// the VM control loops and every in-flight agent context on this host
+// observe a kill and exit.
+func (n *Node) crash() {
+	n.Disk.Crash()
+	n.FW.CrashWipe()
+}
+
+// restart is the simnet OnRestart hook: the machine boots from durable
+// state. Order matters — the cabinet replays snapshot+WAL first, the VMs
+// reattach and the standard services relaunch (with fresh, empty
+// volatile state), and only then does the firewall re-route recovered
+// parked messages, so parks addressed to freshly re-registered services
+// deliver immediately instead of waiting out their timeout.
+func (n *Node) restart() {
+	if _, err := n.Cabinet.Reopen(); err != nil {
+		// Recovery is total by construction (corrupt tails are truncated,
+		// corrupt snapshots fall back to WAL); an error here means the
+		// disk itself refused, which only happens mid-crash.
+		return
+	}
+	_ = n.VM.Reattach()
+	_ = n.BinVM.Reattach()
+	if n.CVM != nil {
+		_ = n.CVM.Reattach()
+	}
+	if !n.opts.NoServices {
+		_ = n.sys.launchServices(n, n.opts)
+	}
+	n.FW.RecoverDurable()
 }
 
 // launchServices starts the standard service agents on vm_go.
@@ -306,7 +384,7 @@ func (s *System) launchServices(node *Node, opts NodeOptions) error {
 	sysName := s.SystemPrincipal.Name()
 	svcs := map[string]vm.Handler{
 		"ag_fs":      services.NewAgFS(),
-		"ag_cabinet": services.NewAgFS(),
+		"ag_cabinet": services.NewAgCabinet(node.Cabinet),
 		"ag_cron":    services.NewAgCron(),
 		"ag_dir":     services.NewAgDir(),
 		"ag_exec": services.NewAgExec(services.ExecConfig{

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+)
+
+// cabMeet performs one ag_fs/ag_cabinet-style file op through Meet and
+// returns (payload, error string) — the error taken from either the Go
+// error or the reply's _SYSERR folder.
+func cabMeet(t *testing.T, ctx *agent.Context, service, op, path, data string) (string, string) {
+	t.Helper()
+	req := briefcase.New()
+	req.SetString("_SVCOP", op)
+	req.SetString("_PATH", path)
+	if op == "put" {
+		req.Ensure("_DATA").AppendString(data)
+	}
+	resp, err := ctx.Meet(service, req, 5*time.Second)
+	if err != nil {
+		return "", err.Error()
+	}
+	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
+		return "", msg
+	}
+	if f, err := resp.Folder("_DATA"); err == nil && len(f.Strings()) > 0 {
+		return f.Strings()[0], ""
+	}
+	return "", ""
+}
+
+// TestCrashWipesVolatileKeepsCabinetAndClock is the paper's volatile /
+// durable split end-to-end: a host crash loses the ag_fs folders (RAM)
+// but keeps the ag_cabinet folders (disk), and the machine's virtual
+// clock — wall time on the simulated site — does not rewind.
+func TestCrashWipesVolatileKeepsCabinetAndClock(t *testing.T) {
+	s := newSystem(t, NodeOptions{}, "h1")
+	n, _ := s.Node("h1")
+
+	reg, err := n.FW.Register("test", "system", "caller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := agent.NewContext(n.FW, reg, briefcase.New(), nil, nil)
+	if _, errMsg := cabMeet(t, ctx, "ag_fs", "put", "/v/note", "volatile"); errMsg != "" {
+		t.Fatalf("ag_fs put: %s", errMsg)
+	}
+	if _, errMsg := cabMeet(t, ctx, "ag_cabinet", "put", "/d/note", "durable"); errMsg != "" {
+		t.Fatalf("ag_cabinet put: %s", errMsg)
+	}
+
+	n.Host.Charge(3 * time.Second)
+	before := n.Host.Clock().Now()
+
+	s.Net.Crash("h1")
+	s.Net.Restart("h1")
+
+	// The pre-crash registration died with the host: a fresh caller.
+	reg2, err := n.FW.Register("test", "system", "caller")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := agent.NewContext(n.FW, reg2, briefcase.New(), nil, nil)
+
+	if data, errMsg := cabMeet(t, ctx2, "ag_fs", "get", "/v/note", ""); errMsg == "" {
+		t.Errorf("ag_fs entry survived the crash: %q", data)
+	} else if !strings.Contains(errMsg, "no such file") {
+		t.Errorf("ag_fs get failed with %q, want a no-such-file error", errMsg)
+	}
+	data, errMsg := cabMeet(t, ctx2, "ag_cabinet", "get", "/d/note", "")
+	if errMsg != "" {
+		t.Errorf("ag_cabinet entry lost in the crash: %s", errMsg)
+	} else if data != "durable" {
+		t.Errorf("ag_cabinet recovered %q, want %q", data, "durable")
+	}
+
+	if after := n.Host.Clock().Now(); after < before {
+		t.Errorf("virtual clock rewound across the crash: %v -> %v", before, after)
+	}
+}

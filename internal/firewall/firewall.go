@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"tax/internal/briefcase"
+	"tax/internal/cabinet"
 	"tax/internal/identity"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
@@ -39,6 +40,11 @@ var (
 	// ErrNoAgent is returned when a management operation names an agent
 	// that is not registered.
 	ErrNoAgent = errors.New("firewall: no such agent")
+	// ErrSenderGone is returned for a Send on behalf of a registration
+	// the firewall no longer knows — typically a goroutine outliving its
+	// host's crash. The machine's process table died with the machine,
+	// and so did its processes' right to speak.
+	ErrSenderGone = errors.New("firewall: sender not registered")
 )
 
 // FirewallName is the registration name under which the firewall itself
@@ -96,6 +102,12 @@ type Config struct {
 	// it is off by default because legitimate traffic may repeat
 	// byte-identically.
 	DedupWindow int
+	// Durable, when set, is the host's file cabinet: parked messages are
+	// journaled through it as cabinet transactions (and removed when
+	// delivered or expired), and dedup observations are appended
+	// unsynced. After a crash, CrashWipe discards the in-memory tables
+	// and RecoverDurable replays the cabinet back into them.
+	Durable *cabinet.Store
 	// Resolve maps an agent-URI host and port to a transport address.
 	// Nil means the host name is the transport address (simnet).
 	Resolve func(host string, port int) (string, error)
@@ -131,7 +143,8 @@ type pendingMsg struct {
 	senderPrincipal string
 	bc              *briefcase.Briefcase
 	timer           *time.Timer
-	shard           int // park-table stripe index (by target name)
+	shard           int    // park-table stripe index (by target name)
+	key             string // cabinet journal key ("" when not journaled)
 }
 
 // fwCounters are the firewall's pre-resolved registry counters: resolved
@@ -182,6 +195,12 @@ type Firewall struct {
 	regs         map[string][]*Registration // keyed by agent name
 	nextInstance uint64
 	closed       bool
+
+	// parkKeySeq allocates cabinet journal keys for parked messages
+	// (durable.go); it only advances, so keys never collide across a
+	// crash/recover cycle.
+	parkKeyMu  sync.Mutex
+	parkKeySeq uint64
 }
 
 // New creates a firewall bound to cfg.Node and installs its inbound
@@ -239,6 +258,9 @@ func New(cfg Config) (*Firewall, error) {
 	fw.gaugePending = fw.park.total
 	if cfg.DedupWindow > 0 {
 		fw.dedup = newDedupWindow(cfg.DedupWindow)
+		if cfg.Durable != nil {
+			fw.dedup.onInsert = fw.journalDedup
+		}
 	}
 	if tel.Detailed() {
 		fw.histSend = reg.Histogram("fw.send", "host", cfg.HostName)
@@ -365,6 +387,7 @@ func (fw *Firewall) Register(vmName, principal, name string) (*Registration, err
 	})
 	for _, p := range flush {
 		p.timer.Stop()
+		fw.unjournalPark(p)
 		if err := r.deliver(p.bc); err == nil {
 			fw.ctr.delivered.Inc()
 			fw.event(telemetry.EventAllow, r.uri.Principal, r.uri.String(), "unparked on registration")
@@ -466,6 +489,27 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 	var t0 time.Time
 	if fw.histSend != nil {
 		t0 = time.Now()
+	}
+	// An instanced sender names a specific registration; the reference
+	// monitor only routes for registrations it still holds. This is what
+	// stops a goroutine that survived its host's crash (the simulated
+	// machine died, the Go scheduler did not) from speaking through the
+	// rebooted firewall with its pre-crash identity.
+	if sender.HasInstance {
+		fw.mu.RLock()
+		alive := false
+		for _, r := range fw.regs[sender.Name] {
+			if r.uri.Instance == sender.Instance {
+				alive = true
+				break
+			}
+		}
+		fw.mu.RUnlock()
+		if !alive {
+			fw.ctr.errors.Inc()
+			fw.event(telemetry.EventDeny, sender.Principal, sender.String(), "send from dead registration")
+			return fmt.Errorf("%w: %s", ErrSenderGone, sender)
+		}
 	}
 	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
 	if !ok {
@@ -711,6 +755,10 @@ func (fw *Firewall) parkMsg(senderPrincipal string, target uri.URI, bc *briefcas
 		target: target, senderPrincipal: senderPrincipal, bc: bc,
 		shard: shardFor(target.Name),
 	}
+	// Journal before arming the timer: once the park is observable it is
+	// already durable, so no window exists where a crash loses a parked
+	// message the sender was told is pending.
+	fw.journalPark(p, target)
 	p.timer = time.AfterFunc(fw.cfg.QueueTimeout, func() { fw.expire(p) })
 	fw.park.add(p)
 }
@@ -730,6 +778,7 @@ func (fw *Firewall) expire(p *pendingMsg) {
 		// A registration flush (or Close) already took the message.
 		return
 	}
+	fw.unjournalPark(p)
 	fw.ctr.expired.Inc()
 	fw.event(telemetry.EventExpire, p.senderPrincipal, p.target.String(),
 		fmt.Sprintf("queue timeout after %v", fw.cfg.QueueTimeout))

@@ -120,6 +120,9 @@ type dedupWindow struct {
 	seen map[uint64]int
 	ring []uint64
 	next int
+	// onInsert, when set, journals each newly observed hash (slot, sum)
+	// to the host's cabinet; it runs outside d.mu.
+	onInsert func(slot int, sum uint64)
 }
 
 func newDedupWindow(size int) *dedupWindow {
@@ -135,10 +138,22 @@ func (d *dedupWindow) observe(payload []byte) bool {
 	_, _ = h.Write(payload)
 	sum := h.Sum64()
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.seen[sum] > 0 {
+		d.mu.Unlock()
 		return true
 	}
+	slot := d.insertLocked(sum)
+	fn := d.onInsert
+	d.mu.Unlock()
+	if fn != nil {
+		fn(slot, sum)
+	}
+	return false
+}
+
+// insertLocked places sum in the ring, evicting the slot's previous
+// occupant, and returns the slot index. Callers hold d.mu.
+func (d *dedupWindow) insertLocked(sum uint64) int {
 	old := d.ring[d.next]
 	if old != 0 {
 		if d.seen[old] <= 1 {
@@ -147,8 +162,31 @@ func (d *dedupWindow) observe(payload []byte) bool {
 			d.seen[old]--
 		}
 	}
-	d.ring[d.next] = sum
+	slot := d.next
+	d.ring[slot] = sum
 	d.next = (d.next + 1) % len(d.ring)
 	d.seen[sum]++
-	return false
+	return slot
+}
+
+// seed inserts a hash recovered from the cabinet without re-journaling
+// it (RecoverDurable).
+func (d *dedupWindow) seed(sum uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.seen[sum] > 0 {
+		return
+	}
+	d.insertLocked(sum)
+}
+
+// reset empties the window: crash semantics — process memory is gone.
+func (d *dedupWindow) reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seen = make(map[uint64]int, len(d.ring))
+	for i := range d.ring {
+		d.ring[i] = 0
+	}
+	d.next = 0
 }

@@ -161,9 +161,14 @@ type Config struct {
 	Principal string
 	AgentName string
 	Program   string
-	// Checkpoint is the snapshot's path in the home ag_fs — the same
+	// Checkpoint is the snapshot's path in the home store — the same
 	// Path the agent's wrapper.Checkpoint writes.
 	Checkpoint string
+	// Store names the home service holding the snapshot: "ag_fs" (the
+	// default, volatile) or "ag_cabinet" for the crash-surviving file
+	// cabinet. A guard that must outlive a home-host crash needs the
+	// cabinet — it is what Resume reads after a restart.
+	Store string
 	// HopDeadline declares a hop dead after this much report silence
 	// (wall clock; default 2s).
 	HopDeadline time.Duration
@@ -209,6 +214,9 @@ func NewGuard(cfg Config) (*Guard, error) {
 	if cfg.StoreTimeout <= 0 {
 		cfg.StoreTimeout = 5 * time.Second
 	}
+	if cfg.Store == "" {
+		cfg.Store = "ag_fs"
+	}
 	if cfg.Principal == "" {
 		cfg.Principal = cfg.FW.SystemPrincipal()
 	}
@@ -245,6 +253,21 @@ func (g *Guard) Launch(bc *briefcase.Briefcase) (*firewall.Registration, error) 
 	}
 	go g.watch()
 	return reg, nil
+}
+
+// Resume adopts an already-travelling itinerary instead of launching a
+// fresh one — the home host crashed and restarted, the original guard
+// died with it, and a new guard (same Config, Store pointing at the
+// cabinet) picks up from the durable checkpoint. It performs one
+// immediate recovery (counted against MaxRecoveries) and then
+// supervises as usual. Returns false when that recovery itself reached
+// a terminal outcome; Wait reports the detail either way.
+func (g *Guard) Resume(cause string) bool {
+	if !g.recover(cause) {
+		return false
+	}
+	go g.watch()
+	return true
 }
 
 // Wait blocks until the guarded itinerary reaches a terminal outcome:
@@ -351,6 +374,10 @@ func (g *Guard) recover(cause string) bool {
 		}
 	}
 	snap.Drop(FolderLastStop)
+	// Re-stamp the guard address: after a home-host restart the snapshot
+	// still names the dead guard's registration, and reports sent there
+	// would only ever park and expire.
+	snap.SetString(briefcase.FolderSysRearGuard, g.URI())
 
 	tel := g.cfg.FW.Telemetry()
 	tel.Registry().Counter("rearguard.recoveries", "host", g.cfg.FW.HostName()).Inc()
@@ -374,7 +401,7 @@ func (g *Guard) readSnapshot() (*briefcase.Briefcase, error) {
 	req := briefcase.New()
 	req.SetString("_SVCOP", "get")
 	req.SetString("_PATH", g.cfg.Checkpoint)
-	resp, err := g.ctx.MeetDirect("ag_fs", req, g.cfg.StoreTimeout)
+	resp, err := g.ctx.MeetDirect(g.cfg.Store, req, g.cfg.StoreTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint %s: %w", g.cfg.Checkpoint, err)
 	}

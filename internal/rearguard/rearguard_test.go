@@ -58,8 +58,10 @@ func guardedBriefcase(stops ...string) *briefcase.Briefcase {
 func newGuard(t *testing.T, home *core.Node, program string) *rearguard.Guard {
 	t.Helper()
 	g, err := rearguard.NewGuard(rearguard.Config{
-		FW:              home.FW,
-		Launch:          func(p, n, prog string, bc *briefcase.Briefcase) (*firewall.Registration, error) { return home.VM.Launch(p, n, prog, bc) },
+		FW: home.FW,
+		Launch: func(p, n, prog string, bc *briefcase.Briefcase) (*firewall.Registration, error) {
+			return home.VM.Launch(p, n, prog, bc)
+		},
 		Program:         program,
 		Checkpoint:      ckptPath,
 		HopDeadline:     400 * time.Millisecond,
@@ -216,8 +218,10 @@ func TestGuardMissingSnapshotIsTyped(t *testing.T) {
 	home, _ := s.Node("home")
 
 	g, err := rearguard.NewGuard(rearguard.Config{
-		FW:          home.FW,
-		Launch:      func(p, n, prog string, bc *briefcase.Briefcase) (*firewall.Registration, error) { return home.VM.Launch(p, n, prog, bc) },
+		FW: home.FW,
+		Launch: func(p, n, prog string, bc *briefcase.Briefcase) (*firewall.Registration, error) {
+			return home.VM.Launch(p, n, prog, bc)
+		},
 		Program:     "ghost",
 		Checkpoint:  "/ckpt/never-written",
 		HopDeadline: 100 * time.Millisecond,

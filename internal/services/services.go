@@ -30,6 +30,7 @@ import (
 
 	"tax/internal/agent"
 	"tax/internal/briefcase"
+	"tax/internal/cabinet"
 	"tax/internal/firewall"
 	"tax/internal/vm"
 )
@@ -349,6 +350,73 @@ func NewAgFS() vm.Handler {
 				}
 			default:
 				return nil, fmt.Errorf("ag_fs: unknown operation %q", op)
+			}
+			return resp, nil
+		})
+	}
+}
+
+// cabinetKeyPrefix namespaces ag_cabinet's files inside the host's
+// cabinet store, away from the firewall's journal keys.
+const cabinetKeyPrefix = "cab/"
+
+// NewAgCabinet returns the ag_cabinet handler: the durable face of the
+// host's file cabinet. It speaks the same protocol with the same reply
+// shapes as ag_fs ("put"/"get"/"del"/"list" over FolderPath/FolderData),
+// but every put and del is a WAL-journaled cabinet transaction and reads
+// return committed state — so files written here survive a host crash,
+// while ag_fs files (a closure map, rebuilt on restart) do not. That
+// split is the paper's file-cabinet contract: checkpoints and rear-guard
+// state go through ag_cabinet precisely because it is the store that
+// outlives the host. With a nil store it degrades to the volatile ag_fs
+// behavior.
+func NewAgCabinet(store *cabinet.Store) vm.Handler {
+	if store == nil {
+		return NewAgFS()
+	}
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			op, _ := req.GetString(FolderOp)
+			path, _ := req.GetString(FolderPath)
+			resp := briefcase.New()
+			switch op {
+			case "put":
+				f, err := req.Folder(FolderData)
+				if err != nil {
+					return nil, errors.New("ag_cabinet: put without data")
+				}
+				if path == "" {
+					return nil, errors.New("ag_cabinet: put without path")
+				}
+				data, err := f.Element(0)
+				if err != nil {
+					return nil, err
+				}
+				if err := store.Put(cabinetKeyPrefix+path, data); err != nil {
+					return nil, fmt.Errorf("ag_cabinet: %w", err)
+				}
+				resp.SetString("OK", path)
+			case "get":
+				data, ok := store.Get(cabinetKeyPrefix + path)
+				if !ok {
+					return nil, fmt.Errorf("ag_cabinet: no such file %q", path)
+				}
+				resp.Ensure(FolderData).Append(data)
+			case "del":
+				if _, ok := store.Get(cabinetKeyPrefix + path); !ok {
+					return nil, fmt.Errorf("ag_cabinet: no such file %q", path)
+				}
+				if err := store.Delete(cabinetKeyPrefix + path); err != nil {
+					return nil, fmt.Errorf("ag_cabinet: %w", err)
+				}
+				resp.SetString("OK", path)
+			case "list":
+				f := resp.Ensure(FolderData)
+				for _, name := range store.Keys(cabinetKeyPrefix + path) {
+					f.AppendString(name[len(cabinetKeyPrefix):])
+				}
+			default:
+				return nil, fmt.Errorf("ag_cabinet: unknown operation %q", op)
 			}
 			return resp, nil
 		})

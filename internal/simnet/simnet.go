@@ -162,6 +162,8 @@ type Network struct {
 	profiles       map[pairKey]Profile // per-pair overrides (symmetric)
 	partitioned    map[pairKey]bool    // symmetric
 	crashed        map[string]bool
+	onCrash        map[string]func()
+	onRestart      map[string]func()
 	inj            Injector
 	closed         bool
 
@@ -181,7 +183,29 @@ func New(defaultProfile Profile) *Network {
 		profiles:       make(map[pairKey]Profile),
 		partitioned:    make(map[pairKey]bool),
 		crashed:        make(map[string]bool),
+		onCrash:        make(map[string]func()),
+		onRestart:      make(map[string]func()),
 	}
+}
+
+// OnCrash registers fn to run whenever the named host crashes. The core
+// layer uses it to wipe the host's volatile state — cabinet folders,
+// park-table entries, in-flight VM registrations — so that only what was
+// made durable survives. fn runs outside the network lock and may not
+// call back into Crash/Restart for the same host.
+func (n *Network) OnCrash(name string, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onCrash[name] = fn
+}
+
+// OnRestart registers fn to run whenever the named host restarts; the
+// core layer uses it to replay the host's durable snapshot+WAL into a
+// recovered process image. Same locking contract as OnCrash.
+func (n *Network) OnRestart(name string, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onRestart[name] = fn
 }
 
 // SetInjector installs (or, with nil, removes) the fault injector
@@ -290,12 +314,11 @@ func (n *Network) Partitioned(a, b string) bool {
 	return n.partitioned[pairKey{a, b}]
 }
 
-// Crash marks a host's transport as down: sends to and from it fail with
-// ErrHostDown and its undelivered inbox is discarded, as a machine
-// losing power would lose it. Agent processes on the host are not
-// touched — a crashed host's agents are unreachable and their state is
-// lost to the rest of the system, which is exactly the failure the
-// rear-guard recovers from.
+// Crash marks a host as down, as a machine losing power: sends to and
+// from it fail with ErrHostDown, its undelivered inbox is discarded, and
+// the host's OnCrash hook runs — the core layer wipes volatile host
+// state (cabinet folders, parked messages, VM registrations) there, so
+// only state fsynced to the host's simulated disk survives to Restart.
 func (n *Network) Crash(name string) {
 	n.mu.Lock()
 	h, ok := n.hosts[name]
@@ -303,10 +326,14 @@ func (n *Network) Crash(name string) {
 		n.mu.Unlock()
 		return
 	}
+	if n.crashed[name] {
+		n.mu.Unlock()
+		return
+	}
 	n.crashed[name] = true
+	hook := n.onCrash[name]
 	n.mu.Unlock()
 	h.peerMu.Lock()
-	defer h.peerMu.Unlock()
 	for _, q := range h.peers {
 		for {
 			select {
@@ -317,14 +344,28 @@ func (n *Network) Crash(name string) {
 			break
 		}
 	}
+	h.peerMu.Unlock()
+	if hook != nil {
+		hook()
+	}
 }
 
-// Restart brings a crashed host's transport back. The inbox starts
-// empty; the host's virtual clock keeps its pre-crash value.
+// Restart brings a crashed host back. The inbox starts empty; the
+// host's virtual clock keeps its pre-crash value (a real machine's
+// peers keep theirs, and the causal clock is what matters); the OnRestart
+// hook then rebuilds the host's process image from its durable state.
 func (n *Network) Restart(name string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	if !n.crashed[name] {
+		n.mu.Unlock()
+		return
+	}
 	delete(n.crashed, name)
+	hook := n.onRestart[name]
+	n.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
 }
 
 // Crashed reports whether the named host is currently crashed.

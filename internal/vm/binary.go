@@ -257,15 +257,46 @@ func NewBin(cfg BinConfig) (*BinVM, error) {
 		v.histResolve = mreg.Histogram("vm.resolve", "host", cfg.FW.HostName(), "vm", cfg.Name)
 	}
 	v.wg.Add(1)
-	go v.loop()
+	go v.loop(reg)
 	return v, nil
 }
 
 // Name returns the VM's registration name.
 func (v *BinVM) Name() string { return v.cfg.Name }
 
+// registration returns the VM's current firewall registration (replaced
+// by Reattach after a host crash).
+func (v *BinVM) registration() *firewall.Registration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reg
+}
+
+// Reattach re-registers the VM after a host crash wiped every
+// registration and restarts its control loop; in-flight agents are gone
+// with the wipe.
+func (v *BinVM) Reattach() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	v.mu.Unlock()
+	reg, err := v.cfg.FW.Register(v.cfg.Name, v.cfg.FW.SystemPrincipal(), v.cfg.Name)
+	if err != nil {
+		return fmt.Errorf("vm: reattach %s: %w", v.cfg.Name, err)
+	}
+	v.mu.Lock()
+	v.reg = reg
+	v.agents = make(map[uint64]*firewall.Registration)
+	v.mu.Unlock()
+	v.wg.Add(1)
+	go v.loop(reg)
+	return nil
+}
+
 // URI returns the VM's routable URI.
-func (v *BinVM) URI() uri.URI { return v.reg.GlobalURI() }
+func (v *BinVM) URI() uri.URI { return v.registration().GlobalURI() }
 
 // Arch returns the local architecture tag.
 func (v *BinVM) Arch() string { return v.cfg.Arch }
@@ -276,20 +307,20 @@ func (v *BinVM) trace(format string, args ...any) {
 	}
 }
 
-func (v *BinVM) loop() {
+func (v *BinVM) loop(self *firewall.Registration) {
 	defer v.wg.Done()
 	for {
-		bc, err := v.reg.Recv(0)
+		bc, err := self.Recv(0)
 		if err != nil {
 			return
 		}
 		if firewall.Kind(bc) == firewall.KindTransfer {
-			v.acceptTransfer(bc)
+			v.acceptTransfer(self, bc)
 		}
 	}
 }
 
-func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
+func (v *BinVM) acceptTransfer(self *firewall.Registration, bc *briefcase.Briefcase) {
 	sender, _ := bc.GetString(briefcase.FolderSysSender)
 	msgID, hasMsgID := bc.GetString(firewall.FolderMsgID)
 	reject := func(reason string) {
@@ -305,7 +336,7 @@ func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
 		if hasMsgID {
 			report.SetString(firewall.FolderReplyTo, msgID)
 		}
-		_ = v.cfg.FW.Send(v.reg.GlobalURI(), report)
+		_ = v.cfg.FW.Send(self.GlobalURI(), report)
 	}
 
 	var t0 time.Time
@@ -357,7 +388,7 @@ func (v *BinVM) acceptTransfer(bc *briefcase.Briefcase) {
 		reply.SetString(briefcase.FolderSysTarget, sender)
 		reply.SetString(firewall.FolderReplyTo, msgID)
 		reply.SetString(agent.FolderInstance, fmt.Sprintf("%x", reg.URI().Instance))
-		_ = v.cfg.FW.Send(v.reg.GlobalURI(), reply)
+		_ = v.cfg.FW.Send(self.GlobalURI(), reply)
 	}
 }
 
@@ -522,7 +553,7 @@ func (v *BinVM) Close() error {
 	for _, r := range regs {
 		v.cfg.FW.Unregister(r)
 	}
-	v.cfg.FW.Unregister(v.reg)
+	v.cfg.FW.Unregister(v.registration())
 	v.wg.Wait()
 	return nil
 }

@@ -3,6 +3,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"tax/internal/agent"
@@ -55,6 +56,7 @@ type CConfig struct {
 // to vm_bin for activation.
 type CVM struct {
 	cfg  CConfig
+	mu   sync.Mutex
 	reg  *firewall.Registration
 	ctx  *agent.Context
 	done chan struct{}
@@ -92,12 +94,45 @@ func NewC(cfg CConfig) (*CVM, error) {
 	}
 	v := &CVM{cfg: cfg, reg: reg, done: make(chan struct{})}
 	v.ctx = agent.NewContext(cfg.FW, reg, briefcase.New(), nil, nil)
-	go v.loop()
+	go v.loop(v.ctx, reg, v.done)
 	return v, nil
 }
 
+// registration returns the VM's current firewall registration (replaced
+// by Reattach after a host crash).
+func (v *CVM) registration() *firewall.Registration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reg
+}
+
+// doneCh returns the channel closed when the current loop exits.
+func (v *CVM) doneCh() chan struct{} {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.done
+}
+
+// Reattach re-registers the VM after a host crash wiped every
+// registration and starts a fresh control loop over a new context.
+func (v *CVM) Reattach() error {
+	reg, err := v.cfg.FW.Register(v.cfg.Name, v.cfg.FW.SystemPrincipal(), v.cfg.Name)
+	if err != nil {
+		return fmt.Errorf("vm: reattach %s: %w", v.cfg.Name, err)
+	}
+	ctx := agent.NewContext(v.cfg.FW, reg, briefcase.New(), nil, nil)
+	done := make(chan struct{})
+	v.mu.Lock()
+	v.reg = reg
+	v.ctx = ctx
+	v.done = done
+	v.mu.Unlock()
+	go v.loop(ctx, reg, done)
+	return nil
+}
+
 // URI returns the VM's routable URI.
-func (v *CVM) URI() uri.URI { return v.reg.GlobalURI() }
+func (v *CVM) URI() uri.URI { return v.registration().GlobalURI() }
 
 func (v *CVM) trace(format string, args ...any) {
 	if v.cfg.Trace != nil {
@@ -107,19 +142,19 @@ func (v *CVM) trace(format string, args ...any) {
 
 // loop serves arriving C agents sequentially, like the single vm_c
 // process of the paper.
-func (v *CVM) loop() {
-	defer close(v.done)
+func (v *CVM) loop(ctx *agent.Context, self *firewall.Registration, done chan struct{}) {
+	defer close(done)
 	for {
-		bc, err := v.ctx.Await(0)
+		bc, err := ctx.Await(0)
 		if err != nil {
 			return // killed
 		}
 		if firewall.Kind(bc) != firewall.KindTransfer {
 			continue
 		}
-		if err := v.activate(bc); err != nil {
+		if err := v.activate(ctx, self, bc); err != nil {
 			v.trace("activation failed: %v", err)
-			v.reject(bc, err.Error())
+			v.reject(self, bc, err.Error())
 		}
 	}
 }
@@ -133,7 +168,7 @@ func (v *CVM) loop() {
 //	(5) ag_exec stores the binary in the briefcase and returns it to ag_cc
 //	(6) ag_cc returns the binary to vm_c
 //	(7) vm_c uses vm_bin to activate the agent
-func (v *CVM) activate(bc *briefcase.Briefcase) error {
+func (v *CVM) activate(ctx *agent.Context, self *firewall.Registration, bc *briefcase.Briefcase) error {
 	if !bc.Has(briefcase.FolderCode) {
 		return errors.New("vm: C transfer carries no CODE folder")
 	}
@@ -146,7 +181,7 @@ func (v *CVM) activate(bc *briefcase.Briefcase) error {
 	req.SetString(FolderArch, v.cfg.Arch)
 	req.SetString(FolderCompiler, v.cfg.Compiler)
 	v.trace("step 2: activate %s", v.cfg.CCService)
-	compiled, err := v.ctx.Meet(v.cfg.CCService, req, v.cfg.Timeout)
+	compiled, err := ctx.Meet(v.cfg.CCService, req, v.cfg.Timeout)
 	if err != nil {
 		return fmt.Errorf("vm: compile via %s: %w", v.cfg.CCService, err)
 	}
@@ -168,11 +203,11 @@ func (v *CVM) activate(bc *briefcase.Briefcase) error {
 	compiled.Drop(firewall.FolderReplyTo)
 	firewall.SignCore(compiled, v.cfg.Signer)
 	v.trace("step 7: activate via %s", v.cfg.BinVM)
-	return v.cfg.FW.Send(v.reg.GlobalURI(), compiled)
+	return v.cfg.FW.Send(self.GlobalURI(), compiled)
 }
 
 // reject reports an activation failure to the transfer's sender.
-func (v *CVM) reject(bc *briefcase.Briefcase, reason string) {
+func (v *CVM) reject(self *firewall.Registration, bc *briefcase.Briefcase, reason string) {
 	sender, ok := bc.GetString(briefcase.FolderSysSender)
 	if !ok {
 		return
@@ -184,12 +219,12 @@ func (v *CVM) reject(bc *briefcase.Briefcase, reason string) {
 	if id, ok := bc.GetString(firewall.FolderMsgID); ok {
 		report.SetString(firewall.FolderReplyTo, id)
 	}
-	_ = v.cfg.FW.Send(v.reg.GlobalURI(), report)
+	_ = v.cfg.FW.Send(self.GlobalURI(), report)
 }
 
 // Close unregisters the VM and waits for its loop to exit.
 func (v *CVM) Close() error {
-	v.cfg.FW.Unregister(v.reg)
-	<-v.done
+	v.cfg.FW.Unregister(v.registration())
+	<-v.doneCh()
 	return nil
 }

@@ -181,15 +181,47 @@ func New(cfg Config) (*GoVM, error) {
 		v.histRun = mreg.Histogram("vm.run", "host", cfg.FW.HostName(), "vm", cfg.Name)
 	}
 	v.wg.Add(1)
-	go v.loop()
+	go v.loop(reg)
 	return v, nil
 }
 
 // Name returns the VM's registration name.
 func (v *GoVM) Name() string { return v.cfg.Name }
 
+// registration returns the VM's current firewall registration (it is
+// replaced by Reattach after a host crash).
+func (v *GoVM) registration() *firewall.Registration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.reg
+}
+
+// Reattach re-registers the VM with its firewall after a host crash
+// wiped every registration, and restarts its control loop. Agents that
+// were in flight on the VM are gone — their registrations died with the
+// wipe, exactly the volatile-state loss the rear-guard recovers from.
+func (v *GoVM) Reattach() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	v.mu.Unlock()
+	reg, err := v.cfg.FW.Register(v.cfg.Name, v.cfg.FW.SystemPrincipal(), v.cfg.Name)
+	if err != nil {
+		return fmt.Errorf("vm: reattach %s: %w", v.cfg.Name, err)
+	}
+	v.mu.Lock()
+	v.reg = reg
+	v.agents = make(map[uint64]*entry)
+	v.mu.Unlock()
+	v.wg.Add(1)
+	go v.loop(reg)
+	return nil
+}
+
 // URI returns the VM's routable URI on its host.
-func (v *GoVM) URI() uri.URI { return v.reg.GlobalURI() }
+func (v *GoVM) URI() uri.URI { return v.registration().GlobalURI() }
 
 // trace emits an instrumentation event.
 func (v *GoVM) trace(format string, args ...any) {
@@ -198,16 +230,19 @@ func (v *GoVM) trace(format string, args ...any) {
 	}
 }
 
-// loop receives transfers addressed to the VM.
-func (v *GoVM) loop() {
+// loop receives transfers addressed to the VM. It is bound to one
+// registration: when that registration is killed (shutdown or crash
+// wipe) the loop exits, and a Reattach starts a fresh loop on a fresh
+// registration.
+func (v *GoVM) loop(self *firewall.Registration) {
 	defer v.wg.Done()
 	for {
-		bc, err := v.reg.Recv(0)
+		bc, err := self.Recv(0)
 		if err != nil {
 			return // killed: firewall or VM shut down
 		}
 		if firewall.Kind(bc) == firewall.KindTransfer {
-			v.acceptTransfer(bc)
+			v.acceptTransfer(self, bc)
 		}
 		// Other kinds addressed at a VM are ignored; management of the
 		// VM itself goes through the firewall like for any agent.
@@ -215,14 +250,14 @@ func (v *GoVM) loop() {
 }
 
 // acceptTransfer activates a moving agent that arrived in a briefcase.
-func (v *GoVM) acceptTransfer(bc *briefcase.Briefcase) {
+func (v *GoVM) acceptTransfer(self *firewall.Registration, bc *briefcase.Briefcase) {
 	name, ok := bc.GetString(FolderAgentName)
 	if !ok {
 		name = "agent"
 	}
 	program, ok := bc.GetString(briefcase.FolderCode)
 	if !ok {
-		v.rejectTransfer(bc, "transfer carries no CODE folder")
+		v.rejectTransfer(self, bc, "transfer carries no CODE folder")
 		return
 	}
 	principal := v.transferPrincipal(bc)
@@ -233,7 +268,7 @@ func (v *GoVM) acceptTransfer(bc *briefcase.Briefcase) {
 	scrubTransferFolders(bc)
 	reg, err := v.launch(principal, name, program, bc)
 	if err != nil {
-		v.rejectTransferTo(sender, msgID, hasMsgID, err.Error())
+		v.rejectTransferTo(self, sender, msgID, hasMsgID, err.Error())
 		return
 	}
 	v.trace("activated %s (program %s)", reg.URI(), program)
@@ -244,7 +279,7 @@ func (v *GoVM) acceptTransfer(bc *briefcase.Briefcase) {
 		reply.SetString(briefcase.FolderSysTarget, sender)
 		reply.SetString(firewall.FolderReplyTo, msgID)
 		reply.SetString(agent.FolderInstance, strconv.FormatUint(reg.URI().Instance, 16))
-		_ = v.cfg.FW.Send(v.reg.GlobalURI(), reply)
+		_ = v.cfg.FW.Send(self.GlobalURI(), reply)
 	}
 }
 
@@ -264,13 +299,13 @@ func (v *GoVM) transferPrincipal(bc *briefcase.Briefcase) string {
 }
 
 // rejectTransfer reports a failed activation to the transfer's sender.
-func (v *GoVM) rejectTransfer(bc *briefcase.Briefcase, reason string) {
+func (v *GoVM) rejectTransfer(self *firewall.Registration, bc *briefcase.Briefcase, reason string) {
 	sender, _ := bc.GetString(briefcase.FolderSysSender)
 	id, hasID := bc.GetString(firewall.FolderMsgID)
-	v.rejectTransferTo(sender, id, hasID, reason)
+	v.rejectTransferTo(self, sender, id, hasID, reason)
 }
 
-func (v *GoVM) rejectTransferTo(sender, msgID string, hasMsgID bool, reason string) {
+func (v *GoVM) rejectTransferTo(self *firewall.Registration, sender, msgID string, hasMsgID bool, reason string) {
 	v.trace("rejected transfer: %s", reason)
 	v.ctrRejected.Inc()
 	if sender == "" {
@@ -283,7 +318,7 @@ func (v *GoVM) rejectTransferTo(sender, msgID string, hasMsgID bool, reason stri
 	if hasMsgID {
 		report.SetString(firewall.FolderReplyTo, msgID)
 	}
-	_ = v.cfg.FW.Send(v.reg.GlobalURI(), report)
+	_ = v.cfg.FW.Send(self.GlobalURI(), report)
 }
 
 // scrubTransferFolders strips routing state so the agent restarts with a
@@ -507,7 +542,7 @@ func (v *GoVM) Close() error {
 	for _, r := range regs {
 		v.cfg.FW.Unregister(r)
 	}
-	v.cfg.FW.Unregister(v.reg)
+	v.cfg.FW.Unregister(v.registration())
 	v.wg.Wait()
 	return nil
 }
