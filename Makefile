@@ -29,8 +29,11 @@ check: vet build race
 # flakes), the crash-point recovery sweep under the race detector
 # (fixed seeds 11 clean / 13 torn / 17 under faults / 19 every-byte
 # prefix, baked into internal/chaostest/crashpoint_test.go — reruns
-# crash at identical WAL boundaries), and the parallel fleet benchmark
-# artifact.
+# crash at identical WAL boundaries), the parallel fleet benchmark
+# artifact, and the hotpath benchmark run twice: BENCH_hotpath.json
+# holds only exact allocation counts and virtual-clock arithmetic, so
+# any byte difference between the two runs is a determinism regression
+# and fails the build.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -38,6 +41,11 @@ ci:
 	$(GO) test -race -count=2 ./...
 	$(GO) test -race -timeout 300s -count=1 -run 'CrashPoint' ./internal/chaostest/
 	$(GO) run ./cmd/taxbench -exp parallel
+	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json
+	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.rerun
+	cmp BENCH_hotpath.json BENCH_hotpath.json.rerun || \
+		{ echo "ci: BENCH_hotpath.json differs between runs (nondeterministic benchmark)"; exit 1; }
+	rm -f BENCH_hotpath.json.rerun
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
@@ -55,10 +63,13 @@ chaos:
 
 # fuzz-short runs the wire-format fuzzers briefly — enough to exercise
 # the mutation engine on every seed without tying up CI. One -fuzz
-# target per invocation: the briefcase codec, then the cabinet WAL
-# record decoder (torn frames, bad CRCs, truncated length prefixes).
+# target per invocation: the briefcase codec, the cross-codec oracle
+# (fast encode/decode vs the frozen reference codec on the same bytes),
+# then the cabinet WAL record decoder (torn frames, bad CRCs, truncated
+# length prefixes).
 fuzz-short:
-	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/briefcase/
+	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/briefcase/
+	$(GO) test -fuzz FuzzCrossCodec -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 30s ./internal/cabinet/
 
 # bench regenerates every evaluation table; the tel experiment also
@@ -69,4 +80,4 @@ bench:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.rerun

@@ -25,6 +25,14 @@
 // crash-point completion rate, and records the grid to
 // BENCH_durability.json (-durability-json to override). The JSON embeds
 // no wall-clock time: reruns are byte-identical per seed.
+//
+// The hotpath experiment measures the zero-copy briefcase codec
+// (allocations per op against the frozen reference codec) and batched
+// firewall mediation (virtual-clock messages/second across fleet
+// widths, batching on and off), recording BENCH_hotpath.json
+// (-hotpath-json to override). Like durability, the JSON holds only
+// exact allocation counts and virtual-clock arithmetic, so reruns are
+// byte-identical; wall-clock ns/op appears in the printed table only.
 package main
 
 import (
@@ -38,21 +46,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
 	faultsSeeds := flag.Int("faults-seeds", 10, "seeded runs per drop-probability point in the faults experiment")
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON results ('' disables)")
 	durabilityJSON := flag.String("durability-json", "BENCH_durability.json", "file for the durability experiment's JSON results ('' disables)")
+	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "file for the hotpath experiment's JSON results ('' disables)")
 	flag.Parse()
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON string) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -106,6 +115,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", durabilityJSON)
+			}
+			return t, nil
+		}},
+		{"hotpath", func() (*bench.Table, error) {
+			t, result, err := bench.Hotpath()
+			if err != nil {
+				return nil, err
+			}
+			if hotpathJSON != "" {
+				if err := writeHotpathJSON(hotpathJSON, result); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", hotpathJSON)
 			}
 			return t, nil
 		}},
@@ -177,6 +199,24 @@ func writeDurabilityJSON(path string, results []bench.DurabilityResult) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeHotpathJSON records the fast-path measurements. Deliberately no
+// timestamp and no wall-clock field: allocation counts are exact and
+// throughput is virtual-clock, so the file is byte-identical run to run
+// — `make ci` relies on that to catch nondeterminism.
+func writeHotpathJSON(path string, result *bench.HotpathResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
 		_ = f.Close()
 		return err
 	}

@@ -48,14 +48,15 @@ func main() {
 	workers := flag.Int("workers", 4, "with -fleet: concurrent launch bound (fleet pool width)")
 	fsyncCost := flag.Duration("fsync-cost", cabinet.DefaultSyncLatency, "modeled fsync latency of the node's file cabinet (slept for on a live node)")
 	snapEvery := flag.Int("snapshot-every", cabinet.DefaultSnapshotEvery, "cabinet transactions between WAL compactions (negative disables snapshots)")
+	batchFrames := flag.Int("batch", 0, "coalesce up to N outbound same-destination frames per network transfer (0 disables batching)")
 	flag.Parse()
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int) error {
 	var retryPolicy firewall.RetryPolicy
 	if retry != "" {
 		p, err := firewall.ParseRetryPolicy(retry)
@@ -109,7 +110,7 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		cabOpts.Telemetry = tel.Registry()
 	}
 	store := cabinet.NewStore(cabOpts)
-	fw, err := firewall.New(firewall.Config{
+	fwCfg := firewall.Config{
 		HostName:        host,
 		Port:            port,
 		Node:            node,
@@ -122,7 +123,13 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		},
 		Telemetry:    tel,
 		ForwardRetry: retryPolicy,
-	})
+	}
+	if batchFrames > 0 {
+		// Live nodes run on the real clock, so the defaults' real-time
+		// safety flush bounds the latency a coalesced frame can gain.
+		fwCfg.Batch = &firewall.BatchConfig{MaxFrames: batchFrames}
+	}
+	fw, err := firewall.New(fwCfg)
 	if err != nil {
 		return err
 	}

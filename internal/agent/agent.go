@@ -11,6 +11,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -158,6 +159,13 @@ func (c *Context) Finish(err error) {
 // system. Wrapper send-interceptors run first and may rewrite or swallow
 // the briefcase.
 func (c *Context) Activate(target string, payload *briefcase.Briefcase) error {
+	return c.ActivateCtx(context.Background(), target, payload)
+}
+
+// ActivateCtx is Activate with cancellation: a context already done
+// fails before the wrapper hooks run, and the firewall send observes
+// the context through its retry loop.
+func (c *Context) ActivateCtx(ctx context.Context, target string, payload *briefcase.Briefcase) error {
 	payload.SetString(briefcase.FolderSysTarget, target)
 	if c.sendHook != nil {
 		out, err := c.sendHook(payload)
@@ -173,13 +181,21 @@ func (c *Context) Activate(target string, payload *briefcase.Briefcase) error {
 			target = t
 		}
 	}
-	return c.ActivateDirect(target, payload)
+	return c.ActivateDirectCtx(ctx, target, payload)
 }
 
 // ActivateDirect sends without running wrapper interceptors; wrappers use
 // it for their own traffic (a monitoring report must not re-enter the
 // monitoring wrapper).
 func (c *Context) ActivateDirect(target string, payload *briefcase.Briefcase) error {
+	return c.ActivateDirectCtx(context.Background(), target, payload)
+}
+
+// ActivateDirectCtx is ActivateDirect with cancellation.
+func (c *Context) ActivateDirectCtx(ctx context.Context, target string, payload *briefcase.Briefcase) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	tu, err := uri.Parse(target)
 	if err != nil {
 		return fmt.Errorf("agent: activate: %w", err)
@@ -195,7 +211,7 @@ func (c *Context) ActivateDirect(target string, payload *briefcase.Briefcase) er
 			return r.Inject(payload)
 		}
 	}
-	return c.fw.Send(c.URI(), payload)
+	return c.fw.SendCtx(ctx, c.URI(), payload)
 }
 
 // Await blocks until a briefcase arrives (the paper's await()). A zero
@@ -204,18 +220,24 @@ func (c *Context) ActivateDirect(target string, payload *briefcase.Briefcase) er
 // interceptors run on every arrival and may consume briefcases, in which
 // case Await keeps waiting.
 func (c *Context) Await(timeout time.Duration) (*briefcase.Briefcase, error) {
+	return c.AwaitCtx(context.Background(), timeout)
+}
+
+// AwaitCtx is Await with cancellation: the wait additionally ends when
+// ctx is done, returning its error.
+func (c *Context) AwaitCtx(ctx context.Context, timeout time.Duration) (*briefcase.Briefcase, error) {
 	if len(c.backlog) > 0 {
 		bc := c.backlog[0]
 		c.backlog = c.backlog[1:]
 		return bc, nil
 	}
-	return c.receive(timeout)
+	return c.receive(ctx, timeout)
 }
 
 // receive takes one briefcase from the mailbox, running the wrapper
 // receive hook; consumed briefcases do not count against the caller —
 // it keeps waiting within the same timeout budget.
-func (c *Context) receive(timeout time.Duration) (*briefcase.Briefcase, error) {
+func (c *Context) receive(ctx context.Context, timeout time.Duration) (*briefcase.Briefcase, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -228,7 +250,7 @@ func (c *Context) receive(timeout time.Duration) (*briefcase.Briefcase, error) {
 				return nil, fmt.Errorf("agent: %w", firewall.ErrRecvTimeout)
 			}
 		}
-		bc, err := c.reg.Recv(remain)
+		bc, err := c.reg.RecvCtx(ctx, remain)
 		if err != nil {
 			return nil, err
 		}
@@ -250,6 +272,13 @@ func (c *Context) receive(timeout time.Duration) (*briefcase.Briefcase, error) {
 // target and blocks until the matching reply arrives. Unrelated
 // briefcases arriving meanwhile are buffered for later Await calls.
 func (c *Context) Meet(target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
+	return c.MeetCtx(context.Background(), target, payload, timeout)
+}
+
+// MeetCtx is Meet with cancellation: the context covers the send and
+// the reply wait, so an abandoned RPC stops blocking as soon as the
+// caller gives up.
+func (c *Context) MeetCtx(ctx context.Context, target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
 	id := nextMsgID()
 	payload.SetString(firewall.FolderMsgID, id)
 	sp := c.span("agent.meet")
@@ -257,12 +286,12 @@ func (c *Context) Meet(target string, payload *briefcase.Briefcase, timeout time
 	if sp != nil {
 		payload.SetString(briefcase.FolderSysSpan, sp.ID())
 	}
-	if err := c.Activate(target, payload); err != nil {
+	if err := c.ActivateCtx(ctx, target, payload); err != nil {
 		sp.SetErr(err)
 		sp.End()
 		return nil, err
 	}
-	reply, err := c.awaitReply(id, timeout)
+	reply, err := c.awaitReply(ctx, id, timeout)
 	sp.SetErr(err)
 	sp.End()
 	return reply, err
@@ -277,7 +306,7 @@ func (c *Context) MeetDirect(target string, payload *briefcase.Briefcase, timeou
 	if err := c.ActivateDirect(target, payload); err != nil {
 		return nil, err
 	}
-	return c.awaitReply(id, timeout)
+	return c.awaitReply(context.Background(), id, timeout)
 }
 
 // Reply answers a briefcase received via Await/Meet service loops: the
@@ -302,7 +331,7 @@ func (c *Context) Reply(request, response *briefcase.Briefcase) error {
 }
 
 // awaitReply receives until a briefcase with _REPLYTO == id arrives.
-func (c *Context) awaitReply(id string, timeout time.Duration) (*briefcase.Briefcase, error) {
+func (c *Context) awaitReply(ctx context.Context, id string, timeout time.Duration) (*briefcase.Briefcase, error) {
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -315,14 +344,19 @@ func (c *Context) awaitReply(id string, timeout time.Duration) (*briefcase.Brief
 				return nil, fmt.Errorf("agent: meet: %w", firewall.ErrRecvTimeout)
 			}
 		}
-		bc, err := c.receive(remain)
+		bc, err := c.receive(ctx, remain)
 		if err != nil {
 			return nil, err
 		}
 		if got, ok := bc.GetString(firewall.FolderReplyTo); ok && got == id {
 			if firewall.Kind(bc) == firewall.KindError {
-				msg, _ := bc.GetString(briefcase.FolderSysError)
-				return bc, fmt.Errorf("agent: meet: remote error: %s", msg)
+				// The reply carries the failure as _ERROR/_ERRCODE folders;
+				// surface it as a wrapped RemoteError so callers can use
+				// errors.Is against the originating sentinel.
+				if rerr, ok := firewall.RemoteErrorFrom(bc); ok {
+					return bc, fmt.Errorf("agent: meet: remote error: %w", rerr)
+				}
+				return bc, fmt.Errorf("agent: meet: remote error: %w", &firewall.RemoteError{})
 			}
 			return bc, nil
 		}
@@ -403,7 +437,7 @@ func (c *Context) Spawn(dest string) (uint64, error) {
 // AwaitReply exposes reply-correlated receive for movers implementing the
 // spawn protocol.
 func (c *Context) AwaitReply(id string, timeout time.Duration) (*briefcase.Briefcase, error) {
-	return c.awaitReply(id, timeout)
+	return c.awaitReply(context.Background(), id, timeout)
 }
 
 // StampTrace marks a briefcase as the root of a fresh telemetry trace and

@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,6 +40,14 @@ var ErrStreamCorrupt = errors.New("agent: stream corrupt")
 // under the given stream id. A zero chunkSize uses DefaultChunkSize.
 // Empty payloads send a single empty chunk so the receiver completes.
 func SendStream(c *Context, target, streamID string, data []byte, chunkSize int) error {
+	return SendStreamContext(context.Background(), c, target, streamID, data, chunkSize)
+}
+
+// SendStreamContext is SendStream with cancellation: the context is
+// checked between chunks, so a large transfer stops promptly when the
+// caller gives up instead of pushing the remaining chunks into the
+// firewall.
+func SendStreamContext(ctx context.Context, c *Context, target, streamID string, data []byte, chunkSize int) error {
 	if chunkSize <= 0 {
 		chunkSize = DefaultChunkSize
 	}
@@ -47,6 +56,9 @@ func SendStream(c *Context, target, streamID string, data []byte, chunkSize int)
 		total = 1
 	}
 	for seq := 0; seq < total; seq++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("agent: stream %s chunk %d: %w", streamID, seq, err)
+		}
 		lo := seq * chunkSize
 		hi := lo + chunkSize
 		if hi > len(data) {
@@ -57,7 +69,7 @@ func SendStream(c *Context, target, streamID string, data []byte, chunkSize int)
 		bc.SetInt(FolderStreamSeq, int64(seq))
 		bc.SetInt(FolderStreamTotal, int64(total))
 		bc.Ensure(FolderStreamData).Append(data[lo:hi])
-		if err := c.Activate(target, bc); err != nil {
+		if err := c.ActivateCtx(ctx, target, bc); err != nil {
 			return fmt.Errorf("agent: stream %s chunk %d: %w", streamID, seq, err)
 		}
 	}
@@ -138,6 +150,11 @@ func (b *StreamBuffer) Bytes() ([]byte, error) {
 // unrelated briefcases for later Await calls. A zero timeout waits
 // forever.
 func (c *Context) ReceiveStream(streamID string, timeout time.Duration) ([]byte, error) {
+	return c.ReceiveStreamCtx(context.Background(), streamID, timeout)
+}
+
+// ReceiveStreamCtx is ReceiveStream with cancellation.
+func (c *Context) ReceiveStreamCtx(ctx context.Context, streamID string, timeout time.Duration) ([]byte, error) {
 	buf := NewStreamBuffer(streamID)
 	var deadline time.Time
 	if timeout > 0 {
@@ -151,7 +168,7 @@ func (c *Context) ReceiveStream(streamID string, timeout time.Duration) ([]byte,
 				return nil, fmt.Errorf("agent: stream %s: timeout", streamID)
 			}
 		}
-		bc, err := c.receive(remain)
+		bc, err := c.receive(ctx, remain)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/identity"
+	"tax/internal/simnet"
+)
+
+// HotpathCodecResult is one codec measurement for BENCH_hotpath.json.
+// Only allocation counts are recorded — they are exact integers from
+// the runtime's malloc counter, so the JSON is byte-identical run to
+// run. Wall-clock ns/op is printed to the table only.
+type HotpathCodecResult struct {
+	// Op is "encode" or "decode".
+	Op string `json:"op"`
+	// Codec is "reference" (the frozen pre-optimization codec) or
+	// "fast" (the pooled single-buffer encoder / lazy decoder).
+	Codec string `json:"codec"`
+	// AllocsPerOp is the exact allocation count of one operation on the
+	// case-study-sized briefcase.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// FrameBytes is the encoded frame size (identical across codecs —
+	// the fast path is wire-compatible).
+	FrameBytes int `json:"frame_bytes"`
+}
+
+// HotpathMediationResult is one (fleet width, batching) point of the
+// mediation throughput sweep. Throughput is virtual-clock messages per
+// second: the whole sweep runs on one driver goroutine, so every clock
+// advance is a deterministic function of the message stream.
+type HotpathMediationResult struct {
+	// Width is the number of destination hosts the driver round-robins
+	// over.
+	Width int `json:"width"`
+	// Batched reports whether outbound mediation coalesced frames.
+	Batched bool `json:"batched"`
+	// Messages is the number of mediated briefcases.
+	Messages int `json:"messages"`
+	// BatchFlushes / BatchFrames are the sender's fw.batch_* counters
+	// (zero with batching off).
+	BatchFlushes int64 `json:"batch_flushes"`
+	BatchFrames  int64 `json:"batch_frames"`
+	// VirtualMS is the sender host's virtual-clock cost of mediating
+	// the stream.
+	VirtualMS float64 `json:"virtual_ms"`
+	// MsgsPerVirtualSec is Messages divided by the virtual elapsed time.
+	MsgsPerVirtualSec float64 `json:"msgs_per_virtual_sec"`
+}
+
+// HotpathResult is the BENCH_hotpath.json document.
+type HotpathResult struct {
+	Codec     []HotpathCodecResult     `json:"codec"`
+	Mediation []HotpathMediationResult `json:"mediation"`
+}
+
+// hotpathBriefcase builds the workload briefcase: a webbot mid-crawl,
+// sized after the case study (results for ~120 pages plus itinerary and
+// status folders, ~5 KB encoded).
+func hotpathBriefcase() *briefcase.Briefcase {
+	bc := briefcase.New()
+	bc.SetString(briefcase.FolderCode, "webbot")
+	bc.SetString(briefcase.FolderStatus, "crawling depth=3")
+	args := bc.Ensure(briefcase.FolderArgs)
+	args.AppendString("maxdepth=4")
+	args.AppendString("maxpages=917")
+	hosts := bc.Ensure(briefcase.FolderHosts)
+	for _, h := range []string{"tacoma://w2//vm_go", "tacoma://w3//vm_go", "tacoma://home//vm_go"} {
+		hosts.AppendString(h)
+	}
+	results := bc.Ensure(briefcase.FolderResults)
+	for i := 0; i < 120; i++ {
+		results.AppendString(fmt.Sprintf("/page-%03d.html|200|%5d bytes|links=%2d", i, 1024+i*17, i%23))
+	}
+	return bc
+}
+
+// hotpathCodec measures allocations (exact, into the JSON) and
+// wall-clock ns/op (table only) for both codecs on the workload
+// briefcase. GC is paused so the encoder's buffer pool is not drained
+// mid-measurement.
+func hotpathCodec() ([]HotpathCodecResult, []timedCodecRow, error) {
+	bc := hotpathBriefcase()
+	frame := bc.Encode()
+	if ref := briefcase.ReferenceEncode(bc); len(ref) != len(frame) {
+		return nil, nil, fmt.Errorf("bench: hotpath codecs disagree: fast %d bytes, reference %d", len(frame), len(ref))
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	const runs = 200
+	cases := []struct {
+		op, codec string
+		fn        func()
+	}{
+		{"encode", "reference", func() { _ = briefcase.ReferenceEncode(bc) }},
+		{"encode", "fast", func() {
+			f, release := bc.EncodePooled()
+			_ = f
+			release()
+		}},
+		{"decode", "reference", func() { _, _ = briefcase.ReferenceDecode(frame) }},
+		{"decode", "fast", func() { _, _ = briefcase.Decode(frame) }},
+	}
+	var results []HotpathCodecResult
+	var rows []timedCodecRow
+	for _, c := range cases {
+		allocs := testing.AllocsPerRun(runs, c.fn)
+		results = append(results, HotpathCodecResult{
+			Op:          c.op,
+			Codec:       c.codec,
+			AllocsPerOp: allocs,
+			FrameBytes:  len(frame),
+		})
+		const timedIters = 5000
+		t0 := time.Now()
+		for i := 0; i < timedIters; i++ {
+			c.fn()
+		}
+		rows = append(rows, timedCodecRow{
+			op: c.op, codec: c.codec,
+			nsPerOp: time.Since(t0).Nanoseconds() / timedIters,
+			allocs:  allocs,
+		})
+	}
+	return results, rows, nil
+}
+
+// timedCodecRow carries the wall-clock numbers that stay out of the
+// deterministic JSON.
+type timedCodecRow struct {
+	op, codec string
+	nsPerOp   int64
+	allocs    float64
+}
+
+// hotpathMediation mediates a fixed message stream from one sender host
+// to width destination hosts, with and without batching, and reports
+// virtual-clock throughput. One driver goroutine performs every send
+// and flush, so the sender clock advances identically on every run:
+// the stream is sent in epochs, each epoch flushed and then drained
+// before the next, bounding mailbox depth well under capacity.
+func hotpathMediation(width int, batched bool) (HotpathMediationResult, error) {
+	const (
+		epoch    = 128 // messages per send/flush/drain cycle
+		epochs   = 15
+		messages = epoch * epochs
+	)
+	r := HotpathMediationResult{Width: width, Batched: batched, Messages: messages}
+
+	net := simnet.New(simnet.LAN100)
+	defer func() { _ = net.Close() }()
+	h1, err := net.AddHost("h1")
+	if err != nil {
+		return r, err
+	}
+	sysP, err := identity.NewPrincipal("system")
+	if err != nil {
+		return r, err
+	}
+	trust := &identity.TrustStore{}
+	trust.AddPrincipal(sysP, identity.System)
+	cfg := firewall.Config{
+		HostName: "h1", Node: h1, Trust: trust, SystemPrincipal: "system",
+	}
+	if batched {
+		cfg.Batch = &firewall.BatchConfig{
+			MaxFrames:  16,
+			MaxBytes:   1 << 20,
+			MaxDelay:   time.Hour, // age flushes would depend on epoch timing
+			FlushEvery: -1,        // no real-time timer: virtual determinism
+		}
+	}
+	fw1, err := firewall.New(cfg)
+	if err != nil {
+		return r, err
+	}
+	defer func() { _ = fw1.Close() }()
+	sender, err := fw1.Register("vm", "system", "src")
+	if err != nil {
+		return r, err
+	}
+
+	recvs := make([]*firewall.Registration, width)
+	for i := 0; i < width; i++ {
+		hostName := fmt.Sprintf("w%d", i)
+		host, err := net.AddHost(hostName)
+		if err != nil {
+			return r, err
+		}
+		fw, err := firewall.New(firewall.Config{
+			HostName: hostName, Node: host, Trust: trust, SystemPrincipal: "system",
+		})
+		if err != nil {
+			return r, err
+		}
+		defer func() { _ = fw.Close() }()
+		if recvs[i], err = fw.Register("vm", "system", "dst"); err != nil {
+			return r, err
+		}
+	}
+
+	clock := fw1.Clock()
+	start := clock.Now()
+	sent := 0
+	for e := 0; e < epochs; e++ {
+		for m := 0; m < epoch; m++ {
+			bc := briefcase.New()
+			bc.SetString("BODY", fmt.Sprintf("crawl result %06d padded to a plausible briefcase payload size for the mediation hot path", sent))
+			bc.SetString(briefcase.FolderSysTarget, fmt.Sprintf("tacoma://w%d/system/dst", sent%width))
+			if err := fw1.Send(sender.GlobalURI(), bc); err != nil {
+				return r, fmt.Errorf("bench: hotpath send %d: %w", sent, err)
+			}
+			sent++
+		}
+		if err := fw1.FlushBatches(); err != nil {
+			return r, fmt.Errorf("bench: hotpath flush: %w", err)
+		}
+		for i := 0; i < width; i++ {
+			for k := 0; k < epoch/width; k++ {
+				if _, err := recvs[i].Recv(5 * time.Second); err != nil {
+					return r, fmt.Errorf("bench: hotpath drain w%d: %w", i, err)
+				}
+			}
+		}
+	}
+	elapsed := clock.Now() - start
+	reg := fw1.Telemetry().Registry()
+	r.BatchFlushes = reg.Counter("fw.batch_flushes", "host", "h1").Value()
+	r.BatchFrames = reg.Counter("fw.batch_frames", "host", "h1").Value()
+	r.VirtualMS = float64(elapsed.Microseconds()) / 1000
+	if s := elapsed.Seconds(); s > 0 {
+		r.MsgsPerVirtualSec = float64(messages) / s
+	}
+	return r, nil
+}
+
+// Hotpath runs the fast-path benchmark: codec allocations for the
+// pooled encoder and lazy decoder against the frozen reference codec,
+// and mediated message throughput (virtual-clock) with batching on and
+// off across fleet widths. Everything recorded to JSON is exact —
+// allocation counts and virtual-clock arithmetic — so reruns are
+// byte-identical; wall-clock ns/op appears only in the printed table.
+func Hotpath() (*Table, *HotpathResult, error) {
+	codec, timed, err := hotpathCodec()
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &HotpathResult{Codec: codec}
+
+	for _, width := range []int{1, 4, 16} {
+		for _, batched := range []bool{false, true} {
+			p, err := hotpathMediation(width, batched)
+			if err != nil {
+				return nil, nil, err
+			}
+			res.Mediation = append(res.Mediation, p)
+		}
+	}
+
+	t := &Table{
+		Title:  "HOTPATH — zero-copy codec and batched mediation",
+		Note:   "codec: case-study briefcase, allocs exact / ns wall-clock; mediation: virtual-clock msgs/s, one driver goroutine",
+		Header: []string{"measurement", "ns/op", "allocs/op", "msgs/vsec", "detail"},
+	}
+	for _, row := range timed {
+		t.Rows = append(t.Rows, []string{
+			row.op + " " + row.codec,
+			fmt.Sprintf("%d", row.nsPerOp),
+			fmt.Sprintf("%.0f", row.allocs),
+			"",
+			fmt.Sprintf("%d B frame", res.Codec[0].FrameBytes),
+		})
+	}
+	for _, p := range res.Mediation {
+		mode := "unbatched"
+		detail := ""
+		if p.Batched {
+			mode = "batched"
+			detail = fmt.Sprintf("%d flushes / %d frames", p.BatchFlushes, p.BatchFrames)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("mediate w=%d %s", p.Width, mode),
+			"", "",
+			fmt.Sprintf("%.0f", p.MsgsPerVirtualSec),
+			detail,
+		})
+	}
+	return t, res, nil
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 )
 
 // Wire format (version 1):
@@ -18,6 +20,17 @@ import (
 //
 // The encoding is deterministic: equal briefcases encode to equal bytes,
 // which lets signatures cover a briefcase by covering its encoding.
+//
+// The codec below is the mediation fast path. Encoding is a single
+// exact-size buffer (EncodedSize is exact, not an estimate) filled by
+// AppendTo, optionally drawn from a sync.Pool (EncodePooled). Decoding
+// validates the whole frame eagerly — corrupt input is rejected with
+// the same errors as the original codec — but defers materializing
+// folder contents: each folder keeps a slice of its element region and
+// parses it only when first accessed, with elements aliasing the input
+// buffer rather than being copied out of it. The frozen original codec
+// lives in codec_reference.go and the two are proven byte- and
+// behavior-identical by the cross-codec property tests.
 
 var wireMagic = [4]byte{'T', 'A', 'X', 'B'}
 
@@ -34,25 +47,90 @@ var (
 )
 
 // Encode serializes the briefcase into the deterministic version-1 wire
-// format.
+// format. The buffer is allocated at its exact final size.
 func (b *Briefcase) Encode() []byte {
-	// Pre-size: payload + a generous varint/name allowance.
-	buf := make([]byte, 0, b.Size()+32+16*len(b.folders))
-	buf = append(buf, wireMagic[:]...)
-	buf = binary.AppendUvarint(buf, wireVersion)
-	names := b.Names()
-	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	return b.AppendTo(make([]byte, 0, b.EncodedSize()))
+}
+
+// AppendTo appends the briefcase's wire encoding to dst and returns the
+// extended slice. A folder that is still an undecoded wire region is
+// copied verbatim — re-encoding a briefcase that was only routed, never
+// inspected, is a straight memcpy of its folder regions.
+func (b *Briefcase) AppendTo(dst []byte) []byte {
+	dst, _ = b.appendTo(dst, nil)
+	return dst
+}
+
+// appendTo is AppendTo with a reusable scratch slice for the sorted
+// folder names, so pooled encodes allocate nothing in steady state. The
+// (possibly grown) scratch is returned for the caller to keep.
+func (b *Briefcase) appendTo(dst []byte, scratch []string) ([]byte, []string) {
+	dst = append(dst, wireMagic[:]...)
+	dst = binary.AppendUvarint(dst, wireVersion)
+	names := scratch[:0]
+	for n := range b.folders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	dst = binary.AppendUvarint(dst, uint64(len(names)))
 	for _, name := range names {
 		f := b.folders[name]
-		buf = binary.AppendUvarint(buf, uint64(len(name)))
-		buf = append(buf, name...)
-		buf = binary.AppendUvarint(buf, uint64(len(f.elems)))
+		dst = binary.AppendUvarint(dst, uint64(len(name)))
+		dst = append(dst, name...)
+		if f.raw != nil {
+			dst = binary.AppendUvarint(dst, uint64(f.nraw))
+			dst = append(dst, f.raw...)
+			continue
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(f.elems)))
 		for _, e := range f.elems {
-			buf = binary.AppendUvarint(buf, uint64(len(e)))
-			buf = append(buf, e...)
+			dst = binary.AppendUvarint(dst, uint64(len(e)))
+			dst = append(dst, e...)
 		}
 	}
-	return buf
+	return dst, names
+}
+
+// encodeBuf is one pooled encode context: the frame buffer, the sorted
+// folder-name scratch, and a release closure built once per pool item
+// so EncodePooled allocates nothing in steady state.
+type encodeBuf struct {
+	buf     []byte
+	names   []string
+	release func()
+}
+
+// encodePool recycles encode contexts across EncodePooled calls. New is
+// installed in an init to let the release closure name the pool.
+var encodePool sync.Pool
+
+func init() {
+	encodePool.New = func() any {
+		eb := &encodeBuf{}
+		eb.release = func() { encodePool.Put(eb) }
+		return eb
+	}
+}
+
+// EncodePooled encodes the briefcase into a buffer drawn from a
+// package-level pool and returns it with a release function. Calling
+// release returns the buffer for reuse; after that the frame must not
+// be read. It is safe to never call release — the buffer is then
+// garbage like any other — but the steady-state zero-allocation encode
+// path depends on callers releasing.
+//
+// The frame may be handed to a transport that copies it synchronously
+// (both simnet and the TCP node copy the payload inside Send) and
+// released as soon as Send returns.
+func (b *Briefcase) EncodePooled() (frame []byte, release func()) {
+	eb := encodePool.Get().(*encodeBuf)
+	need := b.EncodedSize()
+	if cap(eb.buf) < need {
+		eb.buf = make([]byte, 0, need)
+	}
+	frame, eb.names = b.appendTo(eb.buf[:0], eb.names)
+	eb.buf = frame[:0]
+	return frame, eb.release
 }
 
 // EncodedSize returns the exact length Encode will produce without
@@ -61,6 +139,10 @@ func (b *Briefcase) EncodedSize() int {
 	n := len(wireMagic) + uvarintLen(wireVersion) + uvarintLen(uint64(len(b.folders)))
 	for name, f := range b.folders {
 		n += uvarintLen(uint64(len(name))) + len(name)
+		if f.raw != nil {
+			n += uvarintLen(uint64(f.nraw)) + len(f.raw)
+			continue
+		}
 		n += uvarintLen(uint64(len(f.elems)))
 		for _, e := range f.elems {
 			n += uvarintLen(uint64(len(e))) + len(e)
@@ -80,6 +162,15 @@ func uvarintLen(v uint64) int {
 
 // Decode parses a version-1 wire frame into a new briefcase. The decode
 // limits (MaxFolders and friends) bound resource use on hostile input.
+//
+// Validation is eager — a malformed frame is rejected here, never later
+// — but folder contents are materialized lazily: each folder records
+// its element region of data and parses it on first access, and the
+// parsed elements alias data rather than copying it. Decode therefore
+// retains data; the caller must not modify the buffer afterwards.
+// (Both network paths hand the firewall a delivery-private copy, so
+// inbound frames satisfy this for free. Callers that reuse buffers
+// should use ReferenceDecode, which copies.)
 func Decode(data []byte) (*Briefcase, error) {
 	d := decoder{buf: data}
 	var magic [4]byte
@@ -109,8 +200,8 @@ func Decode(data []byte) (*Briefcase, error) {
 		if !ok || nameLen > MaxNameSize {
 			return nil, fmt.Errorf("%w: folder name length", ErrCorrupt)
 		}
-		name := make([]byte, nameLen)
-		if !d.read(name) {
+		name, ok := d.slice(int(nameLen))
+		if !ok {
 			return nil, fmt.Errorf("%w: short folder name", ErrCorrupt)
 		}
 		if len(name) == 0 {
@@ -124,17 +215,19 @@ func Decode(data []byte) (*Briefcase, error) {
 		if !ok || nelem > MaxElements {
 			return nil, fmt.Errorf("%w: element count", ErrCorrupt)
 		}
-		f.elems = make([]Element, 0, min(nelem, 1024))
+		start := d.off
 		for j := uint64(0); j < nelem; j++ {
 			elemLen, ok := d.uvarint()
 			if !ok || elemLen > MaxElementSize {
 				return nil, fmt.Errorf("%w: element length", ErrCorrupt)
 			}
-			e := make(Element, elemLen)
-			if !d.read(e) {
+			if !d.skip(int(elemLen)) {
 				return nil, fmt.Errorf("%w: short element", ErrCorrupt)
 			}
-			f.elems = append(f.elems, e)
+		}
+		if nelem > 0 {
+			f.raw = data[start:d.off:d.off]
+			f.nraw = int(nelem)
 		}
 	}
 	if len(d.buf) != d.off {
@@ -154,6 +247,25 @@ func (d *decoder) read(dst []byte) bool {
 	}
 	copy(dst, d.buf[d.off:])
 	d.off += len(dst)
+	return true
+}
+
+// slice returns the next n bytes without copying.
+func (d *decoder) slice(n int) ([]byte, bool) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, false
+	}
+	s := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return s, true
+}
+
+// skip advances past n bytes.
+func (d *decoder) skip(n int) bool {
+	if n < 0 || d.off+n > len(d.buf) {
+		return false
+	}
+	d.off += n
 	return true
 }
 

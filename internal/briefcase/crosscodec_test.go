@@ -1,0 +1,176 @@
+package briefcase
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The fast-path codec (codec.go) and the frozen original codec
+// (codec_reference.go) must be indistinguishable on the wire: same
+// accepted set, same values, same bytes. These tests pin that down over
+// the fuzz corpus; FuzzCrossCodec extends the claim to mutated inputs.
+
+// crossCheck asserts the two decoders agree on one input, and — when
+// they accept — that all four encode/decode compositions agree.
+func crossCheck(t *testing.T, data []byte) {
+	t.Helper()
+	fast, fastErr := Decode(data)
+	ref, refErr := ReferenceDecode(data)
+	if (fastErr == nil) != (refErr == nil) {
+		t.Fatalf("decoders disagree on acceptance: fast=%v ref=%v", fastErr, refErr)
+	}
+	if fastErr != nil {
+		if fastErr.Error() != refErr.Error() {
+			t.Fatalf("decoders reject with different errors:\nfast: %v\nref:  %v", fastErr, refErr)
+		}
+		return
+	}
+	if !fast.Equal(ref) {
+		t.Fatalf("decoded values differ:\nfast: %v\nref:  %v", fast, ref)
+	}
+	// old-encode/new-decode: the reference encoding of the reference
+	// value must round-trip through the fast decoder...
+	oldBytes := ReferenceEncode(ref)
+	viaFast, err := Decode(oldBytes)
+	if err != nil {
+		t.Fatalf("fast decoder rejects reference encoding: %v", err)
+	}
+	if !viaFast.Equal(ref) {
+		t.Fatal("old-encode/new-decode changed the value")
+	}
+	// ...and new-encode/old-decode the other way around. Encoding a
+	// still-lazy briefcase exercises the raw-region fast path.
+	newBytes := fast.Encode()
+	viaRef, err := ReferenceDecode(newBytes)
+	if err != nil {
+		t.Fatalf("reference decoder rejects fast encoding: %v", err)
+	}
+	if !viaRef.Equal(fast) {
+		t.Fatal("new-encode/old-decode changed the value")
+	}
+	if !bytes.Equal(oldBytes, newBytes) {
+		t.Fatalf("encoders produce different bytes:\nold: %x\nnew: %x", oldBytes, newBytes)
+	}
+	// The pooled encode is the same bytes through a recycled buffer.
+	pooled, release := fast.EncodePooled()
+	if !bytes.Equal(pooled, newBytes) {
+		t.Fatal("EncodePooled differs from Encode")
+	}
+	release()
+}
+
+func TestCrossCodecCorpus(t *testing.T) {
+	for i, frame := range fuzzSeedFrames() {
+		frame := frame
+		crossCheck(t, frame)
+		_ = i
+	}
+}
+
+// TestLazyDecodeSemantics checks that a lazily decoded briefcase is
+// observationally identical to an eager one: accessors materialize on
+// demand, mutation works after materialization, clones of undecoded
+// folders stay independent, and re-encoding an untouched briefcase is
+// byte-exact.
+func TestLazyDecodeSemantics(t *testing.T) {
+	src := New()
+	h := src.Ensure(FolderHosts)
+	h.AppendString("tacoma://h1//vm_go", "tacoma://h2//vm_go", "tacoma://h3//vm_go")
+	src.Ensure(FolderResults).AppendString("row1", "row2")
+	src.SetString(FolderSysTarget, "alice/agent")
+	frame := src.Encode()
+
+	// Routed but never inspected: re-encode must be byte-exact.
+	routed, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := routed.Encode(); !bytes.Equal(re, frame) {
+		t.Fatal("re-encode of untouched lazy briefcase is not byte-exact")
+	}
+
+	// Len and Size work without materializing; mutators materialize.
+	bc, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Size() != src.Size() {
+		t.Fatalf("lazy Size %d != %d", bc.Size(), src.Size())
+	}
+	f, err := bc.Folder(FolderHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("lazy Len = %d, want 3", f.Len())
+	}
+	first, ok := f.Pop()
+	if !ok || first.String() != "tacoma://h1//vm_go" {
+		t.Fatalf("Pop on lazy folder = %q, %v", first, ok)
+	}
+	f.AppendString("tacoma://h4//vm_go")
+	want := []string{"tacoma://h2//vm_go", "tacoma://h3//vm_go", "tacoma://h4//vm_go"}
+	got := f.Strings()
+	if len(got) != len(want) {
+		t.Fatalf("after mutation: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after mutation: %v, want %v", got, want)
+		}
+	}
+
+	// A clone taken while still lazy is an independent value.
+	bc2, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := bc2.Clone()
+	f2, _ := bc2.Folder(FolderHosts)
+	f2.Clear()
+	clHosts, err := cl.Folder(FolderHosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clHosts.Len() != 3 {
+		t.Fatalf("clone affected by original's mutation: Len = %d", clHosts.Len())
+	}
+	if !cl.Equal(mustDecode(t, frame)) {
+		t.Fatal("clone of lazy briefcase differs from a fresh decode")
+	}
+}
+
+func mustDecode(t *testing.T, data []byte) *Briefcase {
+	t.Helper()
+	b, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestEncodePooledReuse checks the pooled buffer really is recycled and
+// that release does not corrupt a frame encoded afterwards.
+func TestEncodePooledReuse(t *testing.T) {
+	bc := New()
+	bc.Ensure(FolderResults).AppendString("a", "b", "c")
+	frame1, release1 := bc.EncodePooled()
+	want := append([]byte(nil), frame1...)
+	release1()
+	frame2, release2 := bc.EncodePooled()
+	defer release2()
+	if !bytes.Equal(frame2, want) {
+		t.Fatal("pooled re-encode differs")
+	}
+}
+
+// FuzzCrossCodec mutates the shared corpus and requires the fast and
+// reference codecs to stay indistinguishable on every input.
+func FuzzCrossCodec(f *testing.F) {
+	for _, frame := range fuzzSeedFrames() {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		crossCheck(t, data)
+	})
+}

@@ -70,6 +70,9 @@ type NodeOptions struct {
 	// transactions; zero uses the cabinet default, negative disables
 	// snapshots (pure WAL).
 	SnapshotEvery int
+	// Batch enables coalesced outbound mediation on the node's firewall
+	// (see firewall.BatchConfig); nil sends every frame individually.
+	Batch *firewall.BatchConfig
 }
 
 // Node is one TAX host: firewall, VMs, service agents and local stores.
@@ -140,8 +143,10 @@ func (n *Node) RecoverVia(storeService, principal, name, program, checkpointPath
 	if err != nil {
 		return nil, fmt.Errorf("core: recover %s: %w", checkpointPath, err)
 	}
-	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
-		return nil, fmt.Errorf("core: recover %s: %s", checkpointPath, msg)
+	if rerr, ok := firewall.RemoteErrorFrom(resp); ok {
+		// Typed: errors.Is(err, services.ErrNoSuchFile) distinguishes a
+		// pruned checkpoint from a store failure.
+		return nil, fmt.Errorf("core: recover %s: %w", checkpointPath, rerr)
 	}
 	data, err := resp.Folder(services.FolderData)
 	if err != nil {
@@ -276,6 +281,7 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		ChannelAuth:   opts.SecureChannels,
 		ForwardRetry:  opts.ForwardRetry,
 		DedupWindow:   opts.DedupWindow,
+		Batch:         opts.Batch,
 		Telemetry:     nodeTel,
 		Durable:       store,
 	})

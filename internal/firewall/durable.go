@@ -138,6 +138,12 @@ func (fw *Firewall) CrashWipe() {
 	if fw.dedup != nil {
 		fw.dedup.reset()
 	}
+	if fw.batch != nil {
+		// Queued batch frames lived only in process memory; the crash
+		// takes them with it (senders were never promised more — batched
+		// forwards are fire-and-forget until flushed).
+		fw.batch.discardAll()
+	}
 	fw.event(telemetry.EventDrop, "", "",
 		fmt.Sprintf("host crash: wiped %d registrations, %d parked messages", len(regs), len(pend)))
 }

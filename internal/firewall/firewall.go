@@ -13,6 +13,7 @@
 package firewall
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -108,6 +109,14 @@ type Config struct {
 	// unsynced. After a crash, CrashWipe discards the in-memory tables
 	// and RecoverDurable replays the cabinet back into them.
 	Durable *cabinet.Store
+	// Batch, when non-nil, enables batched mediation: remote forwards
+	// are coalesced per destination link into container frames (see
+	// batch.go). Every batched frame is still individually mediated and
+	// policy-checked on both sides; only the transport message count
+	// changes. Off (nil) by default because enqueued frames report
+	// flush failures through the audit log instead of the Send call
+	// (agent transfers still flush inline and keep synchronous errors).
+	Batch *BatchConfig
 	// Resolve maps an agent-URI host and port to a transport address.
 	// Nil means the host name is the transport address (simnet).
 	Resolve func(host string, port int) (string, error)
@@ -159,6 +168,9 @@ type fwCounters struct {
 	errors       *telemetry.Counter
 	retries      *telemetry.Counter
 	dupDropped   *telemetry.Counter
+	batchFlushes *telemetry.Counter
+	batchFrames  *telemetry.Counter
+	batchRecv    *telemetry.Counter
 }
 
 // Firewall is the per-host broker. Create with New, shut down with Close.
@@ -187,6 +199,10 @@ type Firewall struct {
 	// dedup suppresses duplicate inbound frames; it carries its own
 	// lock (nil unless cfg.DedupWindow > 0).
 	dedup *dedupWindow
+
+	// batch holds the per-link outbound queues of batched mediation
+	// (nil unless cfg.Batch is set).
+	batch *batcher
 
 	// mu guards the registration map. It is a RWMutex so concurrent
 	// mediations (lookups) proceed in parallel; only registration
@@ -250,6 +266,9 @@ func New(cfg Config) (*Firewall, error) {
 			errors:       reg.Counter("fw.errors", "host", cfg.HostName),
 			retries:      reg.Counter("fw.retries", "host", cfg.HostName),
 			dupDropped:   reg.Counter("fw.dup_dropped", "host", cfg.HostName),
+			batchFlushes: reg.Counter("fw.batch_flushes", "host", cfg.HostName),
+			batchFrames:  reg.Counter("fw.batch_frames", "host", cfg.HostName),
+			batchRecv:    reg.Counter("fw.batch_recv", "host", cfg.HostName),
 		},
 		park:         newParkTable(reg, cfg.HostName),
 		regs:         make(map[string][]*Registration),
@@ -261,6 +280,9 @@ func New(cfg Config) (*Firewall, error) {
 		if cfg.Durable != nil {
 			fw.dedup.onInsert = fw.journalDedup
 		}
+	}
+	if cfg.Batch != nil {
+		fw.batch = newBatcher(fw, *cfg.Batch)
 	}
 	if tel.Detailed() {
 		fw.histSend = reg.Histogram("fw.send", "host", cfg.HostName)
@@ -340,6 +362,11 @@ func (fw *Firewall) Close() error {
 		regs = append(regs, list...)
 	}
 	fw.mu.Unlock()
+	if fw.batch != nil {
+		// Push out queued frames before the registrations die; a flush
+		// failure at shutdown is already audited by the batcher.
+		_ = fw.batch.flushAll()
+	}
 	pend := fw.park.drain()
 	for _, r := range regs {
 		r.kill()
@@ -480,6 +507,18 @@ func (fw *Firewall) isLocal(u uri.URI) bool {
 // folder is overwritten with the authenticated sender URI, so receivers
 // can trust it. The target is read from _TARGET.
 func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
+	return fw.SendCtx(context.Background(), sender, bc)
+}
+
+// SendCtx is Send with cancellation: a context already done returns
+// its error before any mediation, and a remote forward's retry loop
+// checks the context between attempts — cancellation stops the
+// backoff, which on virtual clocks would otherwise advance simulated
+// time with no one waiting for the result.
+func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.Briefcase) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	fw.mu.RLock()
 	closed := fw.closed
 	fw.mu.RUnlock()
@@ -545,7 +584,17 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 		sp.End()
 		return fmt.Errorf("firewall: resolve %s: %w", target.Host, err)
 	}
-	frame := sealFrame(fw.cfg.ChannelSigner, bc.Encode())
+	// The frame is encoded into a pooled buffer: both transports (and
+	// the batch queue) copy the payload synchronously inside their call,
+	// so the buffer is recycled as soon as the frame is handed off. A
+	// sealed frame copies the payload one level down instead, and the
+	// pooled buffer is released right after sealing.
+	payload, release := bc.EncodePooled()
+	frame := sealFrame(fw.cfg.ChannelSigner, payload)
+	if fw.cfg.ChannelSigner != nil {
+		release()
+		release = func() {}
+	}
 	// The network transfer gets its own child span so per-hop migration
 	// cost splits into mediation versus wire time. Retries stay inside
 	// it: the wire time of a lossy hop includes its backoffs.
@@ -555,6 +604,32 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 		tsp = fw.tel.Spans().Start(fw.clock, fw.cfg.HostName, trace, sp.ID(), "net.transfer")
 		tsp.SetAttr("to", addr)
 		tsp.SetAttr("bytes", strconv.Itoa(len(frame)))
+	}
+	if fw.batch != nil {
+		// Batched mediation: the frame joins its link's queue instead of
+		// being a transport message of its own. Agent transfers flush
+		// inline so Go/Spawn keep synchronous error reporting.
+		err = fw.batch.enqueue(addr, frame, Kind(bc) == KindTransfer)
+		release()
+		if tsp != nil {
+			tsp.SetAttr("batched", "true")
+		}
+		tsp.SetErr(err)
+		tsp.End()
+		if err != nil {
+			fw.ctr.errors.Inc()
+			fw.event(telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
+			sp.SetErr(err)
+			sp.End()
+			return err
+		}
+		fw.ctr.forwarded.Inc()
+		fw.event(telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
+		sp.End()
+		if fw.histSend != nil {
+			fw.histSend.Observe(time.Since(t0))
+		}
+		return nil
 	}
 	policy := fw.forwardPolicy(bc)
 	attempts := policy.Attempts
@@ -567,6 +642,10 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 	for attempt = 1; ; attempt++ {
 		err = fw.cfg.Node.Send(addr, frame)
 		if err == nil || attempt >= attempts {
+			break
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			err = ctxErr
 			break
 		}
 		if policy.Deadline > 0 && fw.clock.Now()-start+backoff > policy.Deadline {
@@ -582,6 +661,7 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 			backoff *= 2
 		}
 	}
+	release()
 	if tsp != nil && attempt > 1 {
 		tsp.SetAttr("attempts", strconv.Itoa(attempt))
 	}
@@ -611,6 +691,16 @@ func (fw *Firewall) Send(sender uri.URI, bc *briefcase.Briefcase) error {
 // path that discards the briefcase emits an audit event: a mediating
 // reference monitor must not lose messages without a trace.
 func (fw *Firewall) handleInbound(from string, payload []byte) {
+	// A batch container is transport coalescing, not a message: unpack
+	// it and mediate every inner frame individually (dedup, channel
+	// auth, transfer auth, routing policy — the same single reference
+	// monitor per frame). Receivers unpack regardless of their own
+	// Batch setting, so a batching sender interoperates with a
+	// non-batching receiver.
+	if isBatchContainer(payload) {
+		fw.unbatch(from, payload)
+		return
+	}
 	var t0 time.Time
 	if fw.histInbound != nil {
 		t0 = time.Now()
@@ -656,7 +746,7 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 			fw.event(telemetry.EventDeny, sender.Principal, "", "transfer auth: "+err.Error())
 			sp.SetErr(err)
 			sp.End()
-			fw.replyError(bc, sender, fmt.Sprintf("transfer rejected: %v", err))
+			fw.replyError(bc, sender, fmt.Sprintf("transfer rejected: %v", err), err)
 			return
 		}
 	}
@@ -801,6 +891,7 @@ func (fw *Firewall) expire(p *pendingMsg) {
 	}
 	reason := fmt.Sprintf("message to %s expired after %v", p.target, fw.cfg.QueueTimeout)
 	report := errorReport(fw.selfURI().String(), sender.String(), reason)
+	SetErrorCode(report, ErrExpired)
 	if id, okID := p.bc.GetString(FolderMsgID); okID {
 		report.SetString(FolderReplyTo, id)
 	}
@@ -824,11 +915,16 @@ func (fw *Firewall) expire(p *pendingMsg) {
 }
 
 // replyError sends a KindError report back to sender (best effort).
-func (fw *Firewall) replyError(orig *briefcase.Briefcase, sender uri.URI, reason string) {
+// cause, when non-nil and registered, stamps the report's _ERRCODE so
+// the sender gets an errors.Is-able failure back.
+func (fw *Firewall) replyError(orig *briefcase.Briefcase, sender uri.URI, reason string, cause error) {
 	if sender.Name == "" && !sender.HasInstance && sender.Principal == "" {
 		return
 	}
 	report := errorReport(fw.selfURI().String(), sender.String(), reason)
+	if cause != nil {
+		SetErrorCode(report, cause)
+	}
 	if id, ok := orig.GetString(FolderMsgID); ok {
 		report.SetString(FolderReplyTo, id)
 	}
@@ -931,7 +1027,7 @@ func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Brief
 	}
 	if opErr != nil {
 		reply.SetString(FolderKind, KindError)
-		reply.SetString(briefcase.FolderSysError, opErr.Error())
+		SetError(reply, opErr)
 	} else {
 		f := reply.Ensure(FolderReply)
 		for _, row := range rows {

@@ -1,6 +1,7 @@
 package firewall
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -115,6 +116,13 @@ func (r *Registration) Inject(bc *briefcase.Briefcase) error {
 // wait forever), or the agent is killed. While the agent is stopped,
 // arrived briefcases are held and Recv does not return until resumed.
 func (r *Registration) Recv(timeout time.Duration) (*briefcase.Briefcase, error) {
+	return r.RecvCtx(context.Background(), timeout)
+}
+
+// RecvCtx is Recv with cancellation: the wait additionally ends when
+// ctx is done, returning its error. The timeout still applies (zero
+// means no deadline beyond the context's own).
+func (r *Registration) RecvCtx(ctx context.Context, timeout time.Duration) (*briefcase.Briefcase, error) {
 	var deadline <-chan time.Time
 	if timeout > 0 {
 		t := time.NewTimer(timeout)
@@ -137,6 +145,8 @@ func (r *Registration) Recv(timeout time.Duration) (*briefcase.Briefcase, error)
 				return nil, fmt.Errorf("%w: %s", ErrKilled, r.uri)
 			case <-deadline:
 				return nil, fmt.Errorf("%w: %s", ErrRecvTimeout, r.uri)
+			case <-ctx.Done():
+				return nil, ctx.Err()
 			}
 		}
 		select {
@@ -146,6 +156,8 @@ func (r *Registration) Recv(timeout time.Duration) (*briefcase.Briefcase, error)
 			return nil, fmt.Errorf("%w: %s", ErrKilled, r.uri)
 		case <-deadline:
 			return nil, fmt.Errorf("%w: %s", ErrRecvTimeout, r.uri)
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 }

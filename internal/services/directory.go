@@ -1,7 +1,6 @@
 package services
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,13 +58,13 @@ func (e dirEntry) render() string {
 func parseAttrs(bc *briefcase.Briefcase) (map[string]string, error) {
 	f, err := bc.Folder(FolderDirAttrs)
 	if err != nil {
-		return nil, errors.New("ag_dir: request without attributes")
+		return nil, fmt.Errorf("ag_dir: %w: request without attributes", ErrBadRequest)
 	}
 	attrs := make(map[string]string, f.Len())
 	for _, kv := range f.Strings() {
 		k, v, ok := strings.Cut(kv, "=")
 		if !ok || k == "" {
-			return nil, fmt.Errorf("ag_dir: bad attribute %q", kv)
+			return nil, fmt.Errorf("ag_dir: %w: bad attribute %q", ErrBadRequest, kv)
 		}
 		attrs[k] = v
 	}
@@ -81,7 +80,7 @@ func NewAgDir() vm.Handler {
 		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
 			sender, ok := req.GetString(briefcase.FolderSysSender)
 			if !ok {
-				return nil, errors.New("ag_dir: request without sender")
+				return nil, fmt.Errorf("ag_dir: %w: request without sender", ErrBadRequest)
 			}
 			op, _ := req.GetString(FolderOp)
 			resp := briefcase.New()
@@ -92,7 +91,7 @@ func NewAgDir() vm.Handler {
 					return nil, err
 				}
 				if len(attrs) == 0 {
-					return nil, errors.New("ag_dir: empty advertisement")
+					return nil, fmt.Errorf("ag_dir: %w: empty advertisement", ErrBadRequest)
 				}
 				entries[sender] = dirEntry{uri: sender, attrs: attrs}
 				resp.SetString("OK", sender)
@@ -126,7 +125,7 @@ func NewAgDir() vm.Handler {
 					matches.AppendString(r)
 				}
 			default:
-				return nil, fmt.Errorf("ag_dir: unknown operation %q", op)
+				return nil, fmt.Errorf("ag_dir: %w %q", ErrUnknownOp, op)
 			}
 			return resp, nil
 		})

@@ -52,23 +52,47 @@ const (
 // rpcTimeout bounds client-side service RPCs.
 const rpcTimeout = 5 * time.Second
 
+// Sentinel errors for the failure classes service agents report. They
+// are registered as wire codes below, so a client on another host gets
+// an errors.Is match against these same sentinels out of the reply
+// briefcase — no string matching on reason text.
+var (
+	// ErrNoSuchFile: ag_fs / ag_cabinet get or del of an absent path.
+	ErrNoSuchFile = errors.New("no such file")
+	// ErrUnknownOp: the request's _SVCOP names no operation of the service.
+	ErrUnknownOp = errors.New("unknown operation")
+	// ErrBadRequest: the request is missing a required folder or carries
+	// a malformed argument.
+	ErrBadRequest = errors.New("bad request")
+)
+
+func init() {
+	firewall.RegisterErrorCode("svc_no_such_file", ErrNoSuchFile)
+	firewall.RegisterErrorCode("svc_unknown_op", ErrUnknownOp)
+	firewall.RegisterErrorCode("svc_bad_request", ErrBadRequest)
+}
+
 // rpcErr folds a meet result into a single error: transport failures and
-// remote error reports both surface.
+// remote error reports both surface. A reply carrying an error comes
+// back as a *firewall.RemoteError, so errors.Is answers against the
+// sentinel the service classified the failure as.
 func rpcErr(resp *briefcase.Briefcase, err error) error {
 	if err != nil {
 		return err
 	}
-	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
-		return errors.New(msg)
+	if rerr, ok := firewall.RemoteErrorFrom(resp); ok {
+		return rerr
 	}
 	return nil
 }
 
-// respondErr builds an error reply for a service request.
+// respondErr builds an error reply for a service request, stamping the
+// registered wire code next to the reason so the requester can classify
+// the failure with errors.Is.
 func respondErr(ctx *agent.Context, req *briefcase.Briefcase, err error) {
 	resp := briefcase.New()
 	resp.SetString(firewall.FolderKind, firewall.KindError)
-	resp.SetString(briefcase.FolderSysError, err.Error())
+	firewall.SetError(resp, err)
 	_ = ctx.Reply(req, resp)
 }
 
@@ -121,7 +145,7 @@ func NewAgCC(execService string, timeout time.Duration, trace func(string)) vm.H
 	return func(ctx *agent.Context) error {
 		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
 			if !req.Has(briefcase.FolderCode) {
-				return nil, errors.New("ag_cc: request carries no CODE")
+				return nil, fmt.Errorf("ag_cc: %w: request carries no CODE", ErrBadRequest)
 			}
 			emit("extracted code")
 			// Step 3: ag_exec gets the same briefcase, which already
@@ -222,7 +246,7 @@ func NewAgExec(cfg ExecConfig) vm.Handler {
 			case "compile":
 				source, ok := req.GetString(briefcase.FolderCode)
 				if !ok {
-					return nil, errors.New("ag_exec: compile without CODE")
+					return nil, fmt.Errorf("ag_exec: %w: compile without CODE", ErrBadRequest)
 				}
 				arch := cfg.Arch
 				if a, ok := req.GetString(vm.FolderArch); ok {
@@ -291,7 +315,7 @@ func NewAgExec(cfg ExecConfig) vm.Handler {
 				return run, nil
 
 			default:
-				return nil, fmt.Errorf("ag_exec: unknown operation %q", op)
+				return nil, fmt.Errorf("ag_exec: %w %q", ErrUnknownOp, op)
 			}
 		})
 	}
@@ -318,10 +342,10 @@ func NewAgFS() vm.Handler {
 			case "put":
 				f, err := req.Folder(FolderData)
 				if err != nil {
-					return nil, errors.New("ag_fs: put without data")
+					return nil, fmt.Errorf("ag_fs: %w: put without data", ErrBadRequest)
 				}
 				if path == "" {
-					return nil, errors.New("ag_fs: put without path")
+					return nil, fmt.Errorf("ag_fs: %w: put without path", ErrBadRequest)
 				}
 				data, err := f.Element(0)
 				if err != nil {
@@ -332,12 +356,12 @@ func NewAgFS() vm.Handler {
 			case "get":
 				data, ok := files[path]
 				if !ok {
-					return nil, fmt.Errorf("ag_fs: no such file %q", path)
+					return nil, fmt.Errorf("ag_fs: %w %q", ErrNoSuchFile, path)
 				}
 				resp.Ensure(FolderData).Append(data)
 			case "del":
 				if _, ok := files[path]; !ok {
-					return nil, fmt.Errorf("ag_fs: no such file %q", path)
+					return nil, fmt.Errorf("ag_fs: %w %q", ErrNoSuchFile, path)
 				}
 				delete(files, path)
 				resp.SetString("OK", path)
@@ -349,7 +373,7 @@ func NewAgFS() vm.Handler {
 					}
 				}
 			default:
-				return nil, fmt.Errorf("ag_fs: unknown operation %q", op)
+				return nil, fmt.Errorf("ag_fs: %w %q", ErrUnknownOp, op)
 			}
 			return resp, nil
 		})
@@ -383,10 +407,10 @@ func NewAgCabinet(store *cabinet.Store) vm.Handler {
 			case "put":
 				f, err := req.Folder(FolderData)
 				if err != nil {
-					return nil, errors.New("ag_cabinet: put without data")
+					return nil, fmt.Errorf("ag_cabinet: %w: put without data", ErrBadRequest)
 				}
 				if path == "" {
-					return nil, errors.New("ag_cabinet: put without path")
+					return nil, fmt.Errorf("ag_cabinet: %w: put without path", ErrBadRequest)
 				}
 				data, err := f.Element(0)
 				if err != nil {
@@ -399,12 +423,12 @@ func NewAgCabinet(store *cabinet.Store) vm.Handler {
 			case "get":
 				data, ok := store.Get(cabinetKeyPrefix + path)
 				if !ok {
-					return nil, fmt.Errorf("ag_cabinet: no such file %q", path)
+					return nil, fmt.Errorf("ag_cabinet: %w %q", ErrNoSuchFile, path)
 				}
 				resp.Ensure(FolderData).Append(data)
 			case "del":
 				if _, ok := store.Get(cabinetKeyPrefix + path); !ok {
-					return nil, fmt.Errorf("ag_cabinet: no such file %q", path)
+					return nil, fmt.Errorf("ag_cabinet: %w %q", ErrNoSuchFile, path)
 				}
 				if err := store.Delete(cabinetKeyPrefix + path); err != nil {
 					return nil, fmt.Errorf("ag_cabinet: %w", err)
@@ -416,7 +440,7 @@ func NewAgCabinet(store *cabinet.Store) vm.Handler {
 					f.AppendString(name[len(cabinetKeyPrefix):])
 				}
 			default:
-				return nil, fmt.Errorf("ag_cabinet: unknown operation %q", op)
+				return nil, fmt.Errorf("ag_cabinet: %w %q", ErrUnknownOp, op)
 			}
 			return resp, nil
 		})
@@ -460,15 +484,15 @@ func NewAgCron() vm.Handler {
 		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
 			target, ok := req.GetString(FolderPath)
 			if !ok {
-				return nil, errors.New("ag_cron: no target")
+				return nil, fmt.Errorf("ag_cron: %w: no target", ErrBadRequest)
 			}
 			intervalNS, ok := req.GetInt(FolderInterval)
 			if !ok || intervalNS <= 0 {
-				return nil, errors.New("ag_cron: bad interval")
+				return nil, fmt.Errorf("ag_cron: %w: bad interval", ErrBadRequest)
 			}
 			count, ok := req.GetInt(FolderCount)
 			if !ok || count <= 0 {
-				return nil, errors.New("ag_cron: bad count")
+				return nil, fmt.Errorf("ag_cron: %w: bad count", ErrBadRequest)
 			}
 			payload := briefcase.New()
 			payload.SetString("CRON", "tick")
@@ -513,7 +537,7 @@ func NewAgMonitor(buffer int) (vm.Handler, <-chan MonitorEvent) {
 			}
 			status, ok := req.GetString(briefcase.FolderStatus)
 			if !ok {
-				return nil, errors.New("ag_monitor: report without STATUS")
+				return nil, fmt.Errorf("ag_monitor: %w: report without STATUS", ErrBadRequest)
 			}
 			from, _ := req.GetString(briefcase.FolderSysSender)
 			host, _ := req.GetString("HOST")

@@ -108,8 +108,8 @@ func (c *Checkpoint) snapshot(ctx *agent.Context, bc *briefcase.Briefcase) error
 	if err != nil {
 		return fmt.Errorf("checkpoint %s: %w", c.Path, err)
 	}
-	if msg, ok := resp.GetString(briefcase.FolderSysError); ok {
-		return fmt.Errorf("checkpoint %s: %s", c.Path, msg)
+	if rerr, ok := firewall.RemoteErrorFrom(resp); ok {
+		return fmt.Errorf("checkpoint %s: %w", c.Path, rerr)
 	}
 	return nil
 }

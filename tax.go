@@ -44,12 +44,16 @@
 package tax
 
 import (
+	"context"
+
 	"tax/internal/agent"
 	"tax/internal/briefcase"
 	"tax/internal/core"
 	"tax/internal/firewall"
 	"tax/internal/group"
 	"tax/internal/identity"
+	"tax/internal/rearguard"
+	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/uri"
 	"tax/internal/vm"
@@ -65,7 +69,38 @@ type (
 	// Node is one TAX host: firewall, VMs, services, stores.
 	Node = core.Node
 	// NodeOptions tunes one host at AddNode time.
+	//
+	// Deprecated: prefer System.AddNodeWith with Option values; the
+	// struct remains supported and the two styles are equivalent.
 	NodeOptions = core.NodeOptions
+	// Option tunes one host at AddNodeWith time (see WithBatching,
+	// WithSecureChannels, ...).
+	Option = core.Option
+	// BatchConfig tunes coalesced outbound mediation for WithBatching.
+	BatchConfig = firewall.BatchConfig
+	// RetryPolicy governs firewall forward retries.
+	RetryPolicy = firewall.RetryPolicy
+)
+
+// Functional node options, re-exported from core. Each sets one
+// NodeOptions field; see the core package for per-option documentation.
+var (
+	WithArch           = core.WithArch
+	WithBypass         = core.WithBypass
+	WithRequireAuth    = core.WithRequireAuth
+	WithQueueTimeout   = core.WithQueueTimeout
+	WithForwardRetry   = core.WithForwardRetry
+	WithDedupWindow    = core.WithDedupWindow
+	WithTrace          = core.WithTrace
+	WithoutServices    = core.WithoutServices
+	WithoutCVM         = core.WithoutCVM
+	WithNameService    = core.WithNameService
+	WithOnAgentDone    = core.WithOnAgentDone
+	WithSecureChannels = core.WithSecureChannels
+	WithTelemetry      = core.WithTelemetry
+	WithFsyncCost      = core.WithFsyncCost
+	WithSnapshotEvery  = core.WithSnapshotEvery
+	WithBatching       = core.WithBatching
 )
 
 // Agent-programming types.
@@ -113,9 +148,22 @@ func RunItinerary(ctx *Context, visit func(*Context) error) error {
 	return agent.RunItinerary(ctx, visit)
 }
 
+// RunItineraryContext is RunItinerary with cancellation: a cancelled
+// context stops the tour on the current host; the briefcase keeps its
+// remaining HOSTS so a later call can resume.
+func RunItineraryContext(ctx context.Context, ac *Context, visit func(*Context) error) error {
+	return agent.RunItineraryContext(ctx, ac, visit)
+}
+
 // SendStream ships a large payload as a chunked briefcase stream.
 func SendStream(ctx *Context, target, streamID string, data []byte, chunkSize int) error {
 	return agent.SendStream(ctx, target, streamID, data, chunkSize)
+}
+
+// SendStreamContext is SendStream with cancellation, checked between
+// chunks so a large transfer stops promptly.
+func SendStreamContext(ctx context.Context, ac *Context, target, streamID string, data []byte, chunkSize int) error {
+	return agent.SendStreamContext(ctx, ac, target, streamID, data, chunkSize)
 }
 
 // NewWrapperSpecs returns a registry generating wrapper stacks from
@@ -151,6 +199,72 @@ const (
 // ErrMoved is returned by Context.Go after a successful move; the agent
 // returns it from its handler to terminate the local instance.
 var ErrMoved = agent.ErrMoved
+
+// The error taxonomy. Every failure the platform reports wraps one of
+// these sentinels, so callers classify with errors.Is instead of
+// matching message strings — including failures that crossed the wire
+// as a KindError briefcase (see RemoteError).
+var (
+	// ErrNoMover: the hosting VM does not support relocation.
+	ErrNoMover = agent.ErrNoMover
+	// ErrStreamCorrupt: a chunked stream arrived damaged or incomplete.
+	ErrStreamCorrupt = agent.ErrStreamCorrupt
+
+	// ErrNoFolder / ErrNoElement: briefcase lookups that found nothing.
+	ErrNoFolder  = briefcase.ErrNoFolder
+	ErrNoElement = briefcase.ErrNoElement
+	// ErrCorrupt: a briefcase frame failed to decode.
+	ErrCorrupt = briefcase.ErrCorrupt
+
+	// ErrDenied: the reference monitor rejected the operation.
+	ErrDenied = firewall.ErrDenied
+	// ErrNoAgent: the target agent is not registered at the firewall.
+	ErrNoAgent = firewall.ErrNoAgent
+	// ErrNoTarget: the briefcase names no destination.
+	ErrNoTarget = firewall.ErrNoTarget
+	// ErrSenderGone: the sending registration disappeared mid-send.
+	ErrSenderGone = firewall.ErrSenderGone
+	// ErrKilled: the agent was terminated by a management operation.
+	ErrKilled = firewall.ErrKilled
+	// ErrRecvTimeout: a blocking receive ran out of time.
+	ErrRecvTimeout = firewall.ErrRecvTimeout
+	// ErrMailboxFull: the receiver's queue is at capacity.
+	ErrMailboxFull = firewall.ErrMailboxFull
+	// ErrExpired: a parked message outlived its grace period.
+	ErrExpired = firewall.ErrExpired
+	// ErrUnsigned: an agent core arrived without a required signature.
+	ErrUnsigned = firewall.ErrUnsigned
+	// ErrChannelAuth: inter-firewall channel authentication failed.
+	ErrChannelAuth = firewall.ErrChannelAuth
+
+	// ErrDropped / ErrHostDown / ErrPartitioned: the simulated network
+	// refused or lost the transfer.
+	ErrDropped     = simnet.ErrDropped
+	ErrHostDown    = simnet.ErrHostDown
+	ErrPartitioned = simnet.ErrPartitioned
+
+	// ErrNoSuchFile / ErrUnknownOp / ErrBadRequest: service-agent RPC
+	// failures (ag_fs, ag_cabinet, ag_exec, ag_dir, ...).
+	ErrNoSuchFile = services.ErrNoSuchFile
+	ErrUnknownOp  = services.ErrUnknownOp
+	ErrBadRequest = services.ErrBadRequest
+
+	// ErrUnrecovered / ErrRecoveryFailed: the rear guard gave up on a
+	// lost agent.
+	ErrUnrecovered    = rearguard.ErrUnrecovered
+	ErrRecoveryFailed = rearguard.ErrRecoveryFailed
+)
+
+// RemoteError is an error that crossed the wire as a KindError
+// briefcase. errors.Is matches it against the sentinel its _ERRCODE
+// names, so errors.Is(err, tax.ErrNoSuchFile) is true even though the
+// failure happened on another host.
+type RemoteError = firewall.RemoteError
+
+// RegisterErrorCode binds a stable wire code to a sentinel error so
+// application-defined failures survive the wire typed (see
+// firewall.RegisterErrorCode).
+func RegisterErrorCode(code string, sentinel error) { firewall.RegisterErrorCode(code, sentinel) }
 
 // Trust levels for System.NewPrincipal.
 const (

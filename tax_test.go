@@ -1,6 +1,7 @@
 package tax_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -84,6 +85,72 @@ func TestPublicSiteGeneration(t *testing.T) {
 	}
 	if site.PagesWithinDepth(4) != 917 {
 		t.Errorf("pages = %d", site.PagesWithinDepth(4))
+	}
+}
+
+// TestPublicTypedErrorsAndOptions proves the redesigned façade end to
+// end: a node configured with functional options (including batched
+// mediation) runs an agent whose cross-host RPC failure classifies with
+// errors.Is — the error crossed the wire as a KindError briefcase yet
+// still matches tax.ErrNoSuchFile — and whose context-first calls
+// observe cancellation.
+func TestPublicTypedErrorsAndOptions(t *testing.T) {
+	sys, err := tax.NewSystem(tax.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+	if _, err := sys.AddNode("home", tax.NodeOptions{NoCVM: true}); err != nil {
+		t.Fatal(err)
+	}
+	edge, err := sys.AddNodeWith("edge",
+		tax.WithoutCVM(),
+		tax.WithDedupWindow(256),
+		tax.WithBatching(tax.BatchConfig{MaxFrames: 1, FlushEvery: -1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edge.CVM != nil {
+		t.Error("WithoutCVM did not take")
+	}
+
+	type verdict struct {
+		typed     bool   // errors.Is(err, tax.ErrNoSuchFile) across the wire
+		cancelled bool   // RunItineraryContext saw context.Canceled
+		errText   string // for diagnostics
+	}
+	done := make(chan verdict, 1)
+	sys.DeployProgram("probe", func(ctx *tax.Context) error {
+		var v verdict
+		req := tax.NewBriefcase()
+		req.SetString("_SVCOP", "get")
+		req.SetString("_PATH", "/no/such/checkpoint")
+		_, err := ctx.MeetDirect("tacoma://home//ag_fs", req, 5*time.Second)
+		v.typed = errors.Is(err, tax.ErrNoSuchFile)
+		if err != nil {
+			v.errText = err.Error()
+		}
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		v.cancelled = errors.Is(tax.RunItineraryContext(cctx, ctx, nil), context.Canceled)
+		done <- v
+		return nil
+	})
+	bc := tax.NewBriefcase()
+	if _, err := edge.VM.Launch(sys.SystemPrincipal.Name(), "probe1", "probe", bc); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if !v.typed {
+			t.Errorf("remote ag_fs miss did not classify as ErrNoSuchFile (err: %s)", v.errText)
+		}
+		if !v.cancelled {
+			t.Error("RunItineraryContext ignored a cancelled context")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("probe agent stalled")
 	}
 }
 
