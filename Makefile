@@ -4,7 +4,7 @@ GO ?= go
 # chaos stress tests drive (internal/chaostest/parallel_test.go).
 CHAOS_PARALLEL ?= 16
 
-.PHONY: all build vet test race check ci chaos fuzz-short bench clean
+.PHONY: all build vet test race check ci chaos fuzz-short bench bench-check obsv-demo clean
 
 all: check
 
@@ -29,23 +29,25 @@ check: vet build race
 # flakes), the crash-point recovery sweep under the race detector
 # (fixed seeds 11 clean / 13 torn / 17 under faults / 19 every-byte
 # prefix, baked into internal/chaostest/crashpoint_test.go — reruns
-# crash at identical WAL boundaries), the parallel fleet benchmark
-# artifact, and the hotpath benchmark run twice: BENCH_hotpath.json
+# crash at identical WAL boundaries), the benchmark regression gate
+# (bench-check: fresh runs diffed against the committed BENCH_*.json
+# baselines, wall-clock fields excluded, exits non-zero on drift), and
+# the hotpath benchmark run twice into scratch files: BENCH_hotpath.json
 # holds only exact allocation counts and virtual-clock arithmetic, so
 # any byte difference between the two runs is a determinism regression
-# and fails the build.
+# and fails the build. The committed baselines are never overwritten.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "ci: staticcheck not installed, skipping"; fi
 	$(GO) test -race -count=2 ./...
 	$(GO) test -race -timeout 300s -count=1 -run 'CrashPoint' ./internal/chaostest/
-	$(GO) run ./cmd/taxbench -exp parallel
-	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json
-	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.rerun
-	cmp BENCH_hotpath.json BENCH_hotpath.json.rerun || \
-		{ echo "ci: BENCH_hotpath.json differs between runs (nondeterministic benchmark)"; exit 1; }
-	rm -f BENCH_hotpath.json.rerun
+	$(GO) run ./cmd/taxbench -check
+	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run1
+	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run2
+	cmp BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 || \
+		{ echo "ci: hotpath benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
+	rm -f BENCH_hotpath.json.run1 BENCH_hotpath.json.run2
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
@@ -78,6 +80,20 @@ fuzz-short:
 bench:
 	$(GO) run ./cmd/taxbench
 
+# bench-check is the benchmark regression gate: re-run the deterministic
+# experiments and diff against the committed BENCH_*.json baselines
+# (per-metric tolerance bands, wall-clock fields excluded). Non-zero
+# exit on drift; after an intentional perf change, regenerate the
+# baselines with `make bench` and commit them.
+bench-check:
+	$(GO) run ./cmd/taxbench -check
+
+# obsv-demo runs the observability showcase: a rear-guarded 3-hop
+# itinerary under seeded faults with a mid-run crash and restart, tower
+# enabled, printing the merged cross-host timeline (EXPERIMENTS E6).
+obsv-demo:
+	$(GO) run ./cmd/taxbench -exp obsv
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.rerun
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2

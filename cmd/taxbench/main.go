@@ -33,6 +33,17 @@
 // (-hotpath-json to override). Like durability, the JSON holds only
 // exact allocation counts and virtual-clock arithmetic, so reruns are
 // byte-identical; wall-clock ns/op appears in the printed table only.
+//
+// The obsv experiment runs the observability demo (EXPERIMENTS E6): a
+// rear-guarded faulty itinerary with a mid-run crash, tower enabled,
+// printing the merged cross-host timeline `taxctl explain` would serve.
+//
+// taxbench -check is the benchmark regression gate: it re-runs the
+// deterministic experiments behind the committed BENCH_*.json baselines
+// and diffs the fresh results against them (wall-clock fields excluded,
+// per-metric tolerance bands per internal/bench.SpecFor). Any drift
+// prints per-field diffs and exits non-zero; `make bench-check` wires it
+// into CI.
 package main
 
 import (
@@ -40,13 +51,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"tax/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, obsv, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
@@ -54,11 +66,86 @@ func main() {
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON results ('' disables)")
 	durabilityJSON := flag.String("durability-json", "BENCH_durability.json", "file for the durability experiment's JSON results ('' disables)")
 	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "file for the hotpath experiment's JSON results ('' disables)")
+	check := flag.Bool("check", false, "regression gate: re-run the deterministic experiments and diff against the committed BENCH_*.json baselines; non-zero exit on drift")
 	flag.Parse()
+	if *check {
+		if err := runCheck(); err != nil {
+			fmt.Fprintln(os.Stderr, "taxbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runCheck regenerates every gated benchmark into a temp dir and diffs it
+// against the committed baseline under that file's comparison spec.
+func runCheck() error {
+	regen := map[string]func(path string) error{
+		"BENCH_parallel.json": func(path string) error {
+			_, results, identical, err := bench.Parallel()
+			if err != nil {
+				return err
+			}
+			return writeParallelJSON(path, results, identical)
+		},
+		"BENCH_durability.json": func(path string) error {
+			_, results, err := bench.Durability()
+			if err != nil {
+				return err
+			}
+			return writeDurabilityJSON(path, results)
+		},
+		"BENCH_hotpath.json": func(path string) error {
+			_, result, err := bench.Hotpath()
+			if err != nil {
+				return err
+			}
+			return writeHotpathJSON(path, result)
+		},
+	}
+	tmp, err := os.MkdirTemp("", "taxbench-check-")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(tmp) }()
+	regressed := 0
+	for _, file := range bench.CheckedFiles() {
+		baseline, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w (run taxbench to regenerate it)", file, err)
+		}
+		fresh := filepath.Join(tmp, file)
+		if err := regen[file](fresh); err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		current, err := os.ReadFile(fresh)
+		if err != nil {
+			return err
+		}
+		spec, _ := bench.SpecFor(file)
+		diffs, err := bench.Check(baseline, current, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", file, err)
+		}
+		if len(diffs) == 0 {
+			fmt.Printf("taxbench: %-22s ok\n", file)
+			continue
+		}
+		regressed++
+		fmt.Printf("taxbench: %-22s REGRESSED (%d fields)\n", file, len(diffs))
+		for _, d := range diffs {
+			fmt.Println("    " + d.String())
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d of %d benchmark baselines drifted", regressed, len(bench.CheckedFiles()))
+	}
+	fmt.Println("taxbench: all benchmark baselines match")
+	return nil
 }
 
 func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON string) error {
@@ -129,6 +216,17 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", hotpathJSON)
 			}
+			return t, nil
+		}},
+		{"obsv", func() (*bench.Table, error) {
+			t, timeline, err := bench.Obsv()
+			if err != nil {
+				return nil, err
+			}
+			for _, line := range timeline {
+				fmt.Println(line)
+			}
+			fmt.Println()
 			return t, nil
 		}},
 		{"faults", func() (*bench.Table, error) {

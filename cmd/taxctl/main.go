@@ -9,6 +9,13 @@
 //	taxctl -node 127.0.0.1:27017 kill 'system/hello:3e9'
 //	taxctl -node 127.0.0.1:27017 metrics
 //	taxctl -node 127.0.0.1:27017 trace 't:h1:2a'
+//	taxctl -node 127.0.0.1:27017 explain            # latest trace
+//	taxctl -node 127.0.0.1:27017 explain 't:h1:2a'
+//
+// explain asks the node's tower collector (taxd -tower) for the merged
+// cross-host timeline of one trace: spans, firewall verdicts, fault
+// injections, crashes and cabinet flushes, causally ordered in virtual
+// time.
 package main
 
 import (
@@ -33,7 +40,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "reply timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace} [agent-uri|trace-id]")
+		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace|explain} [agent-uri|trace-id]")
 		os.Exit(2)
 	}
 	if err := run(*node, flag.Arg(0), flag.Arg(1), *timeout); err != nil {
@@ -109,10 +116,12 @@ func run(target, op, arg string, timeout time.Duration) error {
 		fwOp = firewall.OpMetrics
 	case "trace":
 		fwOp = firewall.OpTrace
+	case "explain":
+		fwOp = firewall.OpExplain
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}
-	if fwOp != firewall.OpList && fwOp != firewall.OpMetrics && arg == "" {
+	if fwOp != firewall.OpList && fwOp != firewall.OpMetrics && fwOp != firewall.OpExplain && arg == "" {
 		return fmt.Errorf("%s needs an argument", op)
 	}
 

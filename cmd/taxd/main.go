@@ -9,6 +9,18 @@
 //
 // The third invocation launches the figure-4 hello-world agent with the
 // given itinerary; watch it greet each node's stdout in turn.
+//
+// Observability (-telemetry implies a tower collector; -http and
+// -otlp-file imply -telemetry):
+//
+//	taxd -listen 127.0.0.1:27017 -http 127.0.0.1:9100 &
+//	curl http://127.0.0.1:9100/metrics   # Prometheus text exposition
+//	curl http://127.0.0.1:9100/traces    # OTLP/JSON trace export
+//	taxctl -node 127.0.0.1:27017 explain # merged timeline, latest trace
+//
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// -http listener (opt-in: profiling endpoints stay off by default).
+// -otlp-file writes one OTLP/JSON export on shutdown.
 package main
 
 import (
@@ -16,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -32,10 +46,21 @@ import (
 	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
+	"tax/internal/tower"
 	"tax/internal/uri"
 	"tax/internal/vclock"
 	"tax/internal/vm"
 )
+
+// obsvConfig groups the observability-export flags.
+type obsvConfig struct {
+	// httpAddr serves /metrics and /traces when non-empty.
+	httpAddr string
+	// pprofOn mounts net/http/pprof on the httpAddr listener.
+	pprofOn bool
+	// otlpFile receives one OTLP/JSON export on shutdown.
+	otlpFile string
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:27017", "address to listen on")
@@ -49,14 +74,21 @@ func main() {
 	fsyncCost := flag.Duration("fsync-cost", cabinet.DefaultSyncLatency, "modeled fsync latency of the node's file cabinet (slept for on a live node)")
 	snapEvery := flag.Int("snapshot-every", cabinet.DefaultSnapshotEvery, "cabinet transactions between WAL compactions (negative disables snapshots)")
 	batchFrames := flag.Int("batch", 0, "coalesce up to N outbound same-destination frames per network transfer (0 disables batching)")
+	httpAddr := flag.String("http", "", "serve observability over HTTP: /metrics (Prometheus text) and /traces (OTLP/JSON); implies -telemetry")
+	pprofOn := flag.Bool("pprof", false, "with -http: also mount net/http/pprof under /debug/pprof/")
+	otlpFile := flag.String("otlp-file", "", "write an OTLP/JSON trace export to this file on shutdown; implies -telemetry")
 	flag.Parse()
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames); err != nil {
+	obsv := obsvConfig{httpAddr: *httpAddr, pprofOn: *pprofOn, otlpFile: *otlpFile}
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames, obsv); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int, obsv obsvConfig) error {
+	if obsv.httpAddr != "" || obsv.otlpFile != "" {
+		telOn = true
+	}
 	var retryPolicy firewall.RetryPolicy
 	if retry != "" {
 		p, err := firewall.ParseRetryPolicy(retry)
@@ -93,8 +125,17 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 	trust.AddPrincipal(system, identity.System)
 
 	var tel *telemetry.Telemetry
+	var twr *tower.Collector
 	if telOn || telDump != "" {
 		tel = telemetry.New(telemetry.Options{Host: node.Addr(), Spans: telOn, Events: telOn})
+	}
+	if telOn {
+		// One-node tower: the collector still earns its keep as the flight
+		// recorder behind `taxctl explain` and the /metrics and /traces
+		// exports; multi-node merged timelines come from the simulation's
+		// core.EnableTower.
+		twr = tower.New(tower.Options{})
+		twr.Attach(tel)
 	}
 	// A real clock (not the default idle virtual one) so agent run
 	// times and trace spans carry wall-clock durations on live nodes —
@@ -108,6 +149,17 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 	}
 	if tel != nil {
 		cabOpts.Telemetry = tel.Registry()
+	}
+	if twr != nil {
+		cabOpts.Observer = func(op string, at time.Duration, seq uint64) {
+			twr.Record(tower.Entry{
+				Time:   at,
+				Host:   host,
+				Kind:   tower.KindCabinet,
+				Name:   op,
+				Detail: fmt.Sprintf("seq=%d", seq),
+			})
+		}
 	}
 	store := cabinet.NewStore(cabOpts)
 	fwCfg := firewall.Config{
@@ -124,6 +176,14 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		Telemetry:    tel,
 		ForwardRetry: retryPolicy,
 	}
+	if twr != nil {
+		fwCfg.Explain = func(traceID string) []string {
+			if traceID == "latest" {
+				traceID = twr.LatestTrace()
+			}
+			return twr.Trace(traceID).ExplainLines()
+		}
+	}
 	if batchFrames > 0 {
 		// Live nodes run on the real clock, so the defaults' real-time
 		// safety flush bounds the latency a coalesced frame can gain.
@@ -139,6 +199,20 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		stop := make(chan struct{})
 		defer close(stop)
 		go dumpTelemetry(fw.Telemetry(), telDump, telEvery, stop)
+	}
+	if obsv.httpAddr != "" {
+		srv := obsvServer(twr, obsv)
+		ln, err := net.Listen("tcp", obsv.httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http: %w", err)
+		}
+		defer func() { _ = srv.Close() }()
+		go func() {
+			if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "taxd: http:", err)
+			}
+		}()
+		fmt.Printf("taxd: observability on http://%s/metrics and /traces\n", ln.Addr())
 	}
 
 	programs := &vm.Registry{}
@@ -233,7 +307,57 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("taxd: shutting down")
+	if obsv.otlpFile != "" {
+		if err := writeOTLPFile(twr, obsv.otlpFile); err != nil {
+			fmt.Fprintln(os.Stderr, "taxd: otlp export:", err)
+		} else {
+			fmt.Println("taxd: wrote", obsv.otlpFile)
+		}
+	}
 	return nil
+}
+
+// obsvServer builds the observability HTTP handler: Prometheus text
+// metrics, OTLP/JSON traces, and (opt-in) the pprof endpoints.
+func obsvServer(twr *tower.Collector, obsv obsvConfig) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		twr.Pull()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := twr.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		twr.Pull()
+		w.Header().Set("Content-Type", "application/json")
+		if err := twr.WriteOTLP(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if obsv.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return &http.Server{Handler: mux}
+}
+
+// writeOTLPFile snapshots the collector's merged spans as one OTLP/JSON
+// export.
+func writeOTLPFile(twr *tower.Collector, path string) error {
+	twr.Pull()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := twr.WriteOTLP(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // dumpTelemetry periodically overwrites path with a JSON snapshot, and

@@ -14,7 +14,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -485,9 +484,12 @@ func (c *Context) propagateTrace(payload *briefcase.Briefcase) {
 	}
 }
 
-// nextMsgID returns a process-unique correlation id.
+// nextMsgID returns a process-unique correlation id. Fixed-width for the
+// same reason as trace ids (see telemetry.NewTraceID): the id travels in
+// the briefcase, so its length feeds the simulated transfer-time model and
+// must not vary with how many ids the process minted before.
 func nextMsgID() string {
-	return "m" + strconv.FormatUint(msgIDCounter.Add(1), 16)
+	return fmt.Sprintf("m%016x", msgIDCounter.Add(1))
 }
 
 // NextMsgID exposes id generation for movers and wrappers that speak the

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// CheckSpec is one benchmark file's comparison policy: which fields are
+// wall-clock noise to ignore, and which metrics get a relative tolerance
+// band. Every field not listed is deterministic (virtual-clock arithmetic,
+// exact counts) and must match the committed baseline exactly.
+type CheckSpec struct {
+	// Skip names fields excluded from comparison (wall-clock timings,
+	// timestamps — anything that legitimately differs between runs).
+	Skip map[string]bool
+	// Rel maps a field name to its allowed relative drift: |cur-base| <=
+	// Rel[f] * max(|base|, |cur|). Fields absent from Rel compare exactly.
+	Rel map[string]float64
+}
+
+// tolerance returns the relative band for a field (0 = exact).
+func (s CheckSpec) tolerance(field string) float64 { return s.Rel[field] }
+
+// Diff is one divergence between a baseline document and a current run.
+type Diff struct {
+	// Path locates the field, e.g. "results[2].wal_bytes".
+	Path string
+	// Baseline and Current are the rendered values ("<absent>" when a key
+	// or element exists on only one side).
+	Baseline, Current string
+}
+
+func (d Diff) String() string {
+	return fmt.Sprintf("%s: baseline %s, got %s", d.Path, d.Baseline, d.Current)
+}
+
+// SpecFor returns the comparison policy for a benchmark JSON file (matched
+// by base name) and whether the file is a known benchmark artifact.
+func SpecFor(file string) (CheckSpec, bool) {
+	switch filepath.Base(file) {
+	case "BENCH_parallel.json":
+		// wall_ms is wall-clock per sweep point; time is the write stamp.
+		return CheckSpec{Skip: map[string]bool{"time": true, "wall_ms": true}}, true
+	case "BENCH_durability.json", "BENCH_hotpath.json":
+		// Fully deterministic by construction: virtual-clock arithmetic and
+		// exact counts only, byte-identical across reruns.
+		return CheckSpec{}, true
+	case "BENCH_telemetry.json":
+		return CheckSpec{Skip: map[string]bool{
+			"time": true, "per_round_ns": true, "overhead_pct": true,
+		}}, true
+	case "BENCH_faults.json":
+		return CheckSpec{Skip: map[string]bool{"time": true, "mean_run_ms": true}}, true
+	}
+	return CheckSpec{}, false
+}
+
+// CheckedFiles lists the benchmark baselines the regression gate enforces:
+// the committed, deterministic artifacts `taxbench -check` regenerates and
+// diffs. (telemetry and faults files embed wall-clock results and are not
+// committed, so they are not gated.)
+func CheckedFiles() []string {
+	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json"}
+}
+
+// Check diffs a current benchmark document against its committed baseline
+// under a spec. It returns one Diff per divergence (empty means the gate
+// passes) and an error only when either document is not valid JSON.
+func Check(baseline, current []byte, spec CheckSpec) ([]Diff, error) {
+	var base, cur any
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return nil, fmt.Errorf("bench: baseline: %w", err)
+	}
+	if err := json.Unmarshal(current, &cur); err != nil {
+		return nil, fmt.Errorf("bench: current: %w", err)
+	}
+	var diffs []Diff
+	walk(&diffs, spec, "", "", base, cur)
+	return diffs, nil
+}
+
+// walk recursively compares two decoded JSON values. field is the nearest
+// enclosing object key (tolerances and skips attach to field names, not
+// full paths, so one band covers every array element).
+func walk(diffs *[]Diff, spec CheckSpec, path, field string, base, cur any) {
+	if spec.Skip[field] {
+		return
+	}
+	switch b := base.(type) {
+	case map[string]any:
+		c, ok := cur.(map[string]any)
+		if !ok {
+			*diffs = append(*diffs, Diff{path, render(base), render(cur)})
+			return
+		}
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		for k := range c {
+			if _, dup := b[k]; !dup {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			bv, inB := b[k]
+			cv, inC := c[k]
+			switch {
+			case !inB:
+				if !spec.Skip[k] {
+					*diffs = append(*diffs, Diff{p, "<absent>", render(cv)})
+				}
+			case !inC:
+				if !spec.Skip[k] {
+					*diffs = append(*diffs, Diff{p, render(bv), "<absent>"})
+				}
+			default:
+				walk(diffs, spec, p, k, bv, cv)
+			}
+		}
+	case []any:
+		c, ok := cur.([]any)
+		if !ok || len(b) != len(c) {
+			*diffs = append(*diffs, Diff{path, render(base), render(cur)})
+			return
+		}
+		for i := range b {
+			walk(diffs, spec, fmt.Sprintf("%s[%d]", path, i), field, b[i], c[i])
+		}
+	case float64:
+		c, ok := cur.(float64)
+		if !ok {
+			*diffs = append(*diffs, Diff{path, render(base), render(cur)})
+			return
+		}
+		tol := spec.tolerance(field)
+		if math.Abs(b-c) > tol*math.Max(math.Abs(b), math.Abs(c)) {
+			*diffs = append(*diffs, Diff{path, render(b), render(c)})
+		}
+	default:
+		// bool, string, nil: exact.
+		if base != cur {
+			*diffs = append(*diffs, Diff{path, render(base), render(cur)})
+		}
+	}
+}
+
+// render formats a decoded JSON value for a Diff message.
+func render(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	case string:
+		return strconv.Quote(x)
+	case bool:
+		return strconv.FormatBool(x)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("%v", v)
+	}
+	if len(out) > 64 {
+		out = append(out[:61], "..."...)
+	}
+	return string(out)
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+const checkBase = `{
+  "time": "2026-08-05T21:24:25Z",
+  "ok": true,
+  "results": [
+    {"workers": 1, "wall_ms": 24.9, "virtual_makespan_ms": 3968.149, "pages": 960},
+    {"workers": 2, "wall_ms": 16.8, "virtual_makespan_ms": 1985.277, "pages": 960}
+  ]
+}`
+
+func mustCheck(t *testing.T, baseline, current string, spec CheckSpec) []Diff {
+	t.Helper()
+	diffs, err := Check([]byte(baseline), []byte(current), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diffs
+}
+
+func TestCheckIdenticalPasses(t *testing.T) {
+	if diffs := mustCheck(t, checkBase, checkBase, CheckSpec{}); len(diffs) != 0 {
+		t.Errorf("identical docs diff: %v", diffs)
+	}
+}
+
+func TestCheckSkipsWallClockFields(t *testing.T) {
+	cur := strings.Replace(checkBase, `"wall_ms": 24.9`, `"wall_ms": 99.9`, 1)
+	cur = strings.Replace(cur, `"time": "2026-08-05T21:24:25Z"`, `"time": "2026-08-08T00:00:00Z"`, 1)
+	spec := CheckSpec{Skip: map[string]bool{"time": true, "wall_ms": true}}
+	if diffs := mustCheck(t, checkBase, cur, spec); len(diffs) != 0 {
+		t.Errorf("wall-clock drift reported: %v", diffs)
+	}
+	// Without the skips the same drift must be caught.
+	if diffs := mustCheck(t, checkBase, cur, CheckSpec{}); len(diffs) != 2 {
+		t.Errorf("unskipped drift diffs = %v, want 2", diffs)
+	}
+}
+
+func TestCheckCatchesDeterministicDrift(t *testing.T) {
+	cur := strings.Replace(checkBase, `"pages": 960}
+  ]`, `"pages": 959}
+  ]`, 1)
+	diffs := mustCheck(t, checkBase, cur, CheckSpec{Skip: map[string]bool{"time": true, "wall_ms": true}})
+	if len(diffs) != 1 {
+		t.Fatalf("diffs = %v, want exactly 1", diffs)
+	}
+	if diffs[0].Path != "results[1].pages" {
+		t.Errorf("diff path = %q, want results[1].pages", diffs[0].Path)
+	}
+	if !strings.Contains(diffs[0].String(), "baseline 960, got 959") {
+		t.Errorf("diff rendering = %q", diffs[0].String())
+	}
+}
+
+func TestCheckToleranceBands(t *testing.T) {
+	cur := strings.Replace(checkBase, "3968.149", "3970.0", 1)
+	spec := CheckSpec{Rel: map[string]float64{"virtual_makespan_ms": 0.01}}
+	if diffs := mustCheck(t, checkBase, cur, spec); len(diffs) != 0 {
+		t.Errorf("within-band drift reported: %v", diffs)
+	}
+	spec.Rel["virtual_makespan_ms"] = 0.0001
+	if diffs := mustCheck(t, checkBase, cur, spec); len(diffs) != 1 {
+		t.Errorf("out-of-band drift diffs = %v, want 1", diffs)
+	}
+}
+
+func TestCheckStructuralDrift(t *testing.T) {
+	missingKey := strings.Replace(checkBase, `"ok": true,`, ``, 1)
+	if diffs := mustCheck(t, checkBase, missingKey, CheckSpec{}); len(diffs) != 1 || diffs[0].Path != "ok" {
+		t.Errorf("missing-key diffs = %v", diffs)
+	}
+	extraKey := strings.Replace(checkBase, `"ok": true,`, `"ok": true, "extra": 1,`, 1)
+	if diffs := mustCheck(t, checkBase, extraKey, CheckSpec{}); len(diffs) != 1 || diffs[0].Path != "extra" {
+		t.Errorf("extra-key diffs = %v", diffs)
+	}
+	shorter := strings.Replace(checkBase, `,
+    {"workers": 2, "wall_ms": 16.8, "virtual_makespan_ms": 1985.277, "pages": 960}`, ``, 1)
+	if diffs := mustCheck(t, checkBase, shorter, CheckSpec{}); len(diffs) != 1 || diffs[0].Path != "results" {
+		t.Errorf("array-length diffs = %v", diffs)
+	}
+	typeChange := strings.Replace(checkBase, `"ok": true`, `"ok": "true"`, 1)
+	if diffs := mustCheck(t, checkBase, typeChange, CheckSpec{}); len(diffs) != 1 {
+		t.Errorf("type-change diffs = %v", diffs)
+	}
+}
+
+func TestCheckInvalidJSON(t *testing.T) {
+	if _, err := Check([]byte("{"), []byte("{}"), CheckSpec{}); err == nil {
+		t.Error("corrupt baseline accepted")
+	}
+	if _, err := Check([]byte("{}"), []byte("{"), CheckSpec{}); err == nil {
+		t.Error("corrupt current accepted")
+	}
+}
+
+func TestSpecForKnowsGatedFiles(t *testing.T) {
+	for _, f := range CheckedFiles() {
+		if _, ok := SpecFor(f); !ok {
+			t.Errorf("no spec for gated file %s", f)
+		}
+	}
+	if _, ok := SpecFor("BENCH_unknown.json"); ok {
+		t.Error("spec invented for unknown file")
+	}
+	spec, _ := SpecFor("path/to/BENCH_parallel.json")
+	if !spec.Skip["wall_ms"] {
+		t.Error("parallel spec must skip wall_ms")
+	}
+}

@@ -80,6 +80,9 @@ type Disk struct {
 	syncs   int64
 }
 
+// Clock returns the clock the disk charges its latencies against.
+func (d *Disk) Clock() vclock.Clock { return d.cfg.Clock }
+
 // NewDisk creates an empty disk.
 func NewDisk(cfg DiskConfig) *Disk {
 	if cfg.Clock == nil {

@@ -39,6 +39,13 @@ type Options struct {
 	Telemetry *telemetry.Registry
 	// Host labels the telemetry series.
 	Host string
+	// Observer, when set, is called once per durability action —
+	// "wal_append", "fsync", "snapshot", "recover" — with the disk's
+	// virtual time after the action and the store's committed sequence
+	// number. Calls happen outside the store lock, in action order per
+	// goroutine; a flight recorder uses it to interleave durability work
+	// with the itinerary timeline.
+	Observer func(op string, at time.Duration, seq uint64)
 }
 
 // DefaultSnapshotEvery is the WAL-transactions-per-snapshot compaction
@@ -207,12 +214,23 @@ func (s *Store) commit(ops []Op, sync bool) error {
 		s.walAppends.Inc()
 	}
 	s.sinceSnap++
-	snap := s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery
-	if snap {
-		s.snapshotLocked()
+	snapped := false
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		snapped = s.snapshotLocked()
 	}
 	hook := s.hook
+	obs := s.opts.Observer
 	s.mu.Unlock()
+	if obs != nil {
+		now := s.disk.Clock().Now()
+		obs("wal_append", now, seq)
+		if sync {
+			obs("fsync", now, seq)
+		}
+		if snapped {
+			obs("snapshot", now, seq)
+		}
+	}
 	if hook != nil {
 		hook(seq)
 	}
@@ -223,41 +241,48 @@ func (s *Store) commit(ops []Op, sync bool) error {
 // fsynced, renamed over the snapshot, and the WAL truncated.
 func (s *Store) Snapshot() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.disk.Crashed() {
+		s.mu.Unlock()
 		return ErrCrashed
 	}
-	s.snapshotLocked()
+	snapped := s.snapshotLocked()
+	seq := s.seq
+	obs := s.opts.Observer
+	s.mu.Unlock()
+	if snapped && obs != nil {
+		obs("snapshot", s.disk.Clock().Now(), seq)
+	}
 	return nil
 }
 
-// snapshotLocked writes the snapshot under s.mu. A crash between the
-// rename and the truncate leaves WAL records the snapshot already
-// covers; replay skips them by sequence number, so the pair need not be
-// atomic together.
-func (s *Store) snapshotLocked() {
+// snapshotLocked writes the snapshot under s.mu, reporting whether it
+// completed. A crash between the rename and the truncate leaves WAL
+// records the snapshot already covers; replay skips them by sequence
+// number, so the pair need not be atomic together.
+func (s *Store) snapshotLocked() bool {
 	if err := s.disk.Truncate(snapTmpFile); err != nil {
-		return // crashed mid-sequence; recovery ignores snap.tmp
+		return false // crashed mid-sequence; recovery ignores snap.tmp
 	}
 	if s.disk.Append(snapTmpFile, encodeSnapshot(s.seq, s.table)) != nil {
-		return
+		return false
 	}
 	if s.disk.Sync(snapTmpFile) != nil {
-		return
+		return false
 	}
 	if s.fsyncs != nil {
 		s.fsyncs.Inc()
 	}
 	if s.disk.Rename(snapTmpFile, snapFile) != nil {
-		return
+		return false
 	}
 	if s.disk.Truncate(walFile) != nil {
-		return
+		return false
 	}
 	s.sinceSnap = 0
 	if s.snapshots != nil {
 		s.snapshots.Inc()
 	}
+	return true
 }
 
 // Reopen recovers the store after a disk Crash: the disk is brought
@@ -266,7 +291,14 @@ func (s *Store) snapshotLocked() {
 // the recovery duration charged to the host clock.
 func (s *Store) Reopen() (time.Duration, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	defer func() {
+		seq := s.seq
+		obs := s.opts.Observer
+		s.mu.Unlock()
+		if obs != nil {
+			obs("recover", s.disk.Clock().Now(), seq)
+		}
+	}()
 	cost := s.disk.Reopen()
 	snapBytes, _ := s.disk.DurableBytes(snapFile)
 	walBytes, _ := s.disk.DurableBytes(walFile)

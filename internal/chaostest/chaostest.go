@@ -24,6 +24,7 @@ import (
 	"tax/internal/firewall"
 	"tax/internal/rearguard"
 	"tax/internal/simnet"
+	"tax/internal/tower"
 	"tax/internal/wrapper"
 )
 
@@ -65,6 +66,10 @@ type Scenario struct {
 	// WaitTimeout bounds the whole run (default 20s); expiry surfaces
 	// as rearguard.ErrWaitTimeout in Result.Err, never as a test hang.
 	WaitTimeout time.Duration
+	// Observability enables the tower: per-host telemetry feeding a
+	// system-wide collector, the fault plan journaling into its flight
+	// recorder, and Result carrying the run's rendered merged timeline.
+	Observability bool
 }
 
 // Result is the observable outcome of one run.
@@ -85,6 +90,12 @@ type Result struct {
 	Skipped []string
 	// FaultLog is the plan's canonical JSON log (see faults.LogJSON).
 	FaultLog []byte
+	// TraceID is the itinerary's trace id (Observability scenarios only).
+	TraceID string
+	// Timeline is the tower's rendered merged timeline for TraceID
+	// (Observability scenarios only). Ids are masked in rendering, so the
+	// same seed yields byte-identical lines across runs.
+	Timeline []string
 }
 
 // Completed reports whether the itinerary reached its done report.
@@ -138,6 +149,10 @@ func Run(sc Scenario) (Result, error) {
 		return Result{}, err
 	}
 	defer s.Close()
+	var twr *tower.Collector
+	if sc.Observability {
+		twr = s.EnableTower()
+	}
 	for i, h := range append([]string{home}, Stops...) {
 		opts := core.NodeOptions{NoCVM: true, DedupWindow: 256}
 		if i == 0 {
@@ -156,6 +171,27 @@ func Run(sc Scenario) (Result, error) {
 		MaxDelay:  sc.MaxDelay,
 		Corrupt:   sc.Corrupt,
 	})
+	if twr != nil {
+		// Scheduled topology faults journal as they apply. Crash/restart are
+		// skipped: the core crash/restart hooks already journal those, and a
+		// double entry would shift the rendered timeline.
+		plan.SetApplyObserver(func(ev faults.Event) {
+			if ev.Op == faults.OpCrash || ev.Op == faults.OpRestart {
+				return
+			}
+			detail := ""
+			if ev.B != "" {
+				detail = "peer=" + ev.B
+			}
+			twr.Record(tower.Entry{
+				Time:   ev.At,
+				Host:   ev.A,
+				Kind:   tower.KindFault,
+				Name:   ev.Op,
+				Detail: detail,
+			})
+		})
+	}
 	plan.Schedule(sc.Events...)
 	plan.Bind(s.Net)
 
@@ -233,6 +269,12 @@ func Run(sc Scenario) (Result, error) {
 		stops.AppendString(stopURI(stop))
 	}
 	firewall.SetRetryPolicy(bc, sc.Retry)
+	var traceID string
+	if sc.Observability {
+		// Root the whole itinerary in one trace so the tower's merged
+		// timeline reads every hop, mediation and recovery as one story.
+		traceID = agent.StampTrace(bc, home)
+	}
 
 	if _, err := guard.Launch(bc); err != nil {
 		return Result{}, err
@@ -244,7 +286,16 @@ func Run(sc Scenario) (Result, error) {
 	// the store after completion, and its RPC reply travels back).
 	// Settle until the fault log stops growing before snapshotting it,
 	// so the same seed yields the same — complete — canonical log.
-	settle := func() int { return len(plan.Log()) }
+	settle := func() int {
+		n := len(plan.Log())
+		if twr != nil {
+			// The timeline must also be complete: spans and journal entries
+			// arrive via push feeds that can trail the guard's done report.
+			spans, journal := twr.Counts()
+			n += spans + int(journal)
+		}
+		return n
+	}
 	for last, stable := settle(), 0; stable < 3; {
 		time.Sleep(10 * time.Millisecond)
 		if n := settle(); n != last {
@@ -267,6 +318,10 @@ func Run(sc Scenario) (Result, error) {
 		Effects:    copyCounts(effects),
 		Skipped:    append([]string(nil), skipped...),
 		FaultLog:   logJSON,
+	}
+	if twr != nil {
+		res.TraceID = traceID
+		res.Timeline = twr.Trace(traceID).ExplainLines()
 	}
 	sort.Strings(res.Skipped)
 	return res, nil

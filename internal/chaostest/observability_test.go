@@ -1,0 +1,110 @@
+package chaostest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// rawID matches the fixed-width ids minted by the telemetry layer.
+var rawID = regexp.MustCompile(`\b(?:[ts]:[^\s:]*:[0-9a-f]{16}|m[0-9a-f]{16})\b`)
+
+// obsScenario is the canonical observability run: a guarded 3-hop tour
+// under seeded message faults, with one mid-itinerary crash and restart —
+// the scenario `taxctl explain` demos and EXPERIMENTS E6 measures.
+func obsScenario(seed int64) Scenario {
+	return Scenario{
+		Seed:           seed,
+		Drop:           0.1,
+		Delay:          0.2,
+		CrashOnArrival: "h2",
+		RestartDelay:   50 * time.Millisecond,
+		HopDeadline:    400 * time.Millisecond,
+		Observability:  true,
+	}
+}
+
+// TestObservabilityTimelineDeterministic is the acceptance bar for the
+// tower: the merged cross-host timeline of a faulty, crash-interrupted
+// itinerary renders byte-identical across reruns with the same seed. Ids
+// are masked in rendering (counter values differ between in-process runs);
+// everything else — virtual timestamps, hosts, kinds, names, details,
+// durations, row order — must match exactly.
+func TestObservabilityTimelineDeterministic(t *testing.T) {
+	first, err := Run(obsScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Completed() {
+		t.Fatalf("run did not complete: %v", first.Err)
+	}
+	if first.TraceID == "" {
+		t.Fatal("observability run carried no trace id")
+	}
+	if len(first.Timeline) < 2 {
+		t.Fatalf("timeline too small: %q", first.Timeline)
+	}
+
+	second, err := Run(obsScenario(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Completed() {
+		t.Fatalf("second run did not complete: %v", second.Err)
+	}
+	a, b := strings.Join(first.Timeline, "\n"), strings.Join(second.Timeline, "\n")
+	if a != b {
+		t.Errorf("same seed, different timelines:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestObservabilityTimelineContent checks the merged timeline actually
+// tells the story: spans from more than one host, the crash and restart
+// journal entries for the crashed stop, and masked ids.
+func TestObservabilityTimelineContent(t *testing.T) {
+	res, err := Run(obsScenario(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed() {
+		t.Fatalf("run did not complete: %v", res.Err)
+	}
+	joined := strings.Join(res.Timeline, "\n")
+	for _, want := range []string{"crash", "restart", "span", "net.transfer"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("timeline missing %q:\n%s", want, joined)
+		}
+	}
+	// Raw trace/span/message ids must never render: their counter values
+	// differ between in-process runs, so rendering masks them («id»).
+	if rawID.MatchString(joined) {
+		t.Errorf("timeline leaks a raw id: %q", rawID.FindString(joined))
+	}
+	hosts := map[string]bool{}
+	for _, line := range res.Timeline[1:] {
+		for _, h := range append([]string{home}, Stops...) {
+			if strings.Contains(line, " "+h+" ") {
+				hosts[h] = true
+			}
+		}
+	}
+	if len(hosts) < 2 {
+		t.Errorf("timeline covers %d hosts, want >= 2:\n%s", len(hosts), joined)
+	}
+	if !strings.HasPrefix(res.Timeline[0], "timeline: ") {
+		t.Errorf("missing summary header: %q", res.Timeline[0])
+	}
+}
+
+// TestObservabilityOffCarriesNoTimeline: without the flag, the run pays
+// nothing and reports nothing.
+func TestObservabilityOffCarriesNoTimeline(t *testing.T) {
+	res, err := Run(Scenario{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID != "" || res.Timeline != nil {
+		t.Errorf("tower output without Observability: trace=%q timeline=%v", res.TraceID, res.Timeline)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
+	"tax/internal/tower"
 	"tax/internal/vm"
 	"tax/internal/wrapper"
 )
@@ -111,9 +112,16 @@ type Node struct {
 	// node is volatile.
 	Cabinet *cabinet.Store
 
-	sys  *System
-	opts NodeOptions
+	sys    *System
+	opts   NodeOptions
+	tel    *telemetry.Telemetry
+	ownTel bool // tel is exclusive to this host (tower mode): a crash wipes it
 }
+
+// Telemetry returns the telemetry instance this node reports into: the
+// per-host instance in tower mode, else the shared or configured one (nil
+// when telemetry was never enabled).
+func (n *Node) Telemetry() *telemetry.Telemetry { return n.tel }
 
 // Recover relaunches an agent from a checkpoint stored by the
 // wrapper.Checkpoint passive-replication wrapper: the snapshot is read
@@ -189,6 +197,7 @@ type System struct {
 	mu    sync.Mutex
 	nodes map[string]*Node
 	tel   *telemetry.Telemetry
+	twr   *tower.Collector
 }
 
 // NewSystem creates an empty deployment whose host pairs default to the
@@ -233,6 +242,57 @@ func (s *System) Telemetry() *telemetry.Telemetry {
 	return s.tel
 }
 
+// EnableTower turns on the observability tower: every node added afterwards
+// gets its own host-labelled telemetry instance (spans and events on) whose
+// records push into a system-wide tower.Collector, and the infrastructure —
+// simulated network faults, cabinet durability work, host crashes and
+// restarts — journals into the collector's flight recorder. The shared
+// EnableTelemetry instance is still created for network link counters and is
+// attached to the collector under its "system" host label. The collector
+// answers the firewall's OpExplain management operation on every node.
+// Call before AddNode. Idempotent; returns the collector.
+func (s *System) EnableTower() *tower.Collector {
+	s.EnableTelemetry()
+	s.mu.Lock()
+	if s.twr != nil {
+		c := s.twr
+		s.mu.Unlock()
+		return c
+	}
+	c := tower.New(tower.Options{})
+	s.twr = c
+	tel := s.tel
+	s.mu.Unlock()
+	c.Attach(tel)
+	// Fault-plan decisions that actually touched a transfer (drop,
+	// duplicate, delay, corrupt) journal against the sending host, stamped
+	// with the trace context the firewall threaded through SendTraced.
+	s.Net.SetFaultObserver(func(p simnet.FaultPoint) {
+		detail := "to=" + p.To
+		if p.Detail != "" {
+			detail += " " + p.Detail
+		}
+		c.Record(tower.Entry{
+			Time:   p.Time,
+			Host:   p.From,
+			Kind:   tower.KindFault,
+			Name:   p.Kind,
+			Detail: detail,
+			Trace:  p.Trace,
+			Span:   p.Span,
+		})
+	})
+	return c
+}
+
+// Tower returns the system-wide tower collector (nil unless EnableTower
+// was called). A nil collector is safe to call.
+func (s *System) Tower() *tower.Collector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.twr
+}
+
 // AddNode boots a host: simulated machine, firewall, VMs and the
 // standard service agents.
 func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
@@ -250,14 +310,35 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 			return nil, err
 		}
 	}
+	twr := s.Tower()
 	nodeTel := opts.Telemetry
 	if nodeTel == nil {
-		nodeTel = s.Telemetry()
+		if twr != nil {
+			// Tower mode: each host reports into its own instance so span
+			// and event feeds carry the host label and a crash wipes only
+			// the crashed host's rings.
+			nodeTel = telemetry.New(telemetry.Options{Host: name, Spans: true, Events: true})
+			twr.Attach(nodeTel)
+		} else {
+			nodeTel = s.Telemetry()
+		}
 	}
 	disk := cabinet.NewDisk(cabinet.DiskConfig{
 		Clock:       host.Clock(),
 		SyncLatency: opts.FsyncCost,
 	})
+	var cabObserver func(op string, at time.Duration, seq uint64)
+	if twr != nil {
+		cabObserver = func(op string, at time.Duration, seq uint64) {
+			twr.Record(tower.Entry{
+				Time:   at,
+				Host:   name,
+				Kind:   tower.KindCabinet,
+				Name:   op,
+				Detail: fmt.Sprintf("seq=%d", seq),
+			})
+		}
+	}
 	store := cabinet.NewStore(cabinet.Options{
 		Clock:         host.Clock(),
 		Disk:          disk,
@@ -265,7 +346,17 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		SnapshotEvery: opts.SnapshotEvery,
 		Telemetry:     nodeTel.Registry(),
 		Host:          name,
+		Observer:      cabObserver,
 	})
+	var explain func(traceID string) []string
+	if twr != nil {
+		explain = func(traceID string) []string {
+			if traceID == "latest" {
+				traceID = twr.LatestTrace()
+			}
+			return twr.Trace(traceID).ExplainLines()
+		}
+	}
 	fw, err := firewall.New(firewall.Config{
 		HostName:        name,
 		Node:            host,
@@ -284,6 +375,7 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		Batch:         opts.Batch,
 		Telemetry:     nodeTel,
 		Durable:       store,
+		Explain:       explain,
 	})
 	if err != nil {
 		return nil, err
@@ -301,6 +393,8 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		Cabinet:      store,
 		sys:          s,
 		opts:         opts,
+		tel:          nodeTel,
+		ownTel:       twr != nil && opts.Telemetry == nil,
 	}
 	node.VM, err = vm.New(vm.Config{
 		FW:          fw,
@@ -357,6 +451,19 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 // the VM control loops and every in-flight agent context on this host
 // observe a kill and exit.
 func (n *Node) crash() {
+	// Journal the crash first: the collector already holds everything the
+	// host pushed before this instant, and the entry marks where the
+	// surviving spans were cut off.
+	n.sys.Tower().Record(tower.Entry{
+		Time:   n.Host.Clock().Now(),
+		Host:   n.Name,
+		Kind:   tower.KindCrash,
+		Name:   "crash",
+		Detail: "volatile state lost",
+	})
+	if n.ownTel {
+		n.tel.WipeVolatile()
+	}
 	n.Disk.Crash()
 	n.FW.CrashWipe()
 }
@@ -368,6 +475,13 @@ func (n *Node) crash() {
 // parked messages, so parks addressed to freshly re-registered services
 // deliver immediately instead of waiting out their timeout.
 func (n *Node) restart() {
+	n.sys.Tower().Record(tower.Entry{
+		Time:   n.Host.Clock().Now(),
+		Host:   n.Name,
+		Kind:   tower.KindRestart,
+		Name:   "restart",
+		Detail: "rebooting from durable state",
+	})
 	if _, err := n.Cabinet.Reopen(); err != nil {
 		// Recovery is total by construction (corrupt tails are truncated,
 		// corrupt snapshots fall back to WAL); an error here means the

@@ -93,8 +93,9 @@ type Plan struct {
 	pairs   map[[2]string]*pairState
 	events  []Event // sorted by At, stable
 	nextEv  int
-	applied []Event
-	records []Record
+	applied  []Event
+	records  []Record
+	applyObs func(Event)
 }
 
 var _ simnet.Injector = (*Plan)(nil)
@@ -175,6 +176,18 @@ func (p *Plan) Decide(from, to string, now time.Duration, size int) simnet.Decis
 	return d
 }
 
+// SetApplyObserver installs fn, called once per scheduled event as it
+// fires (after the network call that applied it). It runs while p.mu is
+// held, so fn must be quick and must not call back into the plan; an
+// observability plane uses it to journal topology events (partition/heal
+// — crash/restart reach the journal through the network's own hooks, so
+// observers typically skip those to avoid double entries).
+func (p *Plan) SetApplyObserver(fn func(Event)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyObs = fn
+}
+
 // applyDueLocked fires scheduled events whose time has come. Callers
 // hold p.mu; the network lock is taken by the calls below, never the
 // other way around.
@@ -196,6 +209,9 @@ func (p *Plan) applyDueLocked(now time.Duration) {
 			p.net.Heal(ev.A, ev.B)
 		}
 		p.applied = append(p.applied, ev)
+		if p.applyObs != nil {
+			p.applyObs(ev)
+		}
 	}
 }
 

@@ -238,6 +238,8 @@ func (b *batcher) flushLocked(lb *linkBatch) error {
 	}
 	fw.ctr.batchFlushes.Inc()
 	fw.ctr.batchFrames.Add(int64(frames))
+	fw.event(telemetry.EventFlush, fw.cfg.SystemPrincipal, lb.addr,
+		fmt.Sprintf("%d frames, %d bytes", frames, len(container)))
 	return nil
 }
 

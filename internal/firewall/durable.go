@@ -86,7 +86,7 @@ func (fw *Firewall) journalPark(p *pendingMsg, target uri.URI) {
 	key := parkKeyPrefix + strconv.FormatUint(fw.parkKeySeq, 16)
 	fw.parkKeyMu.Unlock()
 	if err := st.Put(key, encodeParkRecord(p.senderPrincipal, target, p.bc)); err != nil {
-		fw.event(telemetry.EventError, p.senderPrincipal, target.String(), "park journal: "+err.Error())
+		fw.eventBC(p.bc, telemetry.EventError, p.senderPrincipal, target.String(), "park journal: "+err.Error())
 		return
 	}
 	p.key = key
@@ -191,9 +191,9 @@ func (fw *Firewall) RecoverDurable() int {
 			fw.event(telemetry.EventError, "", key, "bad park record: "+err.Error())
 			continue
 		}
-		fw.event(telemetry.EventRecover, principal, target.String(), "park entry recovered from cabinet")
+		fw.eventBC(bc, telemetry.EventRecover, principal, target.String(), "park entry recovered from cabinet")
 		if err := fw.routeLocal(principal, target, bc); err != nil {
-			fw.event(telemetry.EventError, principal, target.String(), "recovered park re-route: "+err.Error())
+			fw.eventBC(bc, telemetry.EventError, principal, target.String(), "recovered park re-route: "+err.Error())
 		}
 		n++
 	}

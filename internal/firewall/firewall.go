@@ -125,6 +125,12 @@ type Config struct {
 	// compatibility view always works); pass a telemetry.New instance with
 	// spans/events enabled for full observability.
 	Telemetry *telemetry.Telemetry
+	// Explain, when set, serves the OpExplain management operation: given
+	// a trace id ("latest" for the most recent), it returns the rendered
+	// system-wide timeline, one line per row. The core layer wires it to
+	// the tower collector; the firewall itself has only a per-host view
+	// and cannot answer.
+	Explain func(traceID string) []string
 }
 
 // Stats is the legacy counter view, retained as a compatibility facade
@@ -308,6 +314,39 @@ func (fw *Firewall) event(typ, principal, target, cause string) {
 	})
 }
 
+// eventBC is event with the briefcase's trace context stamped on the audit
+// record, correlating the mediation verdict with the itinerary that
+// provoked it. Call it from every verdict site where the briefcase is in
+// hand; fall back to event only where no briefcase exists (undecodable
+// frames, link-level batch failures).
+func (fw *Firewall) eventBC(bc *briefcase.Briefcase, typ, principal, target, cause string) {
+	trace, span := traceCtx(bc)
+	fw.eventTS(trace, span, typ, principal, target, cause)
+}
+
+// traceCtx reads the briefcase's trace stamp. Audit records written after a
+// successful deliver must read the stamp *before* handing the briefcase
+// over: once it is in the receiver's mailbox the receiving goroutine owns
+// it and may mutate folders concurrently.
+func traceCtx(bc *briefcase.Briefcase) (trace, span string) {
+	trace, _ = bc.GetString(briefcase.FolderSysTrace)
+	span, _ = bc.GetString(briefcase.FolderSysSpan)
+	return trace, span
+}
+
+// eventTS is eventBC with an already-extracted trace stamp.
+func (fw *Firewall) eventTS(trace, span, typ, principal, target, cause string) {
+	ev := fw.tel.Events()
+	if ev == nil {
+		return
+	}
+	ev.Append(telemetry.Event{
+		Time: fw.clock.Now(), Type: typ,
+		Principal: principal, Target: target, Cause: cause,
+		Trace: trace, Span: span,
+	})
+}
+
 // span opens a mediation span when span collection is on and the briefcase
 // carries a trace context; otherwise it returns the nil no-op span.
 func (fw *Firewall) span(bc *briefcase.Briefcase, name string) *telemetry.Span {
@@ -415,12 +454,13 @@ func (fw *Firewall) Register(vmName, principal, name string) (*Registration, err
 	for _, p := range flush {
 		p.timer.Stop()
 		fw.unjournalPark(p)
+		trace, span := traceCtx(p.bc)
 		if err := r.deliver(p.bc); err == nil {
 			fw.ctr.delivered.Inc()
-			fw.event(telemetry.EventAllow, r.uri.Principal, r.uri.String(), "unparked on registration")
+			fw.eventTS(trace, span, telemetry.EventAllow, r.uri.Principal, r.uri.String(), "unparked on registration")
 		} else {
 			fw.ctr.errors.Inc()
-			fw.event(telemetry.EventDrop, r.uri.Principal, r.uri.String(), "unpark failed: "+err.Error())
+			fw.eventTS(trace, span, telemetry.EventDrop, r.uri.Principal, r.uri.String(), "unpark failed: "+err.Error())
 		}
 	}
 	return r, nil
@@ -546,20 +586,20 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		fw.mu.RUnlock()
 		if !alive {
 			fw.ctr.errors.Inc()
-			fw.event(telemetry.EventDeny, sender.Principal, sender.String(), "send from dead registration")
+			fw.eventBC(bc, telemetry.EventDeny, sender.Principal, sender.String(), "send from dead registration")
 			return fmt.Errorf("%w: %s", ErrSenderGone, sender)
 		}
 	}
 	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
 	if !ok {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventError, sender.Principal, "", "briefcase has no target")
+		fw.eventBC(bc, telemetry.EventError, sender.Principal, "", "briefcase has no target")
 		return ErrNoTarget
 	}
 	target, err := uri.Parse(targetStr)
 	if err != nil {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventError, sender.Principal, targetStr, "bad target: "+err.Error())
+		fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "bad target: "+err.Error())
 		return fmt.Errorf("firewall: bad target: %w", err)
 	}
 	bc.SetString(briefcase.FolderSysSender, sender.String())
@@ -579,7 +619,7 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 	addr, err := fw.cfg.Resolve(target.Host, target.EffectivePort())
 	if err != nil {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventError, sender.Principal, targetStr, "resolve: "+err.Error())
+		fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "resolve: "+err.Error())
 		sp.SetErr(err)
 		sp.End()
 		return fmt.Errorf("firewall: resolve %s: %w", target.Host, err)
@@ -618,13 +658,13 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		tsp.End()
 		if err != nil {
 			fw.ctr.errors.Inc()
-			fw.event(telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
+			fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
 			sp.SetErr(err)
 			sp.End()
 			return err
 		}
 		fw.ctr.forwarded.Inc()
-		fw.event(telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
+		fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
 		sp.End()
 		if fw.histSend != nil {
 			fw.histSend.Observe(time.Since(t0))
@@ -638,9 +678,19 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 	}
 	backoff := policy.Backoff
 	start := fw.clock.Now()
+	// Traced transports learn which itinerary this transfer belongs to, so
+	// fault injections on the wire are journaled under the right trace. The
+	// context rides out of band: payload bytes (and thus simulated transfer
+	// cost) are identical either way.
+	tracedNode, nodeTraced := fw.cfg.Node.(simnet.TracedNode)
+	traceID, _ := bc.GetString(briefcase.FolderSysTrace)
 	var attempt int
 	for attempt = 1; ; attempt++ {
-		err = fw.cfg.Node.Send(addr, frame)
+		if nodeTraced && traceID != "" {
+			err = tracedNode.SendTraced(addr, frame, traceID, tsp.ID())
+		} else {
+			err = fw.cfg.Node.Send(addr, frame)
+		}
 		if err == nil || attempt >= attempts {
 			break
 		}
@@ -652,7 +702,7 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 			break
 		}
 		fw.ctr.retries.Inc()
-		fw.event(telemetry.EventRetry, sender.Principal, targetStr,
+		fw.eventBC(bc, telemetry.EventRetry, sender.Principal, targetStr,
 			fmt.Sprintf("attempt %d/%d failed (%v); backing off %v", attempt, attempts, err, backoff))
 		// The host clock pays the backoff: virtual clocks advance without
 		// sleeping, real clocks really wait.
@@ -669,9 +719,9 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 	tsp.End()
 	if err != nil {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
+		fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
 		if policy.Enabled() {
-			fw.event(telemetry.EventGiveUp, sender.Principal, targetStr,
+			fw.eventBC(bc, telemetry.EventGiveUp, sender.Principal, targetStr,
 				fmt.Sprintf("forward abandoned after %d attempts: %v", attempt, err))
 		}
 		sp.SetErr(err)
@@ -679,7 +729,7 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
 	}
 	fw.ctr.forwarded.Inc()
-	fw.event(telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
+	fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
 	sp.End()
 	if fw.histSend != nil {
 		fw.histSend.Observe(time.Since(t0))
@@ -743,7 +793,7 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	if Kind(bc) == KindTransfer && fw.cfg.RequireAuth {
 		if _, err := VerifyCore(bc, fw.cfg.Trust, identity.Untrusted); err != nil {
 			fw.ctr.authFailures.Inc()
-			fw.event(telemetry.EventDeny, sender.Principal, "", "transfer auth: "+err.Error())
+			fw.eventBC(bc, telemetry.EventDeny, sender.Principal, "", "transfer auth: "+err.Error())
 			sp.SetErr(err)
 			sp.End()
 			fw.replyError(bc, sender, fmt.Sprintf("transfer rejected: %v", err), err)
@@ -754,7 +804,7 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	targetStr, ok := bc.GetString(briefcase.FolderSysTarget)
 	if !ok {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventDrop, sender.Principal, "", "inbound briefcase has no target")
+		fw.eventBC(bc, telemetry.EventDrop, sender.Principal, "", "inbound briefcase has no target")
 		sp.SetAttr("outcome", "dropped")
 		sp.End()
 		return
@@ -765,7 +815,7 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 		// traffic (the location-transparent wrapper handles forwarding
 		// above the firewall).
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventDrop, sender.Principal, targetStr, "target not on this host")
+		fw.eventBC(bc, telemetry.EventDrop, sender.Principal, targetStr, "target not on this host")
 		sp.SetAttr("outcome", "dropped")
 		sp.End()
 		return
@@ -795,7 +845,7 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 	fw.mu.RLock()
 	if fw.closed {
 		fw.mu.RUnlock()
-		fw.event(telemetry.EventDrop, senderPrincipal, target.String(), "firewall closed")
+		fw.eventBC(bc, telemetry.EventDrop, senderPrincipal, target.String(), "firewall closed")
 		sp.SetErr(ErrClosed)
 		sp.End()
 		return ErrClosed
@@ -816,23 +866,31 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 		fw.parkMsg(senderPrincipal, target, bc)
 		fw.mu.RUnlock()
 		fw.ctr.queued.Inc()
-		fw.event(telemetry.EventPark, senderPrincipal, target.String(), "receiver not registered")
+		fw.eventBC(bc, telemetry.EventPark, senderPrincipal, target.String(), "receiver not registered")
 		sp.SetAttr("outcome", "parked")
 		sp.End()
 		return nil
 	}
 	fw.mu.RUnlock()
 
+	trace, span := traceCtx(bc)
 	if err := chosen.deliver(bc); err != nil {
 		fw.ctr.errors.Inc()
-		fw.event(telemetry.EventDrop, senderPrincipal, target.String(), err.Error())
+		fw.eventTS(trace, span, telemetry.EventDrop, senderPrincipal, target.String(), err.Error())
 		sp.SetErr(err)
 		sp.End()
 		return err
 	}
 	fw.clock.Advance(fw.cfg.LocalHopCost)
 	fw.ctr.delivered.Inc()
-	fw.event(telemetry.EventAllow, senderPrincipal, chosen.uri.String(), "")
+	// The allow record carries the matched decision: which registration the
+	// query resolved to and how, so an explain timeline shows the verdict
+	// inline rather than a bare "allow".
+	detail := "matched " + strconv.Itoa(len(matches))
+	if target.HasInstance && chosen.uri.Instance == target.Instance {
+		detail = "exact instance"
+	}
+	fw.eventTS(trace, span, telemetry.EventAllow, senderPrincipal, chosen.uri.String(), detail)
 	sp.End()
 	return nil
 }
@@ -870,7 +928,7 @@ func (fw *Firewall) expire(p *pendingMsg) {
 	}
 	fw.unjournalPark(p)
 	fw.ctr.expired.Inc()
-	fw.event(telemetry.EventExpire, p.senderPrincipal, p.target.String(),
+	fw.eventBC(p.bc, telemetry.EventExpire, p.senderPrincipal, p.target.String(),
 		fmt.Sprintf("queue timeout after %v", fw.cfg.QueueTimeout))
 	if Kind(p.bc) == KindError {
 		// An expired error envelope gets one last delivery attempt — its
@@ -979,6 +1037,11 @@ const (
 	OpMetrics = "metrics"
 	// OpTrace asks for the spans of one trace id (in _ARG).
 	OpTrace = "trace"
+	// OpExplain asks for the system-wide merged timeline of one trace id
+	// (in _ARG; "latest" selects the most recent trace). Served by the
+	// tower collector through Config.Explain; fails when no tower is
+	// attached.
+	OpExplain = "explain"
 )
 
 // Management folder names.
@@ -997,7 +1060,7 @@ func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Brief
 	op, _ := bc.GetString(FolderOp)
 
 	required := identity.System
-	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace {
+	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace || op == OpExplain {
 		required = identity.Trusted
 	}
 	var opErr error
@@ -1064,7 +1127,8 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 		}
 		for k, h := range snap.Histograms {
 			rows = append(rows, "histogram|"+k+"|count="+strconv.FormatInt(h.Count, 10)+
-				"|sum="+h.Sum.String())
+				"|sum="+h.Sum.String()+
+				"|p50="+h.P50.String()+"|p95="+h.P95.String()+"|p99="+h.P99.String())
 		}
 		sort.Strings(rows)
 		return rows, nil
@@ -1088,6 +1152,15 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 			}, "|"))
 		}
 		return rows, nil
+	case OpExplain:
+		if fw.cfg.Explain == nil {
+			return nil, errors.New("firewall: no tower collector attached (explain unavailable)")
+		}
+		traceID, ok := bc.GetString(FolderArg)
+		if !ok || traceID == "" {
+			traceID = "latest"
+		}
+		return fw.cfg.Explain(traceID), nil
 	case OpRuntime, OpKill, OpStop, OpResume:
 		argStr, ok := bc.GetString(FolderArg)
 		if !ok {

@@ -381,12 +381,18 @@ func (g *Guard) recover(cause string) bool {
 
 	tel := g.cfg.FW.Telemetry()
 	tel.Registry().Counter("rearguard.recoveries", "host", g.cfg.FW.HostName()).Inc()
+	// The snapshot briefcase carries the itinerary's trace context, so the
+	// recovery verdict lands on the right timeline in a merged view.
+	trace, _ := snap.GetString(briefcase.FolderSysTrace)
+	span, _ := snap.GetString(briefcase.FolderSysSpan)
 	tel.Events().Append(telemetry.Event{
 		Time:      g.cfg.FW.Clock().Now(),
 		Type:      telemetry.EventRecover,
 		Principal: g.cfg.Principal,
 		Target:    g.cfg.AgentName,
 		Cause:     cause,
+		Trace:     trace,
+		Span:      span,
 	})
 
 	if _, err := g.cfg.Launch(g.cfg.Principal, g.cfg.AgentName, g.cfg.Program, snap); err != nil {

@@ -67,6 +67,23 @@ type Injector interface {
 	Decide(from, to string, now time.Duration, size int) Decision
 }
 
+// FaultPoint is one injected fault actually applied to a transfer,
+// reported to the fault observer: which directed link, when (sender's
+// virtual time at the injection decision), what was done, and the trace
+// context the payload was carrying (empty for untraced traffic). It is
+// what lets an observability plane answer "this hop was slow because the
+// plan delayed it", rather than just "it was slow".
+type FaultPoint struct {
+	From, To string
+	Time     time.Duration
+	// Kind is "drop", "duplicate", "delay" or "corrupt". A decision that
+	// combines several produces one FaultPoint per aspect.
+	Kind   string
+	Detail string
+	Trace  string
+	Span   string
+}
+
 // Node is the transport endpoint the TAX firewall binds to: one per host,
 // addressed by name, delivering opaque payloads. Both the simulated Host
 // and the TCP node implement it.
@@ -83,6 +100,17 @@ type Node interface {
 	SetHandler(h func(from string, payload []byte))
 	// Close shuts the node down; further sends fail with ErrClosed.
 	Close() error
+}
+
+// TracedNode is a Node that can carry trace context alongside a transfer,
+// so fault injections on the wire are attributable to the itinerary that
+// suffered them. The context rides out of band — it does not change the
+// payload or its simulated cost. Senders (the firewall) type-assert for it
+// and fall back to plain Send when absent.
+type TracedNode interface {
+	Node
+	// SendTraced is Send with the payload's active trace/span attached.
+	SendTraced(to string, payload []byte, traceID, spanID string) error
 }
 
 // Profile describes one link class: how long a message of a given size
@@ -165,6 +193,7 @@ type Network struct {
 	onCrash        map[string]func()
 	onRestart      map[string]func()
 	inj            Injector
+	faultObs       func(FaultPoint)
 	closed         bool
 
 	tel *telemetry.Telemetry
@@ -214,6 +243,16 @@ func (n *Network) SetInjector(inj Injector) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.inj = inj
+}
+
+// SetFaultObserver installs (or, with nil, removes) the callback invoked
+// once per fault aspect actually applied to a transfer. The callback runs
+// outside the network lock, on the sender's goroutine, and must not call
+// back into Send.
+func (n *Network) SetFaultObserver(fn func(FaultPoint)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faultObs = fn
 }
 
 // SetTelemetry attaches a telemetry instance: per-link message and byte
@@ -478,6 +517,18 @@ func (h *Host) Send(to string, payload []byte) error {
 
 // SendTimed is Send returning the virtual arrival time.
 func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
+	return h.sendTimed(to, payload, "", "")
+}
+
+// SendTraced is Send with trace context attached for fault attribution.
+func (h *Host) SendTraced(to string, payload []byte, traceID, spanID string) error {
+	_, err := h.sendTimed(to, payload, traceID, spanID)
+	return err
+}
+
+var _ TracedNode = (*Host)(nil)
+
+func (h *Host) sendTimed(to string, payload []byte, traceID, spanID string) (time.Duration, error) {
 	select {
 	case <-h.done:
 		return 0, ErrClosed
@@ -490,10 +541,42 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	// scheduled fault events as the sender's virtual time passes them.
 	n.mu.Lock()
 	inj := n.inj
+	faultObs := n.faultObs
 	n.mu.Unlock()
 	var dec Decision
+	decidedAt := h.clock.Now()
 	if inj != nil && h.name != to {
-		dec = inj.Decide(h.name, to, h.clock.Now(), len(payload))
+		dec = inj.Decide(h.name, to, decidedAt, len(payload))
+	}
+	// observe reports each applied fault aspect once the transfer is known
+	// to have reached the wire (decisions on sends that fail validation —
+	// crashed peer, partition — never took effect and are not reported).
+	observe := func() {
+		if faultObs == nil {
+			return
+		}
+		point := FaultPoint{From: h.name, To: to, Time: decidedAt, Trace: traceID, Span: spanID}
+		if dec.Drop {
+			p := point
+			p.Kind = "drop"
+			faultObs(p)
+		}
+		if dec.Duplicate {
+			p := point
+			p.Kind = "duplicate"
+			faultObs(p)
+		}
+		if dec.Delay > 0 {
+			p := point
+			p.Kind = "delay"
+			p.Detail = "by=" + dec.Delay.String()
+			faultObs(p)
+		}
+		if dec.Corrupt {
+			p := point
+			p.Kind = "corrupt"
+			faultObs(p)
+		}
 	}
 
 	n.mu.Lock()
@@ -550,6 +633,7 @@ func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
 	hist.Observe(arrive - depart)
 
 	h.clock.AdvanceTo(txEnd)
+	observe()
 	if dec.Drop {
 		// The link time was spent, but the message is lost in flight.
 		return 0, fmt.Errorf("%w: %s -> %s", ErrDropped, h.name, to)

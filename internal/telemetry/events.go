@@ -32,10 +32,18 @@ const (
 	// EventRecover records a rear-guard restoring an agent from its last
 	// checkpoint after declaring a hop dead.
 	EventRecover = "recover"
+	// EventFlush records a batched-mediation flush pushing a container of
+	// coalesced frames onto one link.
+	EventFlush = "flush"
 )
 
 // Event is one structured audit-log entry.
 type Event struct {
+	// Seq is the event's position in its log's append order (1-based),
+	// stamped by Append. It makes ring-buffer wraparound observable: the
+	// retained window is always the contiguous tail of the sequence, and
+	// consumers that merge several logs deduplicate by (host, seq).
+	Seq uint64 `json:"seq"`
 	// Time is the recording host's virtual time.
 	Time time.Duration `json:"time"`
 	// Type is one of the Event* constants.
@@ -46,6 +54,11 @@ type Event struct {
 	Target string `json:"target,omitempty"`
 	// Cause explains the decision ("mailbox full", "queue timeout", ...).
 	Cause string `json:"cause,omitempty"`
+	// Trace and Span carry the trace context active when the event was
+	// recorded ("" for untraced traffic), correlating every mediation
+	// verdict with the itinerary that provoked it.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // EventLog is a bounded ring buffer of events: the newest Cap entries are
@@ -55,6 +68,7 @@ type EventLog struct {
 	buf   []Event
 	next  int
 	total uint64
+	sink  func(Event)
 }
 
 // NewEventLog returns a log keeping the newest cap events (default 1024
@@ -66,20 +80,46 @@ func NewEventLog(capacity int) *EventLog {
 	return &EventLog{buf: make([]Event, 0, capacity)}
 }
 
-// Append records one event.
+// SetSink installs fn, called once per appended event after its Seq is
+// stamped. The call happens outside the log's lock, so a sink may inspect
+// the log; sink invocations from concurrent appenders may therefore be
+// observed out of Seq order — order-sensitive consumers sort by Seq.
+func (l *EventLog) SetSink(fn func(Event)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
+	l.mu.Unlock()
+}
+
+// Append records one event, stamping its sequence number.
 func (l *EventLog) Append(e Event) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.total++
+	e.Seq = l.total
 	if len(l.buf) < cap(l.buf) {
 		l.buf = append(l.buf, e)
 	} else {
 		l.buf[l.next] = e
 		l.next = (l.next + 1) % cap(l.buf)
 	}
-	l.total++
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		sink(e)
+	}
+}
+
+// Cap returns the ring capacity (0 on nil).
+func (l *EventLog) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return cap(l.buf)
 }
 
 // Total returns the number of events ever appended (including overwritten
@@ -95,13 +135,35 @@ func (l *EventLog) Total() uint64 {
 
 // Snapshot returns the retained events, oldest first.
 func (l *EventLog) Snapshot() []Event {
+	s, _ := l.SnapshotTotal()
+	return s
+}
+
+// SnapshotTotal returns the retained events (oldest first) together with
+// the total ever appended, read under one lock — the two are mutually
+// consistent even while concurrent appends wrap the ring, which separate
+// Snapshot and Total calls cannot guarantee.
+func (l *EventLog) SnapshotTotal() ([]Event, uint64) {
 	if l == nil {
-		return nil
+		return nil, 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	out := make([]Event, 0, len(l.buf))
 	out = append(out, l.buf[l.next:]...)
 	out = append(out, l.buf[:l.next]...)
-	return out
+	return out, l.total
+}
+
+// Reset discards the retained events, as a host crash discards any other
+// volatile state. The sequence counter keeps advancing across the wipe so
+// post-crash events never reuse a pre-crash Seq.
+func (l *EventLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = l.buf[:0]
+	l.next = 0
 }

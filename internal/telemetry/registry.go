@@ -142,6 +142,54 @@ type HistogramSnapshot struct {
 	Count int64 `json:"count"`
 	// Sum is the total observed time in nanoseconds.
 	Sum time.Duration `json:"sum"`
+	// P50, P95 and P99 are quantile estimates derived from the buckets
+	// (linear interpolation inside the landing bucket; an observation in
+	// the overflow bucket reports the last boundary). Zero when empty.
+	P50 time.Duration `json:"p50,omitempty"`
+	P95 time.Duration `json:"p95,omitempty"`
+	P99 time.Duration `json:"p99,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (q in (0, 1]) from the bucket
+// counts. The estimate interpolates linearly between the landing bucket's
+// boundaries; observations beyond the last boundary clamp to it, so the
+// estimate never invents a value the buckets cannot support.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count <= 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < target {
+			cum += c
+			continue
+		}
+		var lo time.Duration
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: unbounded above, clamp to the last boundary.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		hi := s.Bounds[i]
+		frac := float64(target-cum) / float64(c)
+		return lo + time.Duration(float64(hi-lo)*frac)
+	}
+	if len(s.Bounds) > 0 {
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	return 0
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -154,6 +202,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 

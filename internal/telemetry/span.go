@@ -1,7 +1,7 @@
 package telemetry
 
 import (
-	"strconv"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,13 +13,17 @@ import (
 var idCounter atomic.Uint64
 
 // NewTraceID mints a fresh trace id. The prefix (typically a host name)
-// keeps ids from different processes distinct in a TCP deployment.
+// keeps ids from different processes distinct in a TCP deployment. The
+// suffix is fixed-width: ids ride inside briefcase folders, so in the
+// simulated network their length feeds the payload-size → transfer-time
+// model — variable-width ids would make virtual timings depend on how many
+// ids the process happened to mint before, breaking seeded determinism.
 func NewTraceID(prefix string) string {
-	return "t:" + prefix + ":" + strconv.FormatUint(idCounter.Add(1), 16)
+	return fmt.Sprintf("t:%s:%016x", prefix, idCounter.Add(1))
 }
 
 func newSpanID(prefix string) string {
-	return "s:" + prefix + ":" + strconv.FormatUint(idCounter.Add(1), 16)
+	return fmt.Sprintf("s:%s:%016x", prefix, idCounter.Add(1))
 }
 
 // SpanRecord is one finished span: a named interval on a host's virtual
@@ -27,6 +31,10 @@ func newSpanID(prefix string) string {
 // agent hops, firewall mediations, VM activations — renders as one tree
 // under a single trace id.
 type SpanRecord struct {
+	// Seq is the record's position in its store's append order (1-based),
+	// stamped when the span ends. See Event.Seq for why: it makes ring
+	// wraparound observable and lets collectors deduplicate by (host, seq).
+	Seq     uint64 `json:"seq"`
 	TraceID string `json:"trace"`
 	SpanID  string `json:"span"`
 	// Parent is the parent span id; empty marks a trace root.
@@ -96,6 +104,21 @@ type SpanStore struct {
 	buf   []SpanRecord
 	next  int
 	total uint64
+	sink  func(SpanRecord)
+}
+
+// SetSink installs fn, called once per committed span after its Seq is
+// stamped. The call happens outside the store's lock (see EventLog.SetSink
+// for the ordering caveat). The tower collector uses this as its
+// push-on-span-end feed, so spans reach the system-wide view even if the
+// recording host later crashes and wipes its volatile ring.
+func (st *SpanStore) SetSink(fn func(SpanRecord)) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.sink = fn
+	st.mu.Unlock()
 }
 
 // NewSpanStore returns a store keeping the newest cap spans (default 4096
@@ -129,14 +152,19 @@ func (st *SpanStore) Start(clock vclock.Clock, host, traceID, parent, name strin
 
 func (st *SpanStore) add(rec SpanRecord) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.total++
+	rec.Seq = st.total
 	if len(st.buf) < cap(st.buf) {
 		st.buf = append(st.buf, rec)
 	} else {
 		st.buf[st.next] = rec
 		st.next = (st.next + 1) % cap(st.buf)
 	}
-	st.total++
+	sink := st.sink
+	st.mu.Unlock()
+	if sink != nil {
+		sink(rec)
+	}
 }
 
 // Total returns the number of spans ever recorded (including overwritten
@@ -152,15 +180,36 @@ func (st *SpanStore) Total() uint64 {
 
 // Snapshot returns the retained spans, oldest first.
 func (st *SpanStore) Snapshot() []SpanRecord {
+	s, _ := st.SnapshotTotal()
+	return s
+}
+
+// SnapshotTotal returns the retained spans (oldest first) together with the
+// total ever recorded, read under one lock so the pair is consistent even
+// mid-wrap under concurrent appends.
+func (st *SpanStore) SnapshotTotal() ([]SpanRecord, uint64) {
 	if st == nil {
-		return nil
+		return nil, 0
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	out := make([]SpanRecord, 0, len(st.buf))
 	out = append(out, st.buf[st.next:]...)
 	out = append(out, st.buf[:st.next]...)
-	return out
+	return out, st.total
+}
+
+// Reset discards the retained spans (a crashed host's volatile ring). The
+// sequence counter keeps advancing so post-crash spans never reuse a
+// pre-crash Seq.
+func (st *SpanStore) Reset() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.buf = st.buf[:0]
+	st.next = 0
 }
 
 // ForTrace returns the retained spans of one trace, oldest first.

@@ -94,6 +94,19 @@ func (t *Telemetry) Events() *EventLog {
 	return t.events
 }
 
+// WipeVolatile discards the retained spans and events, modelling a host
+// crash losing its in-memory rings. Metrics (plain counters) survive — they
+// carry no history to lose — and the id/sequence counters keep advancing so
+// nothing recorded after a restart collides with what a collector already
+// pulled before the crash.
+func (t *Telemetry) WipeVolatile() {
+	if t == nil {
+		return
+	}
+	t.spans.Reset()
+	t.events.Reset()
+}
+
 // Detailed reports whether span collection is on — instrumentation uses it
 // to gate work (wall-clock reads, attribute formatting) that only matters
 // when full telemetry is enabled.

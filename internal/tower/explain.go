@@ -1,0 +1,264 @@
+package tower
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"tax/internal/telemetry"
+)
+
+// Row is one line of a merged timeline: a span interval or a journal entry,
+// normalized for canonical ordering and deterministic rendering.
+type Row struct {
+	// Time is the row's virtual-clock instant (a span's start).
+	Time time.Duration `json:"time"`
+	// Host is the recording host.
+	Host string `json:"host"`
+	// Kind is "span" or a journal Kind* constant.
+	Kind string `json:"kind"`
+	// Name is the span name or journal entry name.
+	Name string `json:"name"`
+	// Detail is the masked attribute/detail text (ids redacted — see
+	// maskIDs — so two seeded reruns render byte-identical rows).
+	Detail string `json:"detail,omitempty"`
+	// Dur is the span duration (0 for journal entries).
+	Dur time.Duration `json:"dur,omitempty"`
+}
+
+// Timeline is the merged, causally-ordered view of one trace.
+type Timeline struct {
+	// Spans and Entries count what the timeline merged.
+	Spans   int `json:"spans"`
+	Entries int `json:"entries"`
+	// Elapsed is the span window: max end minus min start.
+	Elapsed time.Duration `json:"elapsed"`
+	// Rows are the timeline lines in canonical order.
+	Rows []Row `json:"rows"`
+}
+
+// idPattern matches the kernel's minted ids — trace/span ids
+// ("t:host:0123…", "s:host:0123…") and message correlation ids
+// ("m0123…") — all with fixed 16-hex suffixes. Rendering masks them: the
+// suffixes come from process-global counters, so they differ between two
+// seeded reruns even though everything causally meaningful (names, hosts,
+// virtual times, payload sizes) is identical. Masking is what makes the
+// rendered timeline a determinism witness.
+var idPattern = regexp.MustCompile(`\b(?:[ts]:[^\s:]*:[0-9a-f]{16}|m[0-9a-f]{16})\b`)
+
+func maskIDs(s string) string {
+	return idPattern.ReplaceAllString(s, "«id»")
+}
+
+// kindRank fixes the tie-break order for rows at the same instant: the
+// span that starts at t sorts before the verdicts and faults it provokes.
+func kindRank(kind string) int {
+	switch kind {
+	case "span":
+		return 0
+	case KindAudit:
+		return 1
+	case KindFault:
+		return 2
+	case KindCabinet:
+		return 3
+	case KindCrash:
+		return 4
+	case KindRestart:
+		return 5
+	}
+	return 6
+}
+
+// Trace merges the collector's spans and journal into one timeline for a
+// trace id. Merge rules:
+//
+//   - every span of the trace becomes a row at its start instant;
+//   - every journal entry stamped with the trace becomes a row;
+//   - unstamped infrastructure entries (crash, restart, cabinet, fault)
+//     are included when they fall inside the trace's span window — they
+//     are system-wide moments that shaped the itinerary even though no
+//     briefcase carried the trace through them;
+//   - a span on a host that later crashed is tagged "lost-at=<t>" with the
+//     instant of the incarnation-ending crash: the span survived only
+//     because it was pushed to the tower before the host wiped its rings;
+//   - rows sort by (time, host, kind rank, name, detail, duration), which
+//     is total given deterministic inputs, so one seed yields one byte
+//     sequence.
+func (c *Collector) Trace(traceID string) Timeline {
+	if c == nil {
+		return Timeline{}
+	}
+	c.mu.Lock()
+	var spans []telemetry.SpanRecord
+	for _, s := range c.spans {
+		if s.TraceID == traceID {
+			spans = append(spans, s)
+		}
+	}
+	journal := make([]Entry, 0, len(c.journal))
+	journal = append(journal, c.journal[c.jNext:]...)
+	journal = append(journal, c.journal[:c.jNext]...)
+	crashes := make(map[string][]time.Duration)
+	for h := range c.hosts {
+		if ct := c.crashTimesLocked(h); len(ct) > 0 {
+			crashes[h] = ct
+		}
+	}
+	c.mu.Unlock()
+
+	var tl Timeline
+	var lo, hi time.Duration
+	for i, s := range spans {
+		if i == 0 || s.Start < lo {
+			lo = s.Start
+		}
+		if s.End > hi {
+			hi = s.End
+		}
+	}
+	tl.Elapsed = hi - lo
+	tl.Spans = len(spans)
+
+	for _, s := range spans {
+		detail := attrsDetail(s.Attrs)
+		if s.Err != "" {
+			if detail != "" {
+				detail += " "
+			}
+			detail += "err=" + s.Err
+		}
+		for _, ct := range crashes[s.Host] {
+			if ct >= s.End {
+				if detail != "" {
+					detail += " "
+				}
+				detail += fmt.Sprintf("lost-at=%s", fmtDur(ct))
+				break
+			}
+		}
+		tl.Rows = append(tl.Rows, Row{
+			Time: s.Start, Host: s.Host, Kind: "span", Name: s.Name,
+			Detail: maskIDs(detail), Dur: s.End - s.Start,
+		})
+	}
+	spanHosts := make(map[string]struct{}, 4)
+	for _, s := range spans {
+		spanHosts[s.Host] = struct{}{}
+	}
+	for _, e := range journal {
+		include := e.Trace == traceID
+		if !include && e.Trace == "" && len(spans) > 0 {
+			switch e.Kind {
+			case KindCrash, KindRestart:
+				// A participating host's crash/restart shapes the itinerary
+				// even when it happens after the last span that survived —
+				// that is exactly the crash that cut the trace short.
+				_, participated := spanHosts[e.Host]
+				include = participated && e.Time >= lo
+			case KindCabinet, KindFault:
+				include = e.Time >= lo && e.Time <= hi
+			}
+		}
+		if !include {
+			continue
+		}
+		tl.Entries++
+		tl.Rows = append(tl.Rows, Row{
+			Time: e.Time, Host: e.Host, Kind: e.Kind, Name: e.Name,
+			Detail: maskIDs(e.Detail),
+		})
+	}
+
+	sort.Slice(tl.Rows, func(i, j int) bool {
+		a, b := tl.Rows[i], tl.Rows[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		if a.Host != b.Host {
+			return a.Host < b.Host
+		}
+		if ra, rb := kindRank(a.Kind), kindRank(b.Kind); ra != rb {
+			return ra < rb
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Detail != b.Detail {
+			return a.Detail < b.Detail
+		}
+		return a.Dur < b.Dur
+	})
+	return tl
+}
+
+// LatestTrace returns the trace id of the most recently ingested span (""
+// when none) — the default target for demo explain calls.
+func (c *Collector) LatestTrace() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) == 0 {
+		return ""
+	}
+	return c.spans[len(c.spans)-1].TraceID
+}
+
+// attrsDetail renders flattened attr pairs "k=v k=v" in recorded order.
+func attrsDetail(attrs []string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i+1 < len(attrs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(attrs[i])
+		sb.WriteByte('=')
+		sb.WriteString(attrs[i+1])
+	}
+	return sb.String()
+}
+
+// fmtDur renders a virtual instant with fixed precision so column widths
+// are stable across rows and reruns.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+}
+
+// ExplainLines renders a timeline as aligned text lines, one per row, with
+// a summary header. The output is the determinism witness the chaostest
+// suite asserts on: same seed, same bytes.
+func (tl Timeline) ExplainLines() []string {
+	lines := make([]string, 0, len(tl.Rows)+1)
+	lines = append(lines, fmt.Sprintf(
+		"timeline: %d spans, %d journal entries, %s elapsed (virtual)",
+		tl.Spans, tl.Entries, fmtDur(tl.Elapsed)))
+	for _, r := range tl.Rows {
+		line := fmt.Sprintf("[%12s] %-8s %-7s %-14s", fmtDur(r.Time), r.Host, r.Kind, r.Name)
+		if r.Kind == "span" {
+			line += fmt.Sprintf(" (%s)", fmtDur(r.Dur))
+		}
+		if r.Detail != "" {
+			line += " " + r.Detail
+		}
+		lines = append(lines, strings.TrimRight(line, " "))
+	}
+	return lines
+}
+
+// Explain writes ExplainLines for a trace to w.
+func (c *Collector) Explain(w io.Writer, traceID string) error {
+	for _, line := range c.Trace(traceID).ExplainLines() {
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

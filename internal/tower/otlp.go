@@ -1,0 +1,141 @@
+package tower
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"tax/internal/telemetry"
+)
+
+// OTLP/JSON trace export: the collector's merged spans rendered in the
+// OpenTelemetry OTLP JSON encoding (one resourceSpans block per host), so
+// a real deployment ships kernel traces straight into any OTLP-speaking
+// backend. The kernel's string ids are hashed to the fixed-width binary
+// ids OTLP requires — fnv-1a 128 for trace ids, fnv-1a 64 for span ids —
+// which preserves equality (same kernel id, same OTLP id) without a
+// registry of mappings.
+
+type otlpKeyValue struct {
+	Key   string       `json:"key"`
+	Value otlpAnyValue `json:"value"`
+}
+
+type otlpAnyValue struct {
+	StringValue string `json:"stringValue"`
+}
+
+type otlpStatus struct {
+	// Code 2 is STATUS_CODE_ERROR in the OTLP enum; 0 is UNSET.
+	Code    int    `json:"code,omitempty"`
+	Message string `json:"message,omitempty"`
+}
+
+type otlpSpan struct {
+	TraceID      string `json:"traceId"`
+	SpanID       string `json:"spanId"`
+	ParentSpanID string `json:"parentSpanId,omitempty"`
+	Name         string `json:"name"`
+	// Times are virtual-clock nanoseconds since the simulation epoch.
+	StartTimeUnixNano int64          `json:"startTimeUnixNano,string"`
+	EndTimeUnixNano   int64          `json:"endTimeUnixNano,string"`
+	Attributes        []otlpKeyValue `json:"attributes,omitempty"`
+	Status            otlpStatus     `json:"status"`
+}
+
+type otlpScopeSpans struct {
+	Scope struct {
+		Name string `json:"name"`
+	} `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpResourceSpans struct {
+	Resource struct {
+		Attributes []otlpKeyValue `json:"attributes"`
+	} `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+// otlpTraceID hashes a kernel trace id to the 16-byte hex OTLP trace id.
+func otlpTraceID(id string) string {
+	h := fnv.New128a()
+	_, _ = h.Write([]byte(id))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// otlpSpanID hashes a kernel span id to the 8-byte hex OTLP span id.
+func otlpSpanID(id string) string {
+	if id == "" {
+		return ""
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// WriteOTLP writes the collector's merged spans as one OTLP/JSON export
+// document, grouped by host, hosts and spans in deterministic order.
+func (c *Collector) WriteOTLP(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	byHost := make(map[string][]telemetry.SpanRecord)
+	for _, s := range c.Spans() {
+		byHost[s.Host] = append(byHost[s.Host], s)
+	}
+	hosts := make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+
+	var doc otlpExport
+	for _, host := range hosts {
+		var rs otlpResourceSpans
+		rs.Resource.Attributes = []otlpKeyValue{
+			{Key: "service.name", Value: otlpAnyValue{StringValue: "tax"}},
+			{Key: "host.name", Value: otlpAnyValue{StringValue: host}},
+		}
+		var ss otlpScopeSpans
+		ss.Scope.Name = "tax/internal/telemetry"
+		recs := byHost[host]
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].Start != recs[j].Start {
+				return recs[i].Start < recs[j].Start
+			}
+			return recs[i].SpanID < recs[j].SpanID
+		})
+		for _, r := range recs {
+			sp := otlpSpan{
+				TraceID:           otlpTraceID(r.TraceID),
+				SpanID:            otlpSpanID(r.SpanID),
+				ParentSpanID:      otlpSpanID(r.Parent),
+				Name:              r.Name,
+				StartTimeUnixNano: int64(r.Start),
+				EndTimeUnixNano:   int64(r.End),
+			}
+			for i := 0; i+1 < len(r.Attrs); i += 2 {
+				sp.Attributes = append(sp.Attributes, otlpKeyValue{
+					Key: r.Attrs[i], Value: otlpAnyValue{StringValue: r.Attrs[i+1]},
+				})
+			}
+			if r.Err != "" {
+				sp.Status = otlpStatus{Code: 2, Message: r.Err}
+			}
+			ss.Spans = append(ss.Spans, sp)
+		}
+		rs.ScopeSpans = []otlpScopeSpans{ss}
+		doc.ResourceSpans = append(doc.ResourceSpans, rs)
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,136 @@
+package tower
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteMetrics renders every attached host's registry in the Prometheus
+// text exposition format, one series per instrument with the host attached
+// as a `host` label. Metric names are prefixed "tax_" and dots become
+// underscores; histograms expose the standard cumulative `_bucket{le=...}`
+// series (boundaries in seconds) plus `_sum` and `_count`. Output is fully
+// sorted so scrapes diff cleanly.
+func (c *Collector) WriteMetrics(w io.Writer) error {
+	if c == nil {
+		return nil
+	}
+	var counters, gauges, hists []string
+
+	for host, tel := range c.Hosts() {
+		snap := tel.Registry().Snapshot()
+		for key, v := range snap.Counters {
+			name, labels := parseKey(key)
+			counters = append(counters, fmt.Sprintf("%s%s %d",
+				promName(name), promLabels(labels, host), v))
+		}
+		for key, v := range snap.Gauges {
+			name, labels := parseKey(key)
+			gauges = append(gauges, fmt.Sprintf("%s%s %d",
+				promName(name), promLabels(labels, host), v))
+		}
+		for key, h := range snap.Histograms {
+			name, labels := parseKey(key)
+			base := promName(name)
+			var cum int64
+			for i, bound := range h.Bounds {
+				cum += h.Counts[i]
+				hists = append(hists, fmt.Sprintf("%s_bucket%s %d",
+					base, promLabels(labels, host, "le", promSeconds(bound)), cum))
+			}
+			hists = append(hists, fmt.Sprintf("%s_bucket%s %d",
+				base, promLabels(labels, host, "le", "+Inf"), h.Count))
+			hists = append(hists, fmt.Sprintf("%s_sum%s %s",
+				base, promLabels(labels, host), promSeconds(h.Sum)))
+			hists = append(hists, fmt.Sprintf("%s_count%s %d",
+				base, promLabels(labels, host), h.Count))
+		}
+	}
+	for _, group := range [][]string{counters, gauges, hists} {
+		sort.Strings(group)
+		for _, line := range group {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// parseKey splits a telemetry.Key-formatted "name{k=v,k2=v2}" instrument
+// key back into name and label pairs.
+func parseKey(key string) (name string, labels [][2]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 {
+		return key, nil
+	}
+	name = key[:open]
+	body := strings.TrimSuffix(key[open+1:], "}")
+	for _, pair := range strings.Split(body, ",") {
+		if eq := strings.IndexByte(pair, '='); eq >= 0 {
+			labels = append(labels, [2]string{pair[:eq], pair[eq+1:]})
+		}
+	}
+	return name, labels
+}
+
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("tax_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promLabels renders a sorted label set with the host label and optional
+// extra key/value appended (used for the le bucket label). A metric that
+// already carries its own host label (the cabinet's per-host instruments)
+// keeps it — duplicate label names are invalid exposition.
+func promLabels(labels [][2]string, host string, extra ...string) string {
+	all := make([][2]string, 0, len(labels)+2)
+	all = append(all, labels...)
+	hasHost := false
+	for _, kv := range labels {
+		if kv[0] == "host" {
+			hasHost = true
+		}
+	}
+	if host != "" && !hasHost {
+		all = append(all, [2]string{"host", host})
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		all = append(all, [2]string{extra[i], extra[i+1]})
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i][0] < all[j][0] })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(kv[0])
+		sb.WriteString(`="`)
+		sb.WriteString(strings.ReplaceAll(kv[1], `"`, `\"`))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// promSeconds renders a duration as seconds, the Prometheus base unit.
+func promSeconds(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}

@@ -1,0 +1,359 @@
+// Package tower is the system-wide observability plane: one collector that
+// merges every host's per-host telemetry (PR 1) into cross-host, virtual-
+// clock-timestamped itinerary timelines, plus a bounded flight recorder
+// interleaving the infrastructure activity — fault injections, crashes,
+// restarts, cabinet WAL/fsync/snapshot work — that per-host telemetry
+// cannot see or cannot survive.
+//
+// The paper's evaluation is elapsed-time breakdowns of multi-hop
+// itineraries; a per-host span ring answers "what did this host do" but not
+// "why did this itinerary take 612 virtual ms". The tower answers that by
+// construction: spans are pushed to the collector the moment they end (so a
+// host crash that wipes its volatile rings loses nothing already pushed),
+// infrastructure components report journal entries stamped with the active
+// trace, and Trace() merges both into one causally-ordered timeline.
+//
+// The package deliberately does not import core, simnet, faults or cabinet:
+// those layers push into the tower through plain function hooks, keeping
+// the dependency arrow pointing here (core → tower → telemetry) and the
+// collector usable from any harness.
+package tower
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"tax/internal/telemetry"
+)
+
+// Journal entry kinds. Audit entries are derived from firewall event-log
+// appends; the rest are reported by infrastructure hooks.
+const (
+	// KindAudit is a firewall mediation verdict (allow/deny/park/retry/...).
+	KindAudit = "audit"
+	// KindFault is a fault-plan decision applied to a transfer or the
+	// topology (drop, duplicate, delay, corrupt, partition, heal).
+	KindFault = "fault"
+	// KindCrash is a host crash: volatile state lost at this instant.
+	KindCrash = "crash"
+	// KindRestart is a host restart after a crash.
+	KindRestart = "restart"
+	// KindCabinet is durability work: WAL appends, fsync batches,
+	// snapshots, recovery replays.
+	KindCabinet = "cabinet"
+)
+
+// Entry is one flight-recorder record: a timestamped infrastructure moment,
+// stamped with the trace/span active when it happened ("" when none).
+type Entry struct {
+	// Seq is the entry's position in the journal's append order (1-based).
+	Seq uint64 `json:"seq"`
+	// Time is the virtual time on the reporting host's clock.
+	Time time.Duration `json:"time"`
+	// Host is the host (or link endpoint) the entry concerns.
+	Host string `json:"host,omitempty"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Name names the action within the kind ("drop", "wal_append", ...).
+	Name string `json:"name"`
+	// Detail is free-form context ("msg=... dup of ...", "cause=...").
+	Detail string `json:"detail,omitempty"`
+	// Trace and Span carry the active trace context, if any.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+}
+
+// Options configure a Collector.
+type Options struct {
+	// SpanCapacity bounds the merged span store (default 65536).
+	SpanCapacity int
+	// JournalCapacity bounds the flight recorder (default 16384).
+	JournalCapacity int
+}
+
+// hostFeed is one attached host's telemetry plus the dedup state that makes
+// push (span-end sinks) and pull (snapshot sweeps) idempotent together.
+type hostFeed struct {
+	tel       *telemetry.Telemetry
+	spanSeen  map[uint64]struct{}
+	eventSeen map[uint64]struct{}
+	crashes   []time.Duration // crash instants, append order
+	restarts  []time.Duration
+}
+
+// Collector is the system-wide trace collector and flight recorder. All
+// methods are safe for concurrent use and safe on a nil receiver (the
+// tower-disabled no-op), so hooks can call unconditionally.
+type Collector struct {
+	mu      sync.Mutex
+	hosts   map[string]*hostFeed
+	spans   []telemetry.SpanRecord // merged, bounded by spanCap, append order
+	spanCap int
+	dropped uint64 // spans discarded once spanCap was reached
+
+	journal    []Entry // bounded ring
+	jNext      int
+	jTotal     uint64
+	journalCap int
+}
+
+// New returns an empty collector.
+func New(opts Options) *Collector {
+	if opts.SpanCapacity <= 0 {
+		opts.SpanCapacity = 65536
+	}
+	if opts.JournalCapacity <= 0 {
+		opts.JournalCapacity = 16384
+	}
+	return &Collector{
+		hosts:      make(map[string]*hostFeed),
+		spanCap:    opts.SpanCapacity,
+		journalCap: opts.JournalCapacity,
+	}
+}
+
+// Attach registers a host's telemetry with the collector and installs the
+// push feeds: every span commit and event append is delivered immediately,
+// so the merged view stays ahead of any crash that wipes the host's own
+// rings. Attach is idempotent per host label; re-attaching (a restarted
+// host with a fresh Telemetry) replaces the feed but keeps the dedup state,
+// because sequence counters survive WipeVolatile.
+func (c *Collector) Attach(tel *telemetry.Telemetry) {
+	if c == nil || tel == nil {
+		return
+	}
+	host := tel.Host()
+	c.mu.Lock()
+	f := c.hosts[host]
+	if f == nil {
+		f = &hostFeed{
+			spanSeen:  make(map[uint64]struct{}),
+			eventSeen: make(map[uint64]struct{}),
+		}
+		c.hosts[host] = f
+	}
+	f.tel = tel
+	c.mu.Unlock()
+
+	// Sinks run outside the ring locks (see telemetry.EventLog.SetSink), so
+	// taking c.mu inside them cannot invert against a Snapshot call.
+	tel.Spans().SetSink(func(r telemetry.SpanRecord) { c.ingestSpans(host, []telemetry.SpanRecord{r}) })
+	tel.Events().SetSink(func(e telemetry.Event) { c.ingestEvents(host, []telemetry.Event{e}) })
+	// Sweep once so history recorded before Attach is not lost.
+	c.pullHost(host, tel)
+}
+
+// Pull sweeps every attached host's retained rings into the merged view.
+// Push feeds make this redundant in steady state; it exists for history
+// recorded before Attach and as the refresh step before a snapshot.
+func (c *Collector) Pull() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	feeds := make(map[string]*telemetry.Telemetry, len(c.hosts))
+	for h, f := range c.hosts {
+		feeds[h] = f.tel
+	}
+	c.mu.Unlock()
+	for h, tel := range feeds {
+		c.pullHost(h, tel)
+	}
+}
+
+// pullHost snapshots outside c.mu (ring locks first), then ingests.
+func (c *Collector) pullHost(host string, tel *telemetry.Telemetry) {
+	spans, _ := tel.Spans().SnapshotTotal()
+	events, _ := tel.Events().SnapshotTotal()
+	c.ingestSpans(host, spans)
+	c.ingestEvents(host, events)
+}
+
+func (c *Collector) ingestSpans(host string, recs []telemetry.SpanRecord) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.feedLocked(host)
+	for _, r := range recs {
+		if _, dup := f.spanSeen[r.Seq]; dup {
+			continue
+		}
+		f.spanSeen[r.Seq] = struct{}{}
+		if len(c.spans) >= c.spanCap {
+			c.dropped++
+			continue
+		}
+		c.spans = append(c.spans, r)
+	}
+}
+
+// ingestEvents merges audit events and mirrors each into the journal, so
+// the flight recorder interleaves mediation verdicts with infrastructure
+// entries without a second reporting path in the firewall.
+func (c *Collector) ingestEvents(host string, events []telemetry.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.feedLocked(host)
+	for _, e := range events {
+		if _, dup := f.eventSeen[e.Seq]; dup {
+			continue
+		}
+		f.eventSeen[e.Seq] = struct{}{}
+		detail := ""
+		if e.Principal != "" {
+			detail = "from=" + e.Principal
+		}
+		if e.Target != "" {
+			if detail != "" {
+				detail += " "
+			}
+			detail += "to=" + e.Target
+		}
+		if e.Cause != "" {
+			if detail != "" {
+				detail += " "
+			}
+			detail += "cause=" + e.Cause
+		}
+		c.recordLocked(Entry{
+			Time: e.Time, Host: host, Kind: KindAudit, Name: e.Type,
+			Detail: detail, Trace: e.Trace, Span: e.Span,
+		})
+	}
+}
+
+func (c *Collector) feedLocked(host string) *hostFeed {
+	f := c.hosts[host]
+	if f == nil {
+		f = &hostFeed{
+			spanSeen:  make(map[uint64]struct{}),
+			eventSeen: make(map[uint64]struct{}),
+		}
+		c.hosts[host] = f
+	}
+	return f
+}
+
+// Record appends one entry to the flight recorder. Infrastructure hooks
+// (fault injector, cabinet, crash/restart wiring) call this directly.
+func (c *Collector) Record(e Entry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recordLocked(e)
+	switch e.Kind {
+	case KindCrash:
+		c.feedLocked(e.Host).crashes = append(c.feedLocked(e.Host).crashes, e.Time)
+	case KindRestart:
+		c.feedLocked(e.Host).restarts = append(c.feedLocked(e.Host).restarts, e.Time)
+	}
+}
+
+func (c *Collector) recordLocked(e Entry) {
+	c.jTotal++
+	e.Seq = c.jTotal
+	if len(c.journal) < c.journalCap {
+		c.journal = append(c.journal, e)
+	} else {
+		c.journal[c.jNext] = e
+		c.jNext = (c.jNext + 1) % c.journalCap
+	}
+}
+
+// Counts returns the number of merged spans and journal entries ingested so
+// far. Harness settle loops poll it to detect quiescence.
+func (c *Collector) Counts() (spans int, journal uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.spans), c.jTotal
+}
+
+// Dropped returns the number of spans discarded after the merged store
+// filled; nonzero means a Trace view may be incomplete.
+func (c *Collector) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Journal returns the retained flight-recorder entries, oldest first.
+func (c *Collector) Journal() []Entry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.journal))
+	out = append(out, c.journal[c.jNext:]...)
+	out = append(out, c.journal[:c.jNext]...)
+	return out
+}
+
+// Spans returns every merged span, in ingest order.
+func (c *Collector) Spans() []telemetry.SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]telemetry.SpanRecord, len(c.spans))
+	copy(out, c.spans)
+	return out
+}
+
+// Traces returns the distinct trace ids seen, sorted.
+func (c *Collector) Traces() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	seen := make(map[string]struct{})
+	for _, s := range c.spans {
+		seen[s.TraceID] = struct{}{}
+	}
+	c.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hosts returns the attached host labels, sorted, plus each host's
+// telemetry (for export layers that need registries).
+func (c *Collector) Hosts() map[string]*telemetry.Telemetry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*telemetry.Telemetry, len(c.hosts))
+	for h, f := range c.hosts {
+		if f.tel != nil {
+			out[h] = f.tel
+		}
+	}
+	return out
+}
+
+// crashWindows returns, for one host, the crash instants sorted ascending
+// (used by Trace to tag spans that survived only because they were pushed).
+func (c *Collector) crashTimesLocked(host string) []time.Duration {
+	f := c.hosts[host]
+	if f == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(f.crashes))
+	copy(out, f.crashes)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
