@@ -67,12 +67,15 @@ chaos:
 # the mutation engine on every seed without tying up CI. One -fuzz
 # target per invocation: the briefcase codec, the cross-codec oracle
 # (fast encode/decode vs the frozen reference codec on the same bytes),
-# then the cabinet WAL record decoder (torn frames, bad CRCs, truncated
-# length prefixes).
+# the cabinet WAL record decoder (torn frames, bad CRCs, truncated
+# length prefixes), then the relay fast path (mutated wire bytes
+# through a forwarding firewall: forwarded frames stay byte-identical,
+# delivered payloads match the reference decode of the input).
 fuzz-short:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzCrossCodec -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 30s ./internal/cabinet/
+	$(GO) test -fuzz FuzzForward -fuzztime 30s ./internal/firewall/
 
 # bench regenerates every evaluation table; the tel experiment also
 # writes BENCH_telemetry.json, the faults experiment BENCH_faults.json,

@@ -93,11 +93,11 @@ func runCheck() error {
 			return writeParallelJSON(path, results, identical)
 		},
 		"BENCH_durability.json": func(path string) error {
-			_, results, err := bench.Durability()
+			_, results, group, err := bench.Durability()
 			if err != nil {
 				return err
 			}
-			return writeDurabilityJSON(path, results)
+			return writeDurabilityJSON(path, results, group)
 		},
 		"BENCH_hotpath.json": func(path string) error {
 			_, result, err := bench.Hotpath()
@@ -193,12 +193,12 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 			return t, nil
 		}},
 		{"durability", func() (*bench.Table, error) {
-			t, results, err := bench.Durability()
+			t, results, group, err := bench.Durability()
 			if err != nil {
 				return nil, err
 			}
 			if durabilityJSON != "" {
-				if err := writeDurabilityJSON(durabilityJSON, results); err != nil {
+				if err := writeDurabilityJSON(durabilityJSON, results, group); err != nil {
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", durabilityJSON)
@@ -286,10 +286,11 @@ func writeParallelJSON(path string, results []bench.ParallelResult, identical bo
 // writeDurabilityJSON records the durability grid for regression
 // tracking. Deliberately no timestamp: every field is virtual-clock or
 // seeded, so the file is byte-identical run to run and diffs cleanly.
-func writeDurabilityJSON(path string, results []bench.DurabilityResult) error {
+func writeDurabilityJSON(path string, results []bench.DurabilityResult, group []bench.DurabilityGroupResult) error {
 	doc := struct {
-		Results []bench.DurabilityResult `json:"results"`
-	}{Results: results}
+		Results []bench.DurabilityResult      `json:"results"`
+		Group   []bench.DurabilityGroupResult `json:"group_commit"`
+	}{Results: results, Group: group}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

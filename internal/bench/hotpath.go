@@ -57,6 +57,15 @@ type HotpathMediationResult struct {
 type HotpathResult struct {
 	Codec     []HotpathCodecResult     `json:"codec"`
 	Mediation []HotpathMediationResult `json:"mediation"`
+	// Forwarding is the 3-hop zero-copy forwarding throughput sweep
+	// (hotpath_forward.go): relays route wire bytes verbatim off header
+	// peeks, unbatched and as whole containers.
+	Forwarding []HotpathForwardingResult `json:"forwarding"`
+	// Path is the exact per-stage allocation budget of the forwarded
+	// send→route→deliver path; the path_alloc_test ceilings guard it.
+	Path []HotpathPathResult `json:"path"`
+	// GroupCommit is the WAL group-commit fsync amortization sweep.
+	GroupCommit []HotpathGroupCommitResult `json:"group_commit"`
 }
 
 // hotpathBriefcase builds the workload briefcase: a webbot mid-crawl,
@@ -262,9 +271,31 @@ func Hotpath() (*Table, *HotpathResult, error) {
 		}
 	}
 
+	for _, batched := range []bool{false, true} {
+		f, err := hotpathForwarding(batched)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Forwarding = append(res.Forwarding, f)
+	}
+
+	path, err := hotpathPath()
+	if err != nil {
+		return nil, nil, err
+	}
+	res.Path = path
+
+	for _, groupMax := range []int{1, 8, 64} {
+		g, err := hotpathGroupCommit(groupMax)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.GroupCommit = append(res.GroupCommit, g)
+	}
+
 	t := &Table{
-		Title:  "HOTPATH — zero-copy codec and batched mediation",
-		Note:   "codec: case-study briefcase, allocs exact / ns wall-clock; mediation: virtual-clock msgs/s, one driver goroutine",
+		Title:  "HOTPATH — zero-copy codec, batched mediation, forwarding, group commit",
+		Note:   "codec: case-study briefcase, allocs exact / ns wall-clock; mediation + 3-hop forwarding: virtual-clock msgs/s, lockstep driver; group commit: fsyncs per txn, virtual clock",
 		Header: []string{"measurement", "ns/op", "allocs/op", "msgs/vsec", "detail"},
 	}
 	for _, row := range timed {
@@ -288,6 +319,37 @@ func Hotpath() (*Table, *HotpathResult, error) {
 			"", "",
 			fmt.Sprintf("%.0f", p.MsgsPerVirtualSec),
 			detail,
+		})
+	}
+	for _, f := range res.Forwarding {
+		mode := "unbatched"
+		detail := fmt.Sprintf("%d relayed/hop", f.RelayedPerHop)
+		if f.Batched {
+			mode = "batched"
+			detail = fmt.Sprintf("%d relayed/hop in %d containers", f.RelayedPerHop, f.ContainersPerHop)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("forward %dhop %s", f.Hops, mode),
+			"", "",
+			fmt.Sprintf("%.0f", f.MsgsPerVirtualSec),
+			detail,
+		})
+	}
+	for _, p := range res.Path {
+		t.Rows = append(t.Rows, []string{
+			"path " + p.Stage,
+			"",
+			fmt.Sprintf("%.0f", p.AllocsPerOp),
+			"",
+			"full-stage allocs, synchronous transport",
+		})
+	}
+	for _, g := range res.GroupCommit {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("group commit max=%d", g.GroupMax),
+			"", "", "",
+			fmt.Sprintf("%d txns, %d fsyncs (%.4f/txn), %.1f ms virtual",
+				g.Txns, g.Fsyncs, g.FsyncsPerTxn, g.WriteCostMS),
 		})
 	}
 	return t, res, nil

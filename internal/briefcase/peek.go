@@ -1,0 +1,105 @@
+package briefcase
+
+import "fmt"
+
+// Header peeks: read one folder out of a version-1 wire frame without
+// materializing the briefcase. A forwarding firewall needs exactly the
+// envelope fields (_TARGET, _KIND, the seal folders) to route a frame;
+// decoding the whole briefcase to read them would allocate a folder map
+// the relay immediately throws away. Peek walks the frame's folder
+// directory instead — folders are stored in lexicographic name order, so
+// the scan stops early once it passes where the name would sit — and
+// returns a slice aliasing the frame.
+//
+// Peek validates only the prefix of the frame it scans. It is a routing
+// aid, not an admission check: the final receiver's Decode still
+// validates the full frame before anything is delivered.
+
+// Peek returns the first element of the named folder, aliasing frame
+// rather than copying out of it. It returns ErrNoFolder when the scanned
+// prefix is well-formed but the folder is absent, ErrNoElement when the
+// folder exists but holds no elements, and the codec's validation errors
+// (ErrBadMagic, ErrBadVersion, ErrCorrupt) when the frame is malformed
+// within the scanned prefix.
+func Peek(frame []byte, folder string) ([]byte, error) {
+	d := decoder{buf: frame}
+	var magic [4]byte
+	if !d.read(magic[:]) {
+		return nil, fmt.Errorf("%w: short magic", ErrCorrupt)
+	}
+	if magic != wireMagic {
+		return nil, ErrBadMagic
+	}
+	ver, ok := d.uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: short version", ErrCorrupt)
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadVersion, ver)
+	}
+	nfold, ok := d.uvarint()
+	if !ok {
+		return nil, fmt.Errorf("%w: short folder count", ErrCorrupt)
+	}
+	if nfold > MaxFolders {
+		return nil, fmt.Errorf("%w: %d folders exceeds limit", ErrCorrupt, nfold)
+	}
+	for i := uint64(0); i < nfold; i++ {
+		nameLen, ok := d.uvarint()
+		if !ok || nameLen > MaxNameSize {
+			return nil, fmt.Errorf("%w: folder name length", ErrCorrupt)
+		}
+		name, ok := d.slice(int(nameLen))
+		if !ok {
+			return nil, fmt.Errorf("%w: short folder name", ErrCorrupt)
+		}
+		if len(name) == 0 {
+			return nil, fmt.Errorf("%w: empty folder name", ErrCorrupt)
+		}
+		nelem, ok := d.uvarint()
+		if !ok || nelem > MaxElements {
+			return nil, fmt.Errorf("%w: element count", ErrCorrupt)
+		}
+		if string(name) == folder {
+			if nelem == 0 {
+				// The bare sentinel: absence is the common case on the
+				// forwarding hot path and must not allocate.
+				return nil, ErrNoElement
+			}
+			elemLen, ok := d.uvarint()
+			if !ok || elemLen > MaxElementSize {
+				return nil, fmt.Errorf("%w: element length", ErrCorrupt)
+			}
+			elem, ok := d.slice(int(elemLen))
+			if !ok {
+				return nil, fmt.Errorf("%w: short element", ErrCorrupt)
+			}
+			return elem, nil
+		}
+		if string(name) > folder {
+			// Folders are sorted; the name cannot appear later.
+			return nil, ErrNoFolder
+		}
+		for j := uint64(0); j < nelem; j++ {
+			elemLen, ok := d.uvarint()
+			if !ok || elemLen > MaxElementSize {
+				return nil, fmt.Errorf("%w: element length", ErrCorrupt)
+			}
+			if !d.skip(int(elemLen)) {
+				return nil, fmt.Errorf("%w: short element", ErrCorrupt)
+			}
+		}
+	}
+	return nil, ErrNoFolder
+}
+
+// PeekString is Peek returning the element as a string ("" and false when
+// the peek fails for any reason). The string copies the element bytes, so
+// it stays valid after the frame buffer is recycled.
+func PeekString(frame []byte, folder string) (string, bool) {
+	e, err := Peek(frame, folder)
+	if err != nil {
+		return "", false
+	}
+	return string(e), true
+}

@@ -33,6 +33,19 @@ type Options struct {
 	// SnapshotEvery compacts the WAL into a snapshot after this many
 	// committed transactions (default 64; negative disables).
 	SnapshotEvery int
+	// GroupCommit coalesces concurrent Commit callers into shared
+	// fsyncs: the first caller to arrive becomes the batch leader,
+	// journals every queued transaction as its own WAL record, and
+	// issues one fsync covering them all; followers block until the
+	// fsync that covers their record completes. Every Commit still
+	// returns only once its transaction is durable — group commit
+	// changes fsync count, never durability semantics. Sequential
+	// callers degenerate to one-transaction batches, so a single-writer
+	// workload behaves (and costs) exactly as without it.
+	GroupCommit bool
+	// GroupMaxTxns bounds how many transactions share one fsync (the
+	// coalesce window); zero means DefaultGroupMaxTxns.
+	GroupMaxTxns int
 	// Telemetry, when set, records cabinet.wal_appends, cabinet.fsyncs,
 	// cabinet.snapshots and cabinet.recovery_ms under the given Host
 	// label.
@@ -51,6 +64,10 @@ type Options struct {
 // DefaultSnapshotEvery is the WAL-transactions-per-snapshot compaction
 // interval when Options leaves it zero.
 const DefaultSnapshotEvery = 64
+
+// DefaultGroupMaxTxns is the group-commit coalesce bound when Options
+// leaves it zero: at most this many transactions share one fsync.
+const DefaultGroupMaxTxns = 64
 
 // Op is one mutation inside a transaction.
 type Op struct {
@@ -74,6 +91,17 @@ type Store struct {
 	seq       uint64 // last committed transaction sequence number
 	sinceSnap int
 	hook      func(seq uint64) // fired after each synced append, outside mu
+	// preSyncHook fires after each WAL append and before the fsync that
+	// would cover it — the window group commit opens between a record
+	// reaching the log and becoming durable. It runs under the store
+	// lock (see SetPreSyncHook).
+	preSyncHook func(seq uint64)
+
+	// gcMu guards the group-commit queue; it is taken before s.mu and
+	// never while holding it.
+	gcMu      sync.Mutex
+	gcQueue   []*gcWaiter
+	gcLeading bool
 
 	walAppends *telemetry.Counter
 	fsyncs     *telemetry.Counter
@@ -106,9 +134,25 @@ func (s *Store) Disk() *Disk { return s.disk }
 // SetAppendHook installs fn, called after every synced WAL append with
 // the committed sequence number. The hook runs outside the store lock,
 // so it may crash the host — the crash-point harness uses exactly that.
+// Under group commit the hook fires once per transaction in a batch, in
+// sequence order, after the shared fsync.
 func (s *Store) SetAppendHook(fn func(seq uint64)) {
 	s.mu.Lock()
 	s.hook = fn
+	s.mu.Unlock()
+}
+
+// SetPreSyncHook installs fn, called after each WAL append with the
+// assigned sequence number, before the fsync that would make it durable.
+// This is the window the group-commit crash sweep targets: a record is
+// in the log but the shared fsync has not happened, so a crash here must
+// leave every waiter of the batch either fully durable or cleanly
+// absent. Unlike the append hook, fn runs while the store lock is held —
+// it may crash the Disk (its own lock) and record state, but must not
+// call back into the Store.
+func (s *Store) SetPreSyncHook(fn func(seq uint64)) {
+	s.mu.Lock()
+	s.preSyncHook = fn
 	s.mu.Unlock()
 }
 
@@ -163,8 +207,16 @@ func (s *Store) Delete(key string) error {
 
 // Commit journals the ops as one atomic transaction: WAL append, fsync,
 // then the in-memory table mutates. Either every op survives a crash or
-// none does. An empty transaction is a no-op.
+// none does. An empty transaction is a no-op. With Options.GroupCommit
+// set, concurrent callers coalesce their appends into one shared fsync;
+// Commit still returns only once its own record is durable.
 func (s *Store) Commit(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if s.opts.GroupCommit {
+		return s.commitGroup(ops)
+	}
 	return s.commit(ops, true)
 }
 
@@ -192,6 +244,9 @@ func (s *Store) commit(ops []Op, sync bool) error {
 		s.seq--
 		s.mu.Unlock()
 		return err
+	}
+	if s.preSyncHook != nil && sync {
+		s.preSyncHook(seq)
 	}
 	if sync {
 		if err := s.disk.Sync(walFile); err != nil {
@@ -233,6 +288,163 @@ func (s *Store) commit(ops []Op, sync bool) error {
 	}
 	if hook != nil {
 		hook(seq)
+	}
+	return nil
+}
+
+// gcWaiter is one queued group-commit transaction: its ops and the
+// channel its caller blocks on until the covering fsync completes.
+type gcWaiter struct {
+	ops  []Op
+	done chan error
+}
+
+// groupMax returns the effective coalesce bound.
+func (s *Store) groupMax() int {
+	if s.opts.GroupMaxTxns > 0 {
+		return s.opts.GroupMaxTxns
+	}
+	return DefaultGroupMaxTxns
+}
+
+// commitGroup is the leader/follower protocol. Every caller enqueues its
+// transaction; the first to find no leader running becomes the leader
+// and drains the queue in batches of at most GroupMaxTxns, one fsync per
+// batch, signalling each batch's waiters before taking the next. The
+// coalesce window is the leader's own commit latency: callers that
+// arrive while a batch's fsync is in flight (on the virtual clock, while
+// the disk charges SyncLatency) form the next batch. No caller returns
+// before the fsync covering its record; sequential callers produce
+// one-transaction batches and behave exactly like plain Commit.
+func (s *Store) commitGroup(ops []Op) error {
+	w := &gcWaiter{ops: ops, done: make(chan error, 1)}
+	s.gcMu.Lock()
+	s.gcQueue = append(s.gcQueue, w)
+	if s.gcLeading {
+		s.gcMu.Unlock()
+		return <-w.done
+	}
+	s.gcLeading = true
+	for len(s.gcQueue) > 0 {
+		batch := s.gcQueue
+		if max := s.groupMax(); len(batch) > max {
+			batch = batch[:max]
+		}
+		s.gcQueue = s.gcQueue[len(batch):]
+		s.gcMu.Unlock()
+		err := s.commitBatch(batch)
+		for _, bw := range batch {
+			bw.done <- err
+		}
+		s.gcMu.Lock()
+	}
+	s.gcQueue = nil
+	s.gcLeading = false
+	s.gcMu.Unlock()
+	// The leader's own transaction rode the first batch; its result is
+	// buffered.
+	return <-w.done
+}
+
+// commitBatch journals one batch: every transaction gets its own WAL
+// record and sequence number, one fsync covers them all, and only then
+// do the table mutations apply, in sequence order. On any error the
+// whole batch reports it and mutates nothing — the unsynced appends
+// die with the page cache, which is exactly the atomicity the crash
+// sweep asserts. Runs under s.mu like commit; CommitNoSync appends that
+// interleave before the shared fsync simply become durable with it.
+func (s *Store) commitBatch(batch []*gcWaiter) error {
+	s.mu.Lock()
+	if s.disk.Crashed() {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	startSeq := s.seq
+	seqs := make([]uint64, len(batch))
+	for i, w := range batch {
+		s.seq++
+		seqs[i] = s.seq
+		frame := appendFrame(nil, encodeTxn(s.seq, w.ops))
+		if err := s.disk.Append(walFile, frame); err != nil {
+			s.seq = startSeq
+			s.mu.Unlock()
+			return err
+		}
+		if s.preSyncHook != nil {
+			s.preSyncHook(s.seq)
+		}
+	}
+	if err := s.disk.Sync(walFile); err != nil {
+		s.seq = startSeq
+		s.mu.Unlock()
+		return err
+	}
+	if s.fsyncs != nil {
+		s.fsyncs.Inc()
+	}
+	for _, w := range batch {
+		for _, op := range w.ops {
+			if op.Del {
+				delete(s.table, op.Key)
+			} else {
+				s.table[op.Key] = append([]byte(nil), op.Value...)
+			}
+		}
+		if s.walAppends != nil {
+			s.walAppends.Inc()
+		}
+	}
+	s.sinceSnap += len(batch)
+	snapped := false
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		snapped = s.snapshotLocked()
+	}
+	hook := s.hook
+	obs := s.opts.Observer
+	s.mu.Unlock()
+	last := seqs[len(seqs)-1]
+	if obs != nil {
+		now := s.disk.Clock().Now()
+		for _, q := range seqs {
+			obs("wal_append", now, q)
+		}
+		obs("fsync", now, last)
+		if snapped {
+			obs("snapshot", now, last)
+		}
+	}
+	if hook != nil {
+		for _, q := range seqs {
+			hook(q)
+		}
+	}
+	return nil
+}
+
+// CommitMany journals each transaction as its own WAL record and makes
+// them all durable with shared fsyncs — group-commit batch formation
+// made explicit, for callers (and deterministic benchmarks) that hold a
+// set of independent transactions in hand. Each transaction is atomic
+// on its own; the group shares only fsyncs, at most GroupMaxTxns
+// transactions per fsync. Semantically identical to len(txns)
+// concurrent Commit callers that happened to coalesce perfectly.
+func (s *Store) CommitMany(txns [][]Op) error {
+	batch := make([]*gcWaiter, 0, len(txns))
+	for _, ops := range txns {
+		if len(ops) == 0 {
+			continue
+		}
+		batch = append(batch, &gcWaiter{ops: ops})
+	}
+	for len(batch) > 0 {
+		n := len(batch)
+		if max := s.groupMax(); n > max {
+			n = max
+		}
+		if err := s.commitBatch(batch[:n]); err != nil {
+			return err
+		}
+		batch = batch[n:]
 	}
 	return nil
 }

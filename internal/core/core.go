@@ -74,6 +74,21 @@ type NodeOptions struct {
 	// Batch enables coalesced outbound mediation on the node's firewall
 	// (see firewall.BatchConfig); nil sends every frame individually.
 	Batch *firewall.BatchConfig
+	// Relay makes the node's firewall forward inbound frames whose
+	// target is another host toward their next hop (header-only
+	// re-mediation, wire bytes forwarded verbatim — see
+	// firewall.Config.Relay). Off keeps the original
+	// drop-third-party-traffic behavior.
+	Relay bool
+	// Resolve maps an agent-URI host and port to a transport address;
+	// nil means the host name is the transport address. Relay nodes use
+	// it as their next-hop table.
+	Resolve func(host string, port int) (string, error)
+	// GroupCommit coalesces concurrent cabinet Commit callers into
+	// shared fsyncs (see cabinet.Options.GroupCommit); GroupMaxTxns
+	// bounds the coalesce window (zero: cabinet.DefaultGroupMaxTxns).
+	GroupCommit  bool
+	GroupMaxTxns int
 }
 
 // Node is one TAX host: firewall, VMs, service agents and local stores.
@@ -344,6 +359,8 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		Disk:          disk,
 		FsyncCost:     opts.FsyncCost,
 		SnapshotEvery: opts.SnapshotEvery,
+		GroupCommit:   opts.GroupCommit,
+		GroupMaxTxns:  opts.GroupMaxTxns,
 		Telemetry:     nodeTel.Registry(),
 		Host:          name,
 		Observer:      cabObserver,
@@ -373,6 +390,8 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		ForwardRetry:  opts.ForwardRetry,
 		DedupWindow:   opts.DedupWindow,
 		Batch:         opts.Batch,
+		Relay:         opts.Relay,
+		Resolve:       opts.Resolve,
 		Telemetry:     nodeTel,
 		Durable:       store,
 		Explain:       explain,

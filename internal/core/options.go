@@ -89,6 +89,36 @@ func WithBatching(cfg firewall.BatchConfig) Option {
 	return func(o *NodeOptions) { o.Batch = &cfg }
 }
 
+// WithRelay makes the node's firewall forward inbound frames whose
+// target is another host toward their next hop instead of dropping
+// them. The wire bytes are forwarded verbatim after header-only
+// re-mediation — a multi-hop itinerary encodes once at the origin and
+// decodes once at the final receiver. resolve is the next-hop table
+// (agent-URI host and port to transport address); nil means the host
+// name is the transport address, i.e. every destination is a direct
+// neighbor.
+func WithRelay(resolve func(host string, port int) (string, error)) Option {
+	return func(o *NodeOptions) {
+		o.Relay = true
+		if resolve != nil {
+			o.Resolve = resolve
+		}
+	}
+}
+
+// WithGroupCommit coalesces concurrent cabinet Commit callers on this
+// node into shared fsyncs: a leader drains the queue and syncs once for
+// the whole batch, and every caller still returns only after its record
+// is durable. maxTxns bounds the coalesce window (zero uses
+// cabinet.DefaultGroupMaxTxns). Amortizes fsync cost the way batched
+// mediation amortizes transfer cost.
+func WithGroupCommit(maxTxns int) Option {
+	return func(o *NodeOptions) {
+		o.GroupCommit = true
+		o.GroupMaxTxns = maxTxns
+	}
+}
+
 // AddNodeWith boots a host configured by functional options. It is
 // AddNode with the NodeOptions struct assembled for you; the zero
 // option set gives a standard node.

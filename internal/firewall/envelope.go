@@ -116,59 +116,81 @@ const (
 var ErrChannelAuth = errors.New("firewall: channel authentication failed")
 
 // sealFrame wraps payload with the host principal's signature; with no
-// signer configured the payload passes through unsealed.
+// signer configured the payload passes through unsealed. The payload is
+// aliased into the outer briefcase and copied exactly once, by the
+// encode — the seal adds only header bytes around the payload region.
 func sealFrame(signer *identity.Principal, payload []byte) []byte {
 	if signer == nil {
 		return payload
 	}
 	outer := briefcase.New()
-	outer.Ensure(FolderFramePayload).Append(payload)
+	outer.Ensure(FolderFramePayload).AppendAlias(payload)
 	outer.SetString(FolderFrameFrom, signer.Name())
 	outer.Ensure(FolderFrameSig).Append(signer.Sign(payload))
 	return outer.Encode()
 }
 
+// peekSealed returns the inner payload of a sealed frame without
+// materializing the outer briefcase, or (nil, false) when raw is not a
+// sealed frame (unsealed briefcase, container, or garbage — callers
+// that admit frames still Decode and validate fully).
+func peekSealed(raw []byte) ([]byte, bool) {
+	payload, err := briefcase.Peek(raw, FolderFramePayload)
+	if err != nil {
+		return nil, false
+	}
+	return payload, true
+}
+
 // openFrame recovers the payload of a possibly-sealed frame. With
 // requireAuth set, unsealed frames and bad signatures are rejected; the
 // signing principal must hold at least Trusted.
+//
+// The envelope is read with header peeks: an inbound frame is decoded
+// exactly once (by the caller, after openFrame returns the payload)
+// rather than once for the seal check and again for routing. Peeks
+// validate only the prefix of the outer frame they scan; the payload —
+// the only part that is routed onward — still passes the full decoder.
 func openFrame(trust *identity.TrustStore, requireAuth bool, raw []byte) ([]byte, error) {
-	outer, err := briefcase.Decode(raw)
-	if err != nil {
-		return nil, err
-	}
-	if !outer.Has(FolderFramePayload) {
+	payload, err := briefcase.Peek(raw, FolderFramePayload)
+	switch {
+	case err == nil:
+		// Sealed frame; fall through to the auth decision.
+	case errors.Is(err, briefcase.ErrNoFolder):
 		if requireAuth {
 			return nil, fmt.Errorf("%w: frame not sealed", ErrChannelAuth)
 		}
 		return raw, nil
-	}
-	f, err := outer.Folder(FolderFramePayload)
-	if err != nil || f.Len() == 0 {
+	case errors.Is(err, briefcase.ErrNoElement):
 		return nil, fmt.Errorf("%w: empty frame", ErrChannelAuth)
-	}
-	payload, err := f.Element(0)
-	if err != nil {
+	default:
 		return nil, err
 	}
 	if !requireAuth {
 		return payload, nil
 	}
-	from, ok := outer.GetString(FolderFrameFrom)
-	if !ok {
-		return nil, fmt.Errorf("%w: sealed frame without principal", ErrChannelAuth)
-	}
-	sigF, err := outer.Folder(FolderFrameSig)
-	if err != nil || sigF.Len() == 0 {
-		return nil, fmt.Errorf("%w: sealed frame without signature", ErrChannelAuth)
-	}
-	sig, err := sigF.Element(0)
-	if err != nil {
+	if err := verifySeal(trust, raw, payload); err != nil {
 		return nil, err
 	}
-	if err := trust.VerifyBy(from, payload, sig, identity.Trusted); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrChannelAuth, err)
-	}
 	return payload, nil
+}
+
+// verifySeal checks a sealed frame's channel signature over its already
+// peeked payload, reading the seal headers without materializing the
+// outer briefcase. The signing principal must hold at least Trusted.
+func verifySeal(trust *identity.TrustStore, raw, payload []byte) error {
+	from, ok := briefcase.PeekString(raw, FolderFrameFrom)
+	if !ok {
+		return fmt.Errorf("%w: sealed frame without principal", ErrChannelAuth)
+	}
+	sig, err := briefcase.Peek(raw, FolderFrameSig)
+	if err != nil {
+		return fmt.Errorf("%w: sealed frame without signature", ErrChannelAuth)
+	}
+	if err := trust.VerifyBy(from, payload, sig, identity.Trusted); err != nil {
+		return fmt.Errorf("%w: %v", ErrChannelAuth, err)
+	}
+	return nil
 }
 
 // errorReport builds a KindError briefcase describing why msg could not

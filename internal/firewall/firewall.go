@@ -117,8 +117,18 @@ type Config struct {
 	// flush failures through the audit log instead of the Send call
 	// (agent transfers still flush inline and keep synchronous errors).
 	Batch *BatchConfig
+	// Relay, when set, forwards inbound frames whose target is another
+	// host toward their next hop instead of dropping them. The next hop
+	// comes from Resolve (a routed topology maps a distant host to the
+	// neighbor that is one step closer); the frame's wire bytes are
+	// forwarded verbatim after header-only re-mediation (relay.go), so a
+	// multi-hop itinerary encodes once at the origin and decodes once at
+	// the final receiver. Off by default: a non-relay firewall keeps the
+	// original drop-third-party-traffic behavior.
+	Relay bool
 	// Resolve maps an agent-URI host and port to a transport address.
-	// Nil means the host name is the transport address (simnet).
+	// Nil means the host name is the transport address (simnet). Relay
+	// hosts use it as their next-hop table.
 	Resolve func(host string, port int) (string, error)
 	// Telemetry receives metrics, trace spans and audit events. Nil makes
 	// the firewall create a private counters-only instance (the Stats
@@ -165,18 +175,20 @@ type pendingMsg struct {
 // fwCounters are the firewall's pre-resolved registry counters: resolved
 // once at New so the hot path pays one atomic add per update.
 type fwCounters struct {
-	delivered    *telemetry.Counter
-	forwarded    *telemetry.Counter
-	queued       *telemetry.Counter
-	expired      *telemetry.Counter
-	authFailures *telemetry.Counter
-	mgmtOps      *telemetry.Counter
-	errors       *telemetry.Counter
-	retries      *telemetry.Counter
-	dupDropped   *telemetry.Counter
-	batchFlushes *telemetry.Counter
-	batchFrames  *telemetry.Counter
-	batchRecv    *telemetry.Counter
+	delivered       *telemetry.Counter
+	forwarded       *telemetry.Counter
+	queued          *telemetry.Counter
+	expired         *telemetry.Counter
+	authFailures    *telemetry.Counter
+	mgmtOps         *telemetry.Counter
+	errors          *telemetry.Counter
+	retries         *telemetry.Counter
+	dupDropped      *telemetry.Counter
+	batchFlushes    *telemetry.Counter
+	batchFrames     *telemetry.Counter
+	batchRecv       *telemetry.Counter
+	relayed         *telemetry.Counter
+	relayContainers *telemetry.Counter
 }
 
 // Firewall is the per-host broker. Create with New, shut down with Close.
@@ -263,18 +275,20 @@ func New(cfg Config) (*Firewall, error) {
 		clock: clock,
 		tel:   tel,
 		ctr: fwCounters{
-			delivered:    reg.Counter("fw.delivered", "host", cfg.HostName),
-			forwarded:    reg.Counter("fw.forwarded", "host", cfg.HostName),
-			queued:       reg.Counter("fw.queued", "host", cfg.HostName),
-			expired:      reg.Counter("fw.expired", "host", cfg.HostName),
-			authFailures: reg.Counter("fw.auth_failures", "host", cfg.HostName),
-			mgmtOps:      reg.Counter("fw.mgmt_ops", "host", cfg.HostName),
-			errors:       reg.Counter("fw.errors", "host", cfg.HostName),
-			retries:      reg.Counter("fw.retries", "host", cfg.HostName),
-			dupDropped:   reg.Counter("fw.dup_dropped", "host", cfg.HostName),
-			batchFlushes: reg.Counter("fw.batch_flushes", "host", cfg.HostName),
-			batchFrames:  reg.Counter("fw.batch_frames", "host", cfg.HostName),
-			batchRecv:    reg.Counter("fw.batch_recv", "host", cfg.HostName),
+			delivered:       reg.Counter("fw.delivered", "host", cfg.HostName),
+			forwarded:       reg.Counter("fw.forwarded", "host", cfg.HostName),
+			queued:          reg.Counter("fw.queued", "host", cfg.HostName),
+			expired:         reg.Counter("fw.expired", "host", cfg.HostName),
+			authFailures:    reg.Counter("fw.auth_failures", "host", cfg.HostName),
+			mgmtOps:         reg.Counter("fw.mgmt_ops", "host", cfg.HostName),
+			errors:          reg.Counter("fw.errors", "host", cfg.HostName),
+			retries:         reg.Counter("fw.retries", "host", cfg.HostName),
+			dupDropped:      reg.Counter("fw.dup_dropped", "host", cfg.HostName),
+			batchFlushes:    reg.Counter("fw.batch_flushes", "host", cfg.HostName),
+			batchFrames:     reg.Counter("fw.batch_frames", "host", cfg.HostName),
+			batchRecv:       reg.Counter("fw.batch_recv", "host", cfg.HostName),
+			relayed:         reg.Counter("fw.relayed", "host", cfg.HostName),
+			relayContainers: reg.Counter("fw.relay_containers", "host", cfg.HostName),
 		},
 		park:         newParkTable(reg, cfg.HostName),
 		regs:         make(map[string][]*Registration),
@@ -301,6 +315,11 @@ func New(cfg Config) (*Firewall, error) {
 // Telemetry returns the firewall's telemetry instance: the Stats-superseding
 // observability API (metrics registry, trace spans, audit event log).
 func (fw *Firewall) Telemetry() *telemetry.Telemetry { return fw.tel }
+
+// eventsOn reports whether audit events are collected. Hot paths check
+// it before building an event's cause string, so the disabled case pays
+// no allocation for string concatenation that would be thrown away.
+func (fw *Firewall) eventsOn() bool { return fw.tel.Events() != nil }
 
 // event appends one audit-log entry (no-op when events are disabled).
 func (fw *Firewall) event(typ, principal, target, cause string) {
@@ -664,7 +683,9 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 			return err
 		}
 		fw.ctr.forwarded.Inc()
-		fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
+		if fw.eventsOn() {
+			fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
+		}
 		sp.End()
 		if fw.histSend != nil {
 			fw.histSend.Observe(time.Since(t0))
@@ -729,7 +750,9 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
 	}
 	fw.ctr.forwarded.Inc()
-	fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
+	if fw.eventsOn() {
+		fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
+	}
 	sp.End()
 	if fw.histSend != nil {
 		fw.histSend.Observe(time.Since(t0))
@@ -748,6 +771,13 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	// Batch setting, so a batching sender interoperates with a
 	// non-batching receiver.
 	if isBatchContainer(payload) {
+		// A relay host first tries to forward the container verbatim:
+		// when every inner frame shares a non-local next hop, the
+		// container crosses this host as one transport message without
+		// being unpacked (relay.go).
+		if fw.cfg.Relay && fw.relayContainer(from, payload) {
+			return
+		}
 		fw.unbatch(from, payload)
 		return
 	}
@@ -761,6 +791,16 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 			fw.event(telemetry.EventDrop, "", "", "duplicate frame from "+from)
 			return
 		}
+	}
+	// The relay fast path: a frame for another host is forwarded off its
+	// header peeks alone, never decoded here. Frames the peeks cannot
+	// read fall through to the decoding path below, whose audit events
+	// name the defect.
+	if fw.cfg.Relay && fw.relayFrame(from, payload) {
+		if fw.histInbound != nil {
+			fw.histInbound.Observe(time.Since(t0))
+		}
+		return
 	}
 	inner, err := openFrame(fw.cfg.Trust, fw.cfg.ChannelAuth, payload)
 	if err != nil {
@@ -811,9 +851,9 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	}
 	target, err := uri.Parse(targetStr)
 	if err != nil || !fw.isLocal(target) {
-		// This host is not the target; TAX does not relay third-party
-		// traffic (the location-transparent wrapper handles forwarding
-		// above the firewall).
+		// This host is not the target and Relay is off (or the target is
+		// unparseable): a non-relay firewall does not forward third-party
+		// traffic.
 		fw.ctr.errors.Inc()
 		fw.eventBC(bc, telemetry.EventDrop, sender.Principal, targetStr, "target not on this host")
 		sp.SetAttr("outcome", "dropped")
@@ -883,14 +923,16 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 	}
 	fw.clock.Advance(fw.cfg.LocalHopCost)
 	fw.ctr.delivered.Inc()
-	// The allow record carries the matched decision: which registration the
-	// query resolved to and how, so an explain timeline shows the verdict
-	// inline rather than a bare "allow".
-	detail := "matched " + strconv.Itoa(len(matches))
-	if target.HasInstance && chosen.uri.Instance == target.Instance {
-		detail = "exact instance"
+	if fw.eventsOn() {
+		// The allow record carries the matched decision: which registration
+		// the query resolved to and how, so an explain timeline shows the
+		// verdict inline rather than a bare "allow".
+		detail := "matched " + strconv.Itoa(len(matches))
+		if target.HasInstance && chosen.uri.Instance == target.Instance {
+			detail = "exact instance"
+		}
+		fw.eventTS(trace, span, telemetry.EventAllow, senderPrincipal, chosen.uri.String(), detail)
 	}
-	fw.eventTS(trace, span, telemetry.EventAllow, senderPrincipal, chosen.uri.String(), detail)
 	sp.End()
 	return nil
 }

@@ -1,0 +1,178 @@
+package firewall
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"tax/internal/briefcase"
+	"tax/internal/identity"
+)
+
+// fuzzChain is the minimal forwarding fixture: an injected previous hop
+// "a", the relay b under test, and the final receiver d. The tap
+// captures exactly what b hands to the next link.
+type fuzzChain struct {
+	nodes     map[string]*pathNode
+	relay     *Firewall
+	dst       *Registration
+	forwarded [][]byte
+}
+
+func newFuzzChain(t *testing.T) *fuzzChain {
+	t.Helper()
+	trust := &identity.TrustStore{}
+	ch := &fuzzChain{nodes: make(map[string]*pathNode)}
+	for _, name := range []string{"b", "d"} {
+		ch.nodes[name] = &pathNode{addr: name, peers: ch.nodes}
+	}
+	for _, name := range []string{"b", "d"} {
+		self := name
+		fw, err := New(Config{
+			HostName:        name,
+			Node:            ch.nodes[name],
+			Trust:           trust,
+			SystemPrincipal: "system",
+			Relay:           name == "b",
+			Resolve: func(host string, _ int) (string, error) {
+				if host == self {
+					return self, nil
+				}
+				return "d", nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("firewall %s: %v", name, err)
+		}
+		t.Cleanup(func() { _ = fw.Close() })
+		if name == "b" {
+			ch.relay = fw
+		} else {
+			var rerr error
+			if ch.dst, rerr = fw.Register("vm", "system", "dst"); rerr != nil {
+				t.Fatalf("register dst: %v", rerr)
+			}
+		}
+	}
+	ch.nodes["b"].tap = func(_, _ string, payload []byte) {
+		ch.forwarded = append(ch.forwarded, append([]byte(nil), payload...))
+	}
+	return ch
+}
+
+// fuzzContainer wraps frames in a batch container the way the outbound
+// batcher does, so the corpus seeds the container-forwarding path.
+func fuzzContainer(frames ...[]byte) []byte {
+	c := append([]byte(nil), batchMagic[:]...)
+	c = binary.AppendUvarint(c, batchVersion)
+	c = binary.AppendUvarint(c, uint64(len(frames)))
+	for _, f := range frames {
+		c = binary.AppendUvarint(c, uint64(len(f)))
+		c = append(c, f...)
+	}
+	return c
+}
+
+// FuzzForward throws mutated wire bytes at a relay firewall and holds
+// the zero-copy fast path to its contract: whatever the relay decides —
+// forward, drop, or fall back to full mediation — it must never panic,
+// and every frame it does forward must leave byte-identical to how it
+// arrived (the relay reads headers; it has no business writing
+// anything). When the forwarded frame reaches the final receiver and
+// decodes, its folders must match what the frozen PR 5 reference codec
+// reads from the original input — aliasing the wire buffer through
+// routing and transfer must be invisible to the payload.
+func FuzzForward(f *testing.F) {
+	// The corpus covers every envelope the relay inspects: a plain
+	// forwarded frame, a frame for the relay itself, a sealed frame, a
+	// clean container, a mixed container, and junk.
+	fwd := pathBriefcase().Encode()
+	f.Add(append([]byte(nil), fwd...))
+
+	local := briefcase.New()
+	local.SetString("BODY", "for the relay itself")
+	local.SetString(briefcase.FolderSysTarget, "tacoma://b/system/dst")
+	f.Add(local.Encode())
+
+	signer, err := identity.NewPrincipal("fw-a")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealFrame(signer, fwd))
+
+	f.Add(fuzzContainer(fwd, pathBriefcase().Encode()))
+	f.Add(fuzzContainer(fwd, local.Encode()))
+	f.Add([]byte("TAXG junk that is not a container"))
+	f.Add(fwd[:len(fwd)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ch := newFuzzChain(t)
+		in := append([]byte(nil), data...)
+		ch.nodes["b"].handler("a", in)
+
+		// Everything the relay forwards must be verbatim input: the whole
+		// message, or — when a mixed container fell back to unbatch and its
+		// non-local frames took the per-frame relay path — one of the
+		// container's inner frames.
+		verbatim := [][]byte{data}
+		if isBatchContainer(data) {
+			walkContainer(data, func(frame []byte) bool {
+				verbatim = append(verbatim, frame)
+				return true
+			})
+		}
+		for _, out := range ch.forwarded {
+			ok := false
+			for _, want := range verbatim {
+				if bytes.Equal(out, want) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("relay altered forwarded bytes:\n in:  %x\nout: %x", data, out)
+			}
+		}
+		// Cross-check against the reference codec: every briefcase the final
+		// receiver sees must match the reference decode of one of the input's
+		// frames (unsealed first — the seal is the channel's envelope, not
+		// payload). Zero-copy aliasing through routing and transfer must be
+		// invisible to the payload.
+		var refs []*briefcase.Briefcase
+		for _, w := range verbatim {
+			inner, sealed := peekSealed(w)
+			if !sealed {
+				inner = w
+			}
+			if ref, err := briefcase.ReferenceDecode(inner); err == nil {
+				refs = append(refs, ref)
+			}
+		}
+		for {
+			got, ok := ch.dst.TryRecv()
+			if !ok {
+				break
+			}
+			if len(refs) == 0 {
+				// The fast path delivered something the reference codec cannot
+				// read at all; codec agreement is FuzzCrossCodec's contract.
+				continue
+			}
+			matched := false
+			for _, ref := range refs {
+				wantBody, _ := ref.GetString("BODY")
+				wantTarget, _ := ref.GetString(briefcase.FolderSysTarget)
+				haveBody, _ := got.GetString("BODY")
+				haveTarget, _ := got.GetString(briefcase.FolderSysTarget)
+				if wantBody == haveBody && wantTarget == haveTarget {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				body, _ := got.GetString("BODY")
+				t.Fatalf("delivered briefcase (BODY %q) matches no reference decode of the input", body)
+			}
+		}
+	})
+}

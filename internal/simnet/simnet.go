@@ -194,6 +194,7 @@ type Network struct {
 	onRestart      map[string]func()
 	inj            Injector
 	faultObs       func(FaultPoint)
+	tap            func(from, to string, payload []byte)
 	closed         bool
 
 	tel *telemetry.Telemetry
@@ -215,6 +216,17 @@ func New(defaultProfile Profile) *Network {
 		onCrash:        make(map[string]func()),
 		onRestart:      make(map[string]func()),
 	}
+}
+
+// SetTap installs fn, called synchronously for every payload delivered
+// over the wire with exactly the bytes the receiver will see (after any
+// corrupting fault). fn must not retain payload. Tests use it to assert
+// wire-level properties — byte-identical forwarding, container shapes —
+// without instrumenting the endpoints; nil removes the tap.
+func (n *Network) SetTap(fn func(from, to string, payload []byte)) {
+	n.mu.Lock()
+	n.tap = fn
+	n.mu.Unlock()
 }
 
 // OnCrash registers fn to run whenever the named host crashes. The core
@@ -517,18 +529,30 @@ func (h *Host) Send(to string, payload []byte) error {
 
 // SendTimed is Send returning the virtual arrival time.
 func (h *Host) SendTimed(to string, payload []byte) (time.Duration, error) {
-	return h.sendTimed(to, payload, "", "")
+	return h.sendTimed(to, payload, "", "", true)
 }
 
 // SendTraced is Send with trace context attached for fault attribution.
 func (h *Host) SendTraced(to string, payload []byte, traceID, spanID string) error {
-	_, err := h.sendTimed(to, payload, traceID, spanID)
+	_, err := h.sendTimed(to, payload, traceID, spanID, true)
+	return err
+}
+
+// SendOwned is Send for payloads whose ownership passes to the network:
+// the delivery aliases payload instead of taking the defensive copy Send
+// makes, so the caller must not read or write payload after the call.
+// The zero-copy relay path hands its delivery-private inbound buffer to
+// the next link this way — one payload copy per link, made by the
+// origin's Send, and none at relays. Simulated cost is identical to
+// Send's.
+func (h *Host) SendOwned(to string, payload []byte) error {
+	_, err := h.sendTimed(to, payload, "", "", false)
 	return err
 }
 
 var _ TracedNode = (*Host)(nil)
 
-func (h *Host) sendTimed(to string, payload []byte, traceID, spanID string) (time.Duration, error) {
+func (h *Host) sendTimed(to string, payload []byte, traceID, spanID string, copyPayload bool) (time.Duration, error) {
 	select {
 	case <-h.done:
 		return 0, ErrClosed
@@ -628,6 +652,7 @@ func (h *Host) sendTimed(to string, payload []byte, traceID, spanID string) (tim
 	l.ctrMsgs.Inc()
 	l.ctrBytes.Add(int64(len(payload)))
 	hist := n.histTransfer
+	tap := n.tap
 	n.mu.Unlock()
 
 	hist.Observe(arrive - depart)
@@ -640,9 +665,19 @@ func (h *Host) sendTimed(to string, payload []byte, traceID, spanID string) (tim
 	}
 	dst.clock.AdvanceTo(arrive)
 
-	data := append([]byte(nil), payload...)
+	// Send gives the receiver a delivery-private copy; SendOwned was
+	// handed ownership of payload and delivers it as-is. (A corrupting
+	// fault may then mutate the owned buffer in place — the sender
+	// relinquished it.)
+	data := payload
+	if copyPayload {
+		data = append([]byte(nil), payload...)
+	}
 	if dec.Corrupt {
 		corruptPayload(data)
+	}
+	if tap != nil {
+		tap(h.name, to, data)
 	}
 	msg := delivery{from: h.name, payload: data, arriveAt: arrive}
 	if err := dst.enqueue(msg); err != nil {

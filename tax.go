@@ -101,6 +101,8 @@ var (
 	WithFsyncCost      = core.WithFsyncCost
 	WithSnapshotEvery  = core.WithSnapshotEvery
 	WithBatching       = core.WithBatching
+	WithRelay          = core.WithRelay
+	WithGroupCommit    = core.WithGroupCommit
 )
 
 // Agent-programming types.
