@@ -4,7 +4,7 @@ GO ?= go
 # chaos stress tests drive (internal/chaostest/parallel_test.go).
 CHAOS_PARALLEL ?= 16
 
-.PHONY: all build vet test race check ci chaos fuzz-short bench bench-check obsv-demo clean
+.PHONY: all build vet test race check ci chaos fuzz-short policy-fuzz bench bench-check obsv-demo clean
 
 all: check
 
@@ -29,25 +29,34 @@ check: vet build race
 # flakes), the crash-point recovery sweep under the race detector
 # (fixed seeds 11 clean / 13 torn / 17 under faults / 19 every-byte
 # prefix, baked into internal/chaostest/crashpoint_test.go — reruns
-# crash at identical WAL boundaries), the benchmark regression gate
-# (bench-check: fresh runs diffed against the committed BENCH_*.json
-# baselines, wall-clock fields excluded, exits non-zero on drift), and
-# the hotpath benchmark run twice into scratch files: BENCH_hotpath.json
-# holds only exact allocation counts and virtual-clock arithmetic, so
-# any byte difference between the two runs is a determinism regression
-# and fails the build. The committed baselines are never overwritten.
+# crash at identical WAL boundaries), the ten-thousand-principal quota
+# starvation stress under the race detector (tenant isolation at scale,
+# internal/firewall/policy_stress_test.go), the benchmark regression
+# gate (bench-check: fresh runs diffed against the committed
+# BENCH_*.json baselines, wall-clock fields excluded, exits non-zero on
+# drift), and the hotpath and policy benchmarks each run twice into
+# scratch files: both JSON documents hold only exact counts and
+# virtual-clock arithmetic, so any byte difference between the two runs
+# is a determinism regression and fails the build. The committed
+# baselines are never overwritten.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 	else echo "ci: staticcheck not installed, skipping"; fi
 	$(GO) test -race -count=2 ./...
 	$(GO) test -race -timeout 300s -count=1 -run 'CrashPoint' ./internal/chaostest/
+	$(GO) test -race -timeout 300s -count=1 -run 'TestPolicyQuotaStarvation10k' ./internal/firewall/
 	$(GO) run ./cmd/taxbench -check
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run1
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run2
 	cmp BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 || \
 		{ echo "ci: hotpath benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
 	rm -f BENCH_hotpath.json.run1 BENCH_hotpath.json.run2
+	$(GO) run ./cmd/taxbench -exp policy -policy-json BENCH_policy.json.run1
+	$(GO) run ./cmd/taxbench -exp policy -policy-json BENCH_policy.json.run2
+	cmp BENCH_policy.json.run1 BENCH_policy.json.run2 || \
+		{ echo "ci: policy benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
+	rm -f BENCH_policy.json.run1 BENCH_policy.json.run2
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
@@ -68,14 +77,29 @@ chaos:
 # target per invocation: the briefcase codec, the cross-codec oracle
 # (fast encode/decode vs the frozen reference codec on the same bytes),
 # the cabinet WAL record decoder (torn frames, bad CRCs, truncated
-# length prefixes), then the relay fast path (mutated wire bytes
-# through a forwarding firewall: forwarded frames stay byte-identical,
-# delivered payloads match the reference decode of the input).
+# length prefixes), the relay fast path (mutated wire bytes through a
+# forwarding firewall: forwarded frames stay byte-identical, delivered
+# payloads match the reference decode of the input), then the policy
+# layer: the ruleset parser (accept-or-reject, installed invariants
+# hold, Describe never panics) and the evaluator (differential against
+# a literal reference evaluator, deny never widens to allow).
 fuzz-short:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzCrossCodec -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzWALDecode -fuzztime 30s ./internal/cabinet/
 	$(GO) test -fuzz FuzzForward -fuzztime 30s ./internal/firewall/
+	$(GO) test -fuzz FuzzPolicyParse -fuzztime 30s ./internal/policy/
+	$(GO) test -fuzz FuzzPolicyEval -fuzztime 30s ./internal/policy/
+
+# policy-fuzz soaks the policy layer's fuzzers longer than fuzz-short:
+# the URI pattern matcher (parse-or-reject, Match never panics), the
+# ruleset parser, and the differential evaluator. FUZZTIME overrides
+# the per-target budget.
+FUZZTIME ?= 2m
+policy-fuzz:
+	$(GO) test -fuzz FuzzPatternMatch -fuzztime $(FUZZTIME) ./internal/uri/
+	$(GO) test -fuzz FuzzPolicyParse -fuzztime $(FUZZTIME) ./internal/policy/
+	$(GO) test -fuzz FuzzPolicyEval -fuzztime $(FUZZTIME) ./internal/policy/
 
 # bench regenerates every evaluation table; the tel experiment also
 # writes BENCH_telemetry.json, the faults experiment BENCH_faults.json,
@@ -99,4 +123,4 @@ obsv-demo:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 BENCH_policy.json BENCH_policy.json.run1 BENCH_policy.json.run2

@@ -34,6 +34,14 @@
 // exact allocation counts and virtual-clock arithmetic, so reruns are
 // byte-identical; wall-clock ns/op appears in the printed table only.
 //
+// The policy experiment prices the default-deny policy gate: exact
+// Eval/Charge allocation counts at ten thousand tenant buckets, the
+// per-path send allocation delta an AllowAll engine adds over the
+// legacy path (zero when the gate is free), and a ten-thousand-tenant
+// quota-starvation sweep with exact admission counts and virtual-clock
+// throughput, recording BENCH_policy.json (-policy-json to override).
+// Like hotpath, the JSON is byte-identical run to run.
+//
 // The obsv experiment runs the observability demo (EXPERIMENTS E6): a
 // rear-guarded faulty itinerary with a mid-run crash, tower enabled,
 // printing the merged cross-host timeline `taxctl explain` would serve.
@@ -58,7 +66,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, obsv, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, policy, obsv, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
@@ -66,6 +74,7 @@ func main() {
 	parallelJSON := flag.String("parallel-json", "BENCH_parallel.json", "file for the parallel experiment's JSON results ('' disables)")
 	durabilityJSON := flag.String("durability-json", "BENCH_durability.json", "file for the durability experiment's JSON results ('' disables)")
 	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "file for the hotpath experiment's JSON results ('' disables)")
+	policyJSON := flag.String("policy-json", "BENCH_policy.json", "file for the policy experiment's JSON results ('' disables)")
 	check := flag.Bool("check", false, "regression gate: re-run the deterministic experiments and diff against the committed BENCH_*.json baselines; non-zero exit on drift")
 	flag.Parse()
 	if *check {
@@ -75,7 +84,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON, *policyJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
@@ -105,6 +114,13 @@ func runCheck() error {
 				return err
 			}
 			return writeHotpathJSON(path, result)
+		},
+		"BENCH_policy.json": func(path string) error {
+			_, result, err := bench.Policy()
+			if err != nil {
+				return err
+			}
+			return writePolicyJSON(path, result)
 		},
 	}
 	tmp, err := os.MkdirTemp("", "taxbench-check-")
@@ -148,7 +164,7 @@ func runCheck() error {
 	return nil
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON string) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON, policyJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -215,6 +231,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", hotpathJSON)
+			}
+			return t, nil
+		}},
+		{"policy", func() (*bench.Table, error) {
+			t, result, err := bench.Policy()
+			if err != nil {
+				return nil, err
+			}
+			if policyJSON != "" {
+				if err := writePolicyJSON(policyJSON, result); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", policyJSON)
 			}
 			return t, nil
 		}},
@@ -309,6 +338,24 @@ func writeDurabilityJSON(path string, results []bench.DurabilityResult, group []
 // throughput is virtual-clock, so the file is byte-identical run to run
 // — `make ci` relies on that to catch nondeterminism.
 func writeHotpathJSON(path string, result *bench.HotpathResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writePolicyJSON records the policy-gate measurements. Deliberately no
+// timestamp and no wall-clock field: allocation counts and admission
+// totals are exact and throughput is virtual-clock, so the file is
+// byte-identical run to run — `make ci` relies on that.
+func writePolicyJSON(path string, result *bench.PolicyResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -11,6 +11,8 @@
 //	taxctl -node 127.0.0.1:27017 trace 't:h1:2a'
 //	taxctl -node 127.0.0.1:27017 explain            # latest trace
 //	taxctl -node 127.0.0.1:27017 explain 't:h1:2a'
+//	taxctl -node 127.0.0.1:27017 policy             # active ruleset
+//	taxctl -node 127.0.0.1:27017 policyload rules.pol
 //
 // explain asks the node's tower collector (taxd -tower) for the merged
 // cross-host timeline of one trace: spans, firewall verdicts, fault
@@ -40,7 +42,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "reply timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace|explain} [agent-uri|trace-id]")
+		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace|explain|policy|policyload} [agent-uri|trace-id|ruleset-file]")
 		os.Exit(2)
 	}
 	if err := run(*node, flag.Arg(0), flag.Arg(1), *timeout); err != nil {
@@ -118,11 +120,27 @@ func run(target, op, arg string, timeout time.Duration) error {
 		fwOp = firewall.OpTrace
 	case "explain":
 		fwOp = firewall.OpExplain
+	case "policy":
+		fwOp = firewall.OpPolicy
+	case "policyload":
+		fwOp = firewall.OpPolicyLoad
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}
-	if fwOp != firewall.OpList && fwOp != firewall.OpMetrics && fwOp != firewall.OpExplain && arg == "" {
-		return fmt.Errorf("%s needs an argument", op)
+	switch fwOp {
+	case firewall.OpList, firewall.OpMetrics, firewall.OpExplain, firewall.OpPolicy:
+	default:
+		if arg == "" {
+			return fmt.Errorf("%s needs an argument", op)
+		}
+	}
+	if fwOp == firewall.OpPolicyLoad {
+		// The argument is a ruleset file; its text travels in _ARG.
+		text, err := os.ReadFile(arg)
+		if err != nil {
+			return err
+		}
+		arg = string(text)
 	}
 
 	req := briefcase.New()

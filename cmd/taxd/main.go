@@ -43,6 +43,7 @@ import (
 	"tax/internal/firewall"
 	"tax/internal/fleet"
 	"tax/internal/identity"
+	"tax/internal/policy"
 	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
@@ -74,18 +75,20 @@ func main() {
 	fsyncCost := flag.Duration("fsync-cost", cabinet.DefaultSyncLatency, "modeled fsync latency of the node's file cabinet (slept for on a live node)")
 	snapEvery := flag.Int("snapshot-every", cabinet.DefaultSnapshotEvery, "cabinet transactions between WAL compactions (negative disables snapshots)")
 	batchFrames := flag.Int("batch", 0, "coalesce up to N outbound same-destination frames per network transfer (0 disables batching)")
+	policyFile := flag.String("policy", "", "policy ruleset file: default-deny mediation rules + per-principal quotas (hot-reload with 'taxctl policyload')")
+	launchAs := flag.String("launch-principal", "system", "principal the -launch agent runs under (non-system principals are subject to peers' -policy rules)")
 	httpAddr := flag.String("http", "", "serve observability over HTTP: /metrics (Prometheus text) and /traces (OTLP/JSON); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "with -http: also mount net/http/pprof under /debug/pprof/")
 	otlpFile := flag.String("otlp-file", "", "write an OTLP/JSON trace export to this file on shutdown; implies -telemetry")
 	flag.Parse()
 	obsv := obsvConfig{httpAddr: *httpAddr, pprofOn: *pprofOn, otlpFile: *otlpFile}
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames, obsv); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames, *policyFile, *launchAs, obsv); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int, obsv obsvConfig) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int, policyFile, launchAs string, obsv obsvConfig) error {
 	if obsv.httpAddr != "" || obsv.otlpFile != "" {
 		telOn = true
 	}
@@ -189,6 +192,18 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 		// safety flush bounds the latency a coalesced frame can gain.
 		fwCfg.Batch = &firewall.BatchConfig{MaxFrames: batchFrames}
 	}
+	if policyFile != "" {
+		text, err := os.ReadFile(policyFile)
+		if err != nil {
+			return fmt.Errorf("-policy: %w", err)
+		}
+		rs, err := policy.Parse(string(text))
+		if err != nil {
+			// An invalid ruleset fails the boot, never the first send.
+			return fmt.Errorf("-policy %s: %w", policyFile, err)
+		}
+		fwCfg.Policy = policy.New(clock, rs, policy.Quota{})
+	}
 	fw, err := firewall.New(fwCfg)
 	if err != nil {
 		return err
@@ -267,7 +282,7 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 			return bc
 		}
 		if fleetN <= 1 {
-			if _, err := gvm.Launch("system", "hello", "hello_world", buildBC()); err != nil {
+			if _, err := gvm.Launch(launchAs, "hello", "hello_world", buildBC()); err != nil {
 				return err
 			}
 		} else {

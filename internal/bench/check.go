@@ -58,6 +58,13 @@ func SpecFor(file string) (CheckSpec, bool) {
 			"msgs_per_virtual_sec": 0.001,
 			"fsyncs_per_txn":       0.001,
 		}}, true
+	case "BENCH_policy.json":
+		// Allocation counts and admission totals are exact integers; only
+		// the throughput quotient (exact integers divided into a float)
+		// gets the same 0.1% ulp band as the hotpath file.
+		return CheckSpec{Rel: map[string]float64{
+			"msgs_per_virtual_sec": 0.001,
+		}}, true
 	case "BENCH_telemetry.json":
 		return CheckSpec{Skip: map[string]bool{
 			"time": true, "per_round_ns": true, "overhead_pct": true,
@@ -73,7 +80,7 @@ func SpecFor(file string) (CheckSpec, bool) {
 // diffs. (telemetry and faults files embed wall-clock results and are not
 // committed, so they are not gated.)
 func CheckedFiles() []string {
-	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json"}
+	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json", "BENCH_policy.json"}
 }
 
 // Check diffs a current benchmark document against its committed baseline

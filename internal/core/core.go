@@ -20,6 +20,7 @@ import (
 	"tax/internal/firewall"
 	"tax/internal/identity"
 	"tax/internal/naming"
+	"tax/internal/policy"
 	"tax/internal/services"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
@@ -89,6 +90,17 @@ type NodeOptions struct {
 	// bounds the coalesce window (zero: cabinet.DefaultGroupMaxTxns).
 	GroupCommit  bool
 	GroupMaxTxns int
+	// Policy, when non-empty, is the node's initial policy ruleset text
+	// (see internal/policy for the grammar). It is parsed at AddNode —
+	// a bad ruleset fails the boot, not a later mediation — and
+	// installed as version 1 of the node's policy engine. Hot reload
+	// goes through FW.ReloadPolicy or the "policyload" management op.
+	Policy string
+	// Quota, when non-nil, is the default per-principal quota applied
+	// to principals no quota rule matches. Setting only Quota (no
+	// Policy) runs the engine with the allow-all compatibility ruleset:
+	// legacy mediation decisions, metered.
+	Quota *policy.Quota
 }
 
 // Node is one TAX host: firewall, VMs, service agents and local stores.
@@ -374,6 +386,24 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 			return twr.Trace(traceID).ExplainLines()
 		}
 	}
+	var eng *policy.Engine
+	if opts.Policy != "" || opts.Quota != nil {
+		var rs *policy.Ruleset
+		if opts.Policy != "" {
+			rs, err = policy.Parse(opts.Policy)
+			if err != nil {
+				return nil, fmt.Errorf("core: node %s policy: %w", name, err)
+			}
+		} else {
+			// Quotas without rules: meter the legacy mediation decisions.
+			rs = policy.AllowAll()
+		}
+		var dq policy.Quota
+		if opts.Quota != nil {
+			dq = *opts.Quota
+		}
+		eng = policy.New(host.Clock(), rs, dq)
+	}
 	fw, err := firewall.New(firewall.Config{
 		HostName:        name,
 		Node:            host,
@@ -395,6 +425,7 @@ func (s *System) AddNode(name string, opts NodeOptions) (*Node, error) {
 		Telemetry:     nodeTel,
 		Durable:       store,
 		Explain:       explain,
+		Policy:        eng,
 	})
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"tax/internal/firewall"
+	"tax/internal/policy"
 	"tax/internal/telemetry"
 )
 
@@ -117,6 +118,27 @@ func WithGroupCommit(maxTxns int) Option {
 		o.GroupCommit = true
 		o.GroupMaxTxns = maxTxns
 	}
+}
+
+// WithPolicy installs a declarative mediation ruleset on the node's
+// firewall (see internal/policy for the line grammar: default
+// allow/deny, first-match allow/deny/park rules over principal glob ×
+// operation × target URI pattern, quota lines). The text is parsed at
+// AddNode time — a bad ruleset fails the boot — and every non-system
+// mediation is then evaluated against it, default-deny when no rule
+// matches. Hot reload goes through Node.FW.ReloadPolicy or the
+// "policyload" management operation.
+func WithPolicy(ruleset string) Option {
+	return func(o *NodeOptions) { o.Policy = ruleset }
+}
+
+// WithQuotas sets the default per-principal token-bucket quota: the
+// rate/byte limits charged to principals no quota rule matches. Used
+// alone (no WithPolicy) it meters the legacy mediation decisions under
+// the allow-all compatibility ruleset; combined with WithPolicy, quota
+// lines in the ruleset take precedence per principal.
+func WithQuotas(q policy.Quota) Option {
+	return func(o *NodeOptions) { o.Quota = &q }
 }
 
 // AddNodeWith boots a host configured by functional options. It is

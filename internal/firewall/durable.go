@@ -192,7 +192,10 @@ func (fw *Firewall) RecoverDurable() int {
 			continue
 		}
 		fw.eventBC(bc, telemetry.EventRecover, principal, target.String(), "park entry recovered from cabinet")
-		if err := fw.routeLocal(principal, target, bc); err != nil {
+		// dispatch re-mediates under whatever policy ruleset is active
+		// after the restart: a policy-held park re-parks, re-forwards or
+		// is denied afresh — the journal records no verdicts.
+		if err := fw.dispatch(principal, target, bc); err != nil {
 			fw.eventBC(bc, telemetry.EventError, principal, target.String(), "recovered park re-route: "+err.Error())
 		}
 		n++

@@ -31,6 +31,17 @@ const FolderErrCode = "_ERRCODE"
 // envelopes: a parked message outlived its receiver's grace period.
 var ErrExpired = errors.New("firewall: parked message expired")
 
+// ErrPolicyDenied is the sentinel behind policy-engine deny verdicts: a
+// rule (or the default-deny fall-through) refused the mediation. It
+// crosses the wire as code "fw_policy_denied", so a sender on another
+// host gets an errors.Is-able rejection back.
+var ErrPolicyDenied = errors.New("firewall: denied by policy")
+
+// ErrQuotaExceeded is the sentinel behind quota refusals: the sending
+// principal's message or byte token bucket could not cover the send.
+// Wire code "fw_quota".
+var ErrQuotaExceeded = errors.New("firewall: quota exceeded")
+
 // RemoteError is an error that crossed the wire as a KindError
 // briefcase (or an _ERROR reply folder). Reason is the sender's
 // human-readable message; Code, when non-empty, names the sentinel the
@@ -122,4 +133,6 @@ func init() {
 	RegisterErrorCode("fw_expired", ErrExpired)
 	RegisterErrorCode("fw_unsigned", ErrUnsigned)
 	RegisterErrorCode("fw_channel_auth", ErrChannelAuth)
+	RegisterErrorCode("fw_policy_denied", ErrPolicyDenied)
+	RegisterErrorCode("fw_quota", ErrQuotaExceeded)
 }

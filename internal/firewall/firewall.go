@@ -25,6 +25,7 @@ import (
 	"tax/internal/briefcase"
 	"tax/internal/cabinet"
 	"tax/internal/identity"
+	"tax/internal/policy"
 	"tax/internal/simnet"
 	"tax/internal/telemetry"
 	"tax/internal/uri"
@@ -141,6 +142,17 @@ type Config struct {
 	// the tower collector; the firewall itself has only a per-host view
 	// and cannot answer.
 	Explain func(traceID string) []string
+	// Policy, when set, is the declarative mediation layer: every
+	// non-system mediation is evaluated against its active ruleset
+	// (allow/deny/park, first match wins, default deny) and charged
+	// against the sending principal's quota buckets. The system
+	// principal is exempt — it is the trusted computing base the engine
+	// itself depends on (service replies, error envelopes, management
+	// replies). Nil preserves the legacy trust-check-only mediation
+	// exactly. Hot reload goes through ReloadPolicy (or the OpPolicyLoad
+	// management operation); the engine swaps rulesets atomically, so no
+	// mediation ever sees a partially-applied ruleset.
+	Policy *policy.Engine
 }
 
 // Stats is the legacy counter view, retained as a compatibility facade
@@ -170,6 +182,8 @@ type pendingMsg struct {
 	timer           *time.Timer
 	shard           int    // park-table stripe index (by target name)
 	key             string // cabinet journal key ("" when not journaled)
+	policyHeld      bool   // parked by a policy park verdict: released
+	// only by a reload (or expiry), never by a matching registration
 }
 
 // fwCounters are the firewall's pre-resolved registry counters: resolved
@@ -189,6 +203,10 @@ type fwCounters struct {
 	batchRecv       *telemetry.Counter
 	relayed         *telemetry.Counter
 	relayContainers *telemetry.Counter
+	policyAllow     *telemetry.Counter
+	policyDeny      *telemetry.Counter
+	policyPark      *telemetry.Counter
+	policyQuota     *telemetry.Counter
 }
 
 // Firewall is the per-host broker. Create with New, shut down with Close.
@@ -289,6 +307,10 @@ func New(cfg Config) (*Firewall, error) {
 			batchRecv:       reg.Counter("fw.batch_recv", "host", cfg.HostName),
 			relayed:         reg.Counter("fw.relayed", "host", cfg.HostName),
 			relayContainers: reg.Counter("fw.relay_containers", "host", cfg.HostName),
+			policyAllow:     reg.Counter("fw.policy_allow", "host", cfg.HostName),
+			policyDeny:      reg.Counter("fw.policy_deny", "host", cfg.HostName),
+			policyPark:      reg.Counter("fw.policy_park", "host", cfg.HostName),
+			policyQuota:     reg.Counter("fw.policy_quota", "host", cfg.HostName),
 		},
 		park:         newParkTable(reg, cfg.HostName),
 		regs:         make(map[string][]*Registration),
@@ -466,7 +488,9 @@ func (fw *Firewall) Register(vmName, principal, name string) (*Registration, err
 	// park table arbitrates with its own stripe locks, so a message is
 	// taken by exactly one of a concurrent flush and expiry.
 	flush := fw.park.takeMatching(name, func(p *pendingMsg) bool {
-		return r.uri.Matches(p.target) &&
+		// Policy-held messages wait for a reload verdict, not a receiver:
+		// a matching registration must not leak them past the park rule.
+		return !p.policyHeld && r.uri.Matches(p.target) &&
 			(p.target.Principal != "" || r.uri.Principal == fw.cfg.SystemPrincipal ||
 				r.uri.Principal == p.senderPrincipal)
 	})
@@ -635,12 +659,53 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		}
 		return err
 	}
+	// Policy gate for remote forwards: the origin host mediates before
+	// anything is encoded or queued (the receiving host re-mediates on
+	// arrival under its own ruleset; relays stay header-only).
+	ruleID := ""
+	if eng := fw.cfg.Policy; eng != nil && sender.Principal != fw.cfg.SystemPrincipal {
+		v := eng.Eval(sender.Principal, policyOpFor(target, bc), target)
+		switch v.Effect {
+		case policy.Deny:
+			fw.ctr.policyDeny.Inc()
+			fw.eventBC(bc, telemetry.EventDeny, sender.Principal, targetStr, "policy rule="+v.RuleID)
+			err := fmt.Errorf("%w (rule %s)", ErrPolicyDenied, v.RuleID)
+			sp.SetErr(err)
+			sp.End()
+			return err
+		case policy.Park:
+			err := fw.parkPolicy(sender.Principal, target, bc, v.RuleID)
+			if err == nil {
+				sp.SetAttr("outcome", "parked")
+			}
+			sp.SetErr(err)
+			sp.End()
+			return err
+		}
+		fw.ctr.policyAllow.Inc()
+		ruleID = v.RuleID
+	}
+	err = fw.forwardRemote(ctx, sender.Principal, target, targetStr, bc, sp, ruleID)
+	sp.SetErr(err)
+	sp.End()
+	if fw.histSend != nil {
+		fw.histSend.Observe(time.Since(t0))
+	}
+	return err
+}
+
+// forwardRemote encodes a briefcase and pushes it toward a remote host:
+// resolve, seal, charge the sender's byte quota, then either the batch
+// queue or the retrying transport send. It is the tail of SendCtx and
+// the re-dispatch path for policy-held parks; it neither re-stamps
+// _SENDER nor re-checks sender liveness, so a reload can re-dispatch a
+// held message whose sender has since unregistered. ruleID, when
+// non-empty, is the allow verdict carried into the forward audit event.
+func (fw *Firewall) forwardRemote(ctx context.Context, senderPrincipal string, target uri.URI, targetStr string, bc *briefcase.Briefcase, sp *telemetry.Span, ruleID string) error {
 	addr, err := fw.cfg.Resolve(target.Host, target.EffectivePort())
 	if err != nil {
 		fw.ctr.errors.Inc()
-		fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "resolve: "+err.Error())
-		sp.SetErr(err)
-		sp.End()
+		fw.eventBC(bc, telemetry.EventError, senderPrincipal, targetStr, "resolve: "+err.Error())
 		return fmt.Errorf("firewall: resolve %s: %w", target.Host, err)
 	}
 	// The frame is encoded into a pooled buffer: both transports (and
@@ -653,6 +718,17 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 	if fw.cfg.ChannelSigner != nil {
 		release()
 		release = func() {}
+	}
+	// Byte quotas charge the encoded frame — the bytes that actually
+	// cross the wire — at the origin host. Local deliveries never
+	// encode, so they are message-metered only.
+	if eng := fw.cfg.Policy; eng != nil && senderPrincipal != fw.cfg.SystemPrincipal {
+		if qid, ok := eng.Charge(senderPrincipal, int64(len(frame))); !ok {
+			release()
+			fw.ctr.policyQuota.Inc()
+			fw.eventBC(bc, telemetry.EventQuota, senderPrincipal, targetStr, "quota rule="+qid)
+			return fmt.Errorf("%w (rule %s)", ErrQuotaExceeded, qid)
+		}
 	}
 	// The network transfer gets its own child span so per-hop migration
 	// cost splits into mediation versus wire time. Retries stay inside
@@ -677,27 +753,25 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 		tsp.End()
 		if err != nil {
 			fw.ctr.errors.Inc()
-			fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
-			sp.SetErr(err)
-			sp.End()
+			fw.eventBC(bc, telemetry.EventError, senderPrincipal, targetStr, "forward: "+err.Error())
 			return err
 		}
 		fw.ctr.forwarded.Inc()
 		if fw.eventsOn() {
-			fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "batched to "+addr)
-		}
-		sp.End()
-		if fw.histSend != nil {
-			fw.histSend.Observe(time.Since(t0))
+			cause := "batched to " + addr
+			if ruleID != "" {
+				cause += " rule=" + ruleID
+			}
+			fw.eventBC(bc, telemetry.EventForward, senderPrincipal, targetStr, cause)
 		}
 		return nil
 	}
-	policy := fw.forwardPolicy(bc)
-	attempts := policy.Attempts
+	rp := fw.forwardPolicy(bc)
+	attempts := rp.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
-	backoff := policy.Backoff
+	backoff := rp.Backoff
 	start := fw.clock.Now()
 	// Traced transports learn which itinerary this transfer belongs to, so
 	// fault injections on the wire are journaled under the right trace. The
@@ -719,11 +793,11 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 			err = ctxErr
 			break
 		}
-		if policy.Deadline > 0 && fw.clock.Now()-start+backoff > policy.Deadline {
+		if rp.Deadline > 0 && fw.clock.Now()-start+backoff > rp.Deadline {
 			break
 		}
 		fw.ctr.retries.Inc()
-		fw.eventBC(bc, telemetry.EventRetry, sender.Principal, targetStr,
+		fw.eventBC(bc, telemetry.EventRetry, senderPrincipal, targetStr,
 			fmt.Sprintf("attempt %d/%d failed (%v); backing off %v", attempt, attempts, err, backoff))
 		// The host clock pays the backoff: virtual clocks advance without
 		// sleeping, real clocks really wait.
@@ -740,22 +814,20 @@ func (fw *Firewall) SendCtx(ctx context.Context, sender uri.URI, bc *briefcase.B
 	tsp.End()
 	if err != nil {
 		fw.ctr.errors.Inc()
-		fw.eventBC(bc, telemetry.EventError, sender.Principal, targetStr, "forward: "+err.Error())
-		if policy.Enabled() {
-			fw.eventBC(bc, telemetry.EventGiveUp, sender.Principal, targetStr,
+		fw.eventBC(bc, telemetry.EventError, senderPrincipal, targetStr, "forward: "+err.Error())
+		if rp.Enabled() {
+			fw.eventBC(bc, telemetry.EventGiveUp, senderPrincipal, targetStr,
 				fmt.Sprintf("forward abandoned after %d attempts: %v", attempt, err))
 		}
-		sp.SetErr(err)
-		sp.End()
 		return fmt.Errorf("firewall: forward to %s: %w", addr, err)
 	}
 	fw.ctr.forwarded.Inc()
 	if fw.eventsOn() {
-		fw.eventBC(bc, telemetry.EventForward, sender.Principal, targetStr, "to "+addr)
-	}
-	sp.End()
-	if fw.histSend != nil {
-		fw.histSend.Observe(time.Since(t0))
+		cause := "to " + addr
+		if ruleID != "" {
+			cause += " rule=" + ruleID
+		}
+		fw.eventBC(bc, telemetry.EventForward, senderPrincipal, targetStr, cause)
 	}
 	return nil
 }
@@ -863,6 +935,13 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 	if err := fw.routeLocal(sender.Principal, target, bc); err != nil {
 		fw.ctr.errors.Inc()
 		sp.SetErr(err)
+		// A policy or quota rejection of cross-host traffic travels back
+		// typed: the sender gets a KindError envelope whose _ERRCODE
+		// reconstructs ErrPolicyDenied / ErrQuotaExceeded under errors.Is
+		// on its side of the wire.
+		if errors.Is(err, ErrPolicyDenied) || errors.Is(err, ErrQuotaExceeded) {
+			fw.replyError(bc, sender, err.Error(), err)
+		}
 	}
 	sp.End()
 	if fw.histInbound != nil {
@@ -871,9 +950,41 @@ func (fw *Firewall) handleInbound(from string, payload []byte) {
 }
 
 // routeLocal delivers a briefcase to a local agent, the firewall's own
-// management interface, or the parking queue.
+// management interface, or the parking queue. It is the single local
+// mediation choke point — inbound frames, local sends and recovered
+// parks all pass through it — so the policy gate at its head covers
+// every path by construction (crash-recovered parks re-mediate under
+// whatever ruleset is active after the restart, for free).
 func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) error {
+	ruleID := ""
+	if eng := fw.cfg.Policy; eng != nil && senderPrincipal != fw.cfg.SystemPrincipal {
+		// Patterns see one canonical form: a local target carries this
+		// host's name, whether the sender wrote it or not.
+		norm := target
+		if norm.Host == "" {
+			norm.Host = fw.cfg.HostName
+		}
+		v := eng.Eval(senderPrincipal, policyOpFor(target, bc), norm)
+		switch v.Effect {
+		case policy.Deny:
+			fw.ctr.policyDeny.Inc()
+			fw.eventBC(bc, telemetry.EventDeny, senderPrincipal, target.String(), "policy rule="+v.RuleID)
+			return fmt.Errorf("%w (rule %s)", ErrPolicyDenied, v.RuleID)
+		case policy.Park:
+			return fw.parkPolicy(senderPrincipal, target, bc, v.RuleID)
+		}
+		if qid, ok := eng.Charge(senderPrincipal, 0); !ok {
+			fw.ctr.policyQuota.Inc()
+			fw.eventBC(bc, telemetry.EventQuota, senderPrincipal, target.String(), "quota rule="+qid)
+			return fmt.Errorf("%w (rule %s)", ErrQuotaExceeded, qid)
+		}
+		fw.ctr.policyAllow.Inc()
+		ruleID = v.RuleID
+	}
 	if target.Name == FirewallName || Kind(bc) == KindManagement {
+		if ruleID != "" && fw.eventsOn() {
+			fw.eventBC(bc, telemetry.EventAllow, senderPrincipal, target.String(), "mgmt rule="+ruleID)
+		}
 		return fw.handleManagement(senderPrincipal, bc)
 	}
 	sp := fw.span(bc, "fw.route")
@@ -903,10 +1014,14 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 		chosen = matches[0]
 	}
 	if chosen == nil {
-		fw.parkMsg(senderPrincipal, target, bc)
+		fw.parkMsg(senderPrincipal, target, bc, false)
 		fw.mu.RUnlock()
 		fw.ctr.queued.Inc()
-		fw.eventBC(bc, telemetry.EventPark, senderPrincipal, target.String(), "receiver not registered")
+		cause := "receiver not registered"
+		if ruleID != "" {
+			cause += " rule=" + ruleID
+		}
+		fw.eventBC(bc, telemetry.EventPark, senderPrincipal, target.String(), cause)
 		sp.SetAttr("outcome", "parked")
 		sp.End()
 		return nil
@@ -931,6 +1046,9 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 		if target.HasInstance && chosen.uri.Instance == target.Instance {
 			detail = "exact instance"
 		}
+		if ruleID != "" {
+			detail = "rule=" + ruleID + " " + detail
+		}
 		fw.eventTS(trace, span, telemetry.EventAllow, senderPrincipal, chosen.uri.String(), detail)
 	}
 	sp.End()
@@ -940,10 +1058,10 @@ func (fw *Firewall) routeLocal(senderPrincipal string, target uri.URI, bc *brief
 // parkMsg queues a message for a receiver that has not arrived yet.
 // Callers hold at least the read side of fw.mu (to order the park
 // against Close and Register).
-func (fw *Firewall) parkMsg(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase) {
+func (fw *Firewall) parkMsg(senderPrincipal string, target uri.URI, bc *briefcase.Briefcase, policyHeld bool) {
 	p := &pendingMsg{
 		target: target, senderPrincipal: senderPrincipal, bc: bc,
-		shard: shardFor(target.Name),
+		shard: shardFor(target.Name), policyHeld: policyHeld,
 	}
 	// Journal before arming the timer: once the park is observable it is
 	// already durable, so no window exists where a crash loses a parked
@@ -1006,7 +1124,7 @@ func (fw *Firewall) expire(p *pendingMsg) {
 			fw.mu.RUnlock()
 			return
 		}
-		fw.parkMsg(fw.cfg.SystemPrincipal, sender, report)
+		fw.parkMsg(fw.cfg.SystemPrincipal, sender, report, false)
 		fw.mu.RUnlock()
 		fw.ctr.queued.Inc()
 		fw.event(telemetry.EventPark, fw.cfg.SystemPrincipal, sender.String(),
@@ -1084,6 +1202,14 @@ const (
 	// tower collector through Config.Explain; fails when no tower is
 	// attached.
 	OpExplain = "explain"
+	// OpPolicy asks for the active policy ruleset description (version,
+	// default, one row per rule and quota with verdict ids). Read-only,
+	// so Trusted suffices; fails when no policy engine is configured.
+	OpPolicy = "policy"
+	// OpPolicyLoad hot-reloads the policy ruleset from the text in _ARG.
+	// System only. A ruleset that fails to parse is rejected whole and
+	// the old one stays fully in effect.
+	OpPolicyLoad = "policyload"
 )
 
 // Management folder names.
@@ -1102,7 +1228,7 @@ func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Brief
 	op, _ := bc.GetString(FolderOp)
 
 	required := identity.System
-	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace || op == OpExplain {
+	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace || op == OpExplain || op == OpPolicy {
 		required = identity.Trusted
 	}
 	var opErr error
@@ -1203,6 +1329,21 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 			traceID = "latest"
 		}
 		return fw.cfg.Explain(traceID), nil
+	case OpPolicy:
+		if fw.cfg.Policy == nil {
+			return nil, errors.New("firewall: no policy engine configured")
+		}
+		return fw.cfg.Policy.Describe(), nil
+	case OpPolicyLoad:
+		text, ok := bc.GetString(FolderArg)
+		if !ok {
+			return nil, fmt.Errorf("firewall: %s needs %s", op, FolderArg)
+		}
+		v, err := fw.ReloadPolicy(text)
+		if err != nil {
+			return nil, err
+		}
+		return []string{"version|" + strconv.FormatUint(v, 10)}, nil
 	case OpRuntime, OpKill, OpStop, OpResume:
 		argStr, ok := bc.GetString(FolderArg)
 		if !ok {

@@ -120,6 +120,34 @@ func (t *parkTable) takeMatching(name string, match func(*pendingMsg) bool) []*p
 	return out
 }
 
+// takeHeld removes and returns every policy-held parked message, across
+// all stripes (held messages hash by target name like any other, and a
+// reload must reconsider all of them). The same stripe-lock arbitration
+// as takeMatching applies: a message is taken by exactly one of a
+// concurrent reload and its expiry timer.
+func (t *parkTable) takeHeld() []*pendingMsg {
+	var out []*pendingMsg
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		rest := s.pending[:0]
+		for _, p := range s.pending {
+			if p.policyHeld {
+				out = append(out, p)
+			} else {
+				rest = append(rest, p)
+			}
+		}
+		s.pending = rest
+		s.gauge.Set(int64(len(s.pending)))
+		s.mu.Unlock()
+	}
+	if len(out) > 0 {
+		t.total.Add(int64(-len(out)))
+	}
+	return out
+}
+
 // drain empties every stripe and returns all parked messages (Close).
 func (t *parkTable) drain() []*pendingMsg {
 	var out []*pendingMsg

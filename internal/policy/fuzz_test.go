@@ -1,0 +1,135 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"tax/internal/uri"
+	"tax/internal/vclock"
+)
+
+// FuzzPolicyParse: arbitrary ruleset text never panics the parser, and
+// anything that parses respects the structural invariants — bounded
+// rule count, a Default that is never Park, and every rule compiled
+// well enough to evaluate and describe without panicking.
+func FuzzPolicyParse(f *testing.F) {
+	f.Add("default allow\n")
+	f.Add("default deny\ntrusted: allow tacoma@* * **\nquota tourist rate=10 burst=20\n")
+	f.Add("park tourist send vm_*\n# comment\n")
+	f.Add("quota * rate=1 bytes=2 bytesburst=3\n")
+	f.Add("x: deny * transfer tacoma://*.uit.no:27017/**\n")
+	f.Add("default allow\ndefault deny\n")
+	f.Add(strings.Repeat("allow a send **\n", 10))
+	f.Fuzz(func(t *testing.T, text string) {
+		rs, err := Parse(text)
+		if err != nil {
+			if rs != nil {
+				t.Fatal("Parse returned both a ruleset and an error")
+			}
+			return
+		}
+		if len(rs.Rules)+len(rs.Quotas) > MaxRules {
+			t.Fatalf("parsed %d rules, cap is %d", len(rs.Rules)+len(rs.Quotas), MaxRules)
+		}
+		if rs.Default != Allow && rs.Default != Deny {
+			t.Fatalf("parsed default %v, want allow or deny only", rs.Default)
+		}
+		for _, q := range rs.Quotas {
+			if q.Rate < 0 || q.Rate > MaxRate || q.Burst < 0 || q.Burst > MaxRate ||
+				q.Bytes < 0 || q.Bytes > MaxRate || q.ByteBurst < 0 || q.ByteBurst > MaxRate {
+				t.Fatalf("quota out of range: %+v", q)
+			}
+		}
+		// A parsed ruleset must install and run without panicking.
+		e := New(vclock.NewVirtual(), rs, Quota{})
+		u, _ := uri.Parse("ag_fs")
+		_ = e.Eval("tourist", OpSend, u)
+		_, _ = e.Charge("tourist", 1)
+		_ = e.Describe()
+	})
+}
+
+// refEval is the obviously-correct reference evaluator: a literal
+// transcription of the documented semantics (top to bottom, first match
+// wins, fall through to the default), using a recursive reference glob
+// for principal matching.
+func refEval(rs *Ruleset, ids []string, defID, principal, op string, target uri.URI) Verdict {
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		if r.Op != OpAny && r.Op != op {
+			continue
+		}
+		if !refGlobMatch(r.Principal, principal) {
+			continue
+		}
+		if !r.Target.Match(target) {
+			continue
+		}
+		return Verdict{r.Effect, ids[i]}
+	}
+	return Verdict{rs.Default, defID}
+}
+
+func refGlobMatch(pat, s string) bool {
+	if pat == "" {
+		return s == ""
+	}
+	if pat[0] == '*' {
+		for i := 0; i <= len(s); i++ {
+			if refGlobMatch(pat[1:], s[i:]) {
+				return true
+			}
+		}
+		return false
+	}
+	return s != "" && pat[0] == s[0] && refGlobMatch(pat[1:], s[1:])
+}
+
+// FuzzPolicyEval: for any ruleset that parses and any
+// (principal, op, target), Eval never panics, agrees with the reference
+// evaluator, and never widens the allowlist — a ruleset with no allow
+// rule and a deny default can never produce an Allow verdict.
+func FuzzPolicyEval(f *testing.F) {
+	f.Add("default deny\nallow tourist send vm_*\n", "tourist", uint8(0), "vm_c")
+	f.Add("default deny\npark t* * **\n", "tourist", uint8(1), "tacoma://h/t/vm_c:2a")
+	f.Add("deny * * **\n", "anyone", uint8(2), "ag_fs")
+	f.Add("default allow\n", "", uint8(0), ":ff")
+	f.Fuzz(func(t *testing.T, text, principal string, opSel uint8, targetStr string) {
+		rs, err := Parse(text)
+		if err != nil {
+			return
+		}
+		u, err := uri.Parse(targetStr)
+		if err != nil {
+			return
+		}
+		op := [3]string{OpSend, OpTransfer, OpMgmt}[opSel%3]
+		e := New(vclock.NewVirtual(), rs, Quota{})
+
+		got := e.Eval(principal, op, u)
+
+		// Differential: the lock-free engine agrees with the reference.
+		c := e.cur.Load()
+		want := refEval(rs, c.ruleIDs, c.defID, principal, op, u)
+		if got != want {
+			t.Fatalf("Eval(%q, %s, %q) = %+v, reference says %+v\nruleset:\n%s",
+				principal, op, targetStr, got, want, text)
+		}
+
+		// Never-widen: no allow rule + deny default => never Allow, no
+		// matter what the input looks like.
+		hasAllowRule := false
+		for _, r := range rs.Rules {
+			if r.Effect == Allow {
+				hasAllowRule = true
+				break
+			}
+		}
+		if !hasAllowRule && rs.Default == Deny && got.Effect == Allow {
+			t.Fatalf("allow verdict %+v from an allowless deny-default ruleset:\n%s", got, text)
+		}
+		if got.RuleID == "" {
+			t.Fatalf("verdict %+v carries no rule id", got)
+		}
+	})
+}

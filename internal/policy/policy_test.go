@@ -1,0 +1,143 @@
+package policy
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"tax/internal/uri"
+)
+
+func TestParseRuleset(t *testing.T) {
+	text := `
+# comment line
+default deny
+
+trusted: allow tacoma@*  *        **
+allow            system   mgmt     tacoma://*.uit.no/**
+hold:   park     tourist* send     vm_*
+deny             *        transfer **   # trailing comment
+
+lim:    quota    tourist* rate=10 burst=20 bytes=4096
+quota            *        rate=100
+`
+	rs, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if rs.Default != Deny {
+		t.Errorf("Default = %v, want deny", rs.Default)
+	}
+	if len(rs.Rules) != 4 || len(rs.Quotas) != 2 {
+		t.Fatalf("got %d rules, %d quotas, want 4 and 2", len(rs.Rules), len(rs.Quotas))
+	}
+	r := rs.Rules[0]
+	if r.Label != "trusted" || r.Effect != Allow || r.Principal != "tacoma@*" || r.Op != OpAny {
+		t.Errorf("rule 0 = %+v", r)
+	}
+	if rs.Rules[2].Effect != Park || rs.Rules[2].Op != OpSend {
+		t.Errorf("rule 2 = %+v", rs.Rules[2])
+	}
+	q := rs.Quotas[0]
+	if q.Label != "lim" || q.Rate != 10 || q.Burst != 20 || q.Bytes != 4096 || q.ByteBurst != 4096 {
+		t.Errorf("quota 0 = %+v (ByteBurst should default to Bytes)", q)
+	}
+	if rs.Quotas[1].Burst != 100 {
+		t.Errorf("quota 1 Burst = %d, want defaulted to Rate", rs.Quotas[1].Burst)
+	}
+	if rs.Text() != text {
+		t.Error("Text() does not round-trip the source")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name, text, wantSub string
+	}{
+		{"unknown keyword", "grant a send **\n", "unknown keyword"},
+		{"bad default", "default maybe\n", "want allow|deny"},
+		{"duplicate default", "default allow\ndefault deny\n", "duplicate default"},
+		{"labelled default", "x: default allow\n", "default takes no label"},
+		{"missing fields", "allow a send\n", "needs <principal> <op> <target>"},
+		{"bad op", "allow a sendmsg **\n", "bad op"},
+		{"bad principal glob", "allow a^b send **\n", "bad principal glob"},
+		{"bad target", "allow a send 'oops'\n", "target:"},
+		{"bad label rune", "b@d: allow a send **\n", "bad label"},
+		{"label without rule", "lonely:\n", "label without a rule"},
+		{"bad label", "no spaces: allow a send **\n", "unknown keyword"},
+		{"bare colon label", ": allow a send **\n", "unknown keyword"},
+		{"quota no fields", "quota a\n", "quota needs"},
+		{"quota bad kv", "quota a rate\n", "want key=N"},
+		{"quota bad key", "quota a pace=1\n", "quota key"},
+		{"quota negative", "quota a rate=-1\n", "want 0.."},
+		{"quota over maxrate", "quota a rate=1000000001\n", "want 0.."},
+		{"quota burst alone", "quota a burst=5\n", "burst without a rate"},
+		{"quota bytesburst alone", "quota a bytesburst=5\n", "burst without a rate"},
+		{"long line", "allow a send " + strings.Repeat("x", MaxLine) + "\n", "longer than"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.text)
+			if !errors.Is(err, ErrParse) {
+				t.Fatalf("Parse = %v, want ErrParse", err)
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+			if !strings.Contains(err.Error(), "line ") {
+				t.Errorf("error %q carries no line number", err)
+			}
+		})
+	}
+}
+
+func TestParseCaps(t *testing.T) {
+	if _, err := Parse(strings.Repeat("#", MaxText+1)); !errors.Is(err, ErrParse) {
+		t.Errorf("oversized ruleset: %v, want ErrParse", err)
+	}
+	var sb strings.Builder
+	for i := 0; i <= MaxRules; i++ {
+		sb.WriteString("allow a send **\n")
+	}
+	if _, err := Parse(sb.String()); !errors.Is(err, ErrParse) {
+		t.Errorf("too many rules: %v, want ErrParse", err)
+	}
+}
+
+// TestDefaultDenyProperty: the zero value of everything denies. An empty
+// ruleset, a missing default line, and the zero Effect all refuse.
+func TestDefaultDenyProperty(t *testing.T) {
+	if Effect(0) != Deny {
+		t.Fatal("zero Effect is not Deny")
+	}
+	for _, text := range []string{"", "# only a comment\n", "allow system mgmt **\n"} {
+		rs := MustParse(text)
+		if rs.Default != Deny {
+			t.Errorf("ruleset %q defaults to %v, want deny", text, rs.Default)
+		}
+	}
+}
+
+func TestAllowAll(t *testing.T) {
+	rs := AllowAll()
+	if rs.Default != Allow || len(rs.Rules) != 0 || len(rs.Quotas) != 0 {
+		t.Errorf("AllowAll = %+v", rs)
+	}
+}
+
+func TestEffectString(t *testing.T) {
+	for eff, want := range map[Effect]string{Deny: "deny", Allow: "allow", Park: "park", Effect(99): "deny"} {
+		if got := eff.String(); got != want {
+			t.Errorf("Effect(%d).String() = %q, want %q", eff, got, want)
+		}
+	}
+}
+
+func target(t *testing.T, s string) uri.URI {
+	t.Helper()
+	u, err := uri.Parse(s)
+	if err != nil {
+		t.Fatalf("uri.Parse(%q): %v", s, err)
+	}
+	return u
+}

@@ -35,6 +35,10 @@ const (
 	// EventFlush records a batched-mediation flush pushing a container of
 	// coalesced frames onto one link.
 	EventFlush = "flush"
+	// EventQuota records a briefcase refused because the sending
+	// principal's rate or byte quota was exhausted (the policy engine's
+	// token buckets); the cause names the quota rule that refused.
+	EventQuota = "quota"
 )
 
 // Event is one structured audit-log entry.

@@ -422,7 +422,7 @@ func (v *BinVM) Launch(principal, name, binaryName string, bc *briefcase.Briefca
 	} else {
 		PackBinaries(bc, dep)
 	}
-	if v.cfg.Signer != nil {
+	if v.cfg.Signer != nil && principal == v.cfg.Signer.Name() {
 		firewall.SignCore(bc, v.cfg.Signer)
 	}
 	return v.run(principal, name, dep.Handler, bc)
@@ -511,9 +511,7 @@ func (v *BinVM) Move(c *agent.Context, dest uri.URI, spawn bool) (uint64, error)
 		out.SetString(agent.FolderSpawn, "1")
 		out.SetString(firewall.FolderMsgID, msgID)
 	}
-	if v.cfg.Signer != nil {
-		firewall.SignCore(out, v.cfg.Signer)
-	}
+	signTransfer(out, c.Registration().URI().Principal, v.cfg.Signer)
 	if err := c.Activate(dest.String(), out); err != nil {
 		scrubTransferFolders(out)
 		out.Drop(FolderAgentName)

@@ -331,6 +331,22 @@ func scrubTransferFolders(bc *briefcase.Briefcase) {
 	bc.Drop(firewall.FolderMsgID)
 }
 
+// signTransfer stamps an outgoing transfer's principal claim. The host
+// signer may only vouch for agents acting as its own principal — signing
+// a tenant agent's core with the system key would re-principal the agent
+// as system on arrival, exempting it from every destination's policy
+// gate. For any other principal the claim is stamped unsigned (and any
+// stale signature from a prior hop dropped), so the arrival VM activates
+// the agent as the principal it actually acts for.
+func signTransfer(bc *briefcase.Briefcase, principal string, signer *identity.Principal) {
+	if signer != nil && principal == signer.Name() {
+		firewall.SignCore(bc, signer)
+		return
+	}
+	bc.SetString(briefcase.FolderSysPrincipal, principal)
+	bc.Drop(briefcase.FolderSysSignature)
+}
+
 // Launch starts a fresh agent on this VM: program is resolved in the
 // pre-deployed registry, the CODE folder is set so the agent can move
 // later, and the handler runs on its own goroutine.
@@ -483,9 +499,7 @@ func (v *GoVM) Move(c *agent.Context, dest uri.URI, spawn bool) (uint64, error) 
 		out.SetString(agent.FolderSpawn, "1")
 		out.SetString(firewall.FolderMsgID, msgID)
 	}
-	if v.cfg.Signer != nil {
-		firewall.SignCore(out, v.cfg.Signer)
-	}
+	signTransfer(out, c.Registration().URI().Principal, v.cfg.Signer)
 	// The transfer goes out through the agent's send path so wrappers
 	// observe the departure (a move is a send like any other in §4's
 	// minimal interface).

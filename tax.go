@@ -52,6 +52,7 @@ import (
 	"tax/internal/firewall"
 	"tax/internal/group"
 	"tax/internal/identity"
+	"tax/internal/policy"
 	"tax/internal/rearguard"
 	"tax/internal/services"
 	"tax/internal/simnet"
@@ -80,6 +81,11 @@ type (
 	BatchConfig = firewall.BatchConfig
 	// RetryPolicy governs firewall forward retries.
 	RetryPolicy = firewall.RetryPolicy
+	// Quota is a per-principal token-bucket limit for WithQuotas (and
+	// the quota lines of a WithPolicy ruleset).
+	Quota = policy.Quota
+	// PolicyRuleset is a parsed policy (see ParsePolicy).
+	PolicyRuleset = policy.Ruleset
 )
 
 // Functional node options, re-exported from core. Each sets one
@@ -103,7 +109,20 @@ var (
 	WithBatching       = core.WithBatching
 	WithRelay          = core.WithRelay
 	WithGroupCommit    = core.WithGroupCommit
+	WithPolicy         = core.WithPolicy
+	WithQuotas         = core.WithQuotas
 )
+
+// ParsePolicy validates and compiles policy ruleset text without
+// installing it anywhere — the same parser WithPolicy and hot reload
+// run, so configuration pipelines can reject bad rulesets early.
+func ParsePolicy(text string) (*PolicyRuleset, error) { return policy.Parse(text) }
+
+// StampTrace marks a briefcase as the root of a fresh telemetry trace
+// and returns the trace id: launch an agent with a stamped briefcase and
+// its whole itinerary — hops, mediations, policy verdicts — collects as
+// one explain timeline (taxctl explain).
+func StampTrace(bc *Briefcase, host string) string { return agent.StampTrace(bc, host) }
 
 // Agent-programming types.
 type (
@@ -238,6 +257,12 @@ var (
 	ErrUnsigned = firewall.ErrUnsigned
 	// ErrChannelAuth: inter-firewall channel authentication failed.
 	ErrChannelAuth = firewall.ErrChannelAuth
+	// ErrPolicyDenied: a policy rule (or the default-deny fall-through)
+	// refused the mediation. Crosses the wire as code fw_policy_denied.
+	ErrPolicyDenied = firewall.ErrPolicyDenied
+	// ErrQuotaExceeded: the sending principal's rate or byte quota was
+	// exhausted. Crosses the wire as code fw_quota.
+	ErrQuotaExceeded = firewall.ErrQuotaExceeded
 
 	// ErrDropped / ErrHostDown / ErrPartitioned: the simulated network
 	// refused or lost the transfer.
@@ -322,4 +347,8 @@ const (
 	OpStop = firewall.OpStop
 	// OpResume resumes a stopped agent.
 	OpResume = firewall.OpResume
+	// OpPolicy asks for the active policy ruleset description.
+	OpPolicy = firewall.OpPolicy
+	// OpPolicyLoad hot-reloads the policy ruleset from the text in _ARG.
+	OpPolicyLoad = firewall.OpPolicyLoad
 )
