@@ -34,11 +34,16 @@ check: vet build race
 # internal/firewall/policy_stress_test.go), the benchmark regression
 # gate (bench-check: fresh runs diffed against the committed
 # BENCH_*.json baselines, wall-clock fields excluded, exits non-zero on
-# drift), and the hotpath and policy benchmarks each run twice into
-# scratch files: both JSON documents hold only exact counts and
-# virtual-clock arithmetic, so any byte difference between the two runs
-# is a determinism regression and fails the build. The committed
-# baselines are never overwritten.
+# drift), the directory-plane chaos sweep under the race detector
+# (seeded owner-crash-during-write and partitioned-replica storms, plus
+# the dup/drop fault-plan frames case — zero acked registrations lost,
+# zero dual-location names, typed lease expiry;
+# internal/chaostest/directory_test.go), and the hotpath, policy and
+# directory benchmarks each run twice into scratch files: all three
+# JSON documents hold only exact counts and virtual-clock arithmetic,
+# so any byte difference between the two runs is a determinism
+# regression and fails the build. The committed baselines are never
+# overwritten.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -46,6 +51,7 @@ ci:
 	$(GO) test -race -count=2 ./...
 	$(GO) test -race -timeout 300s -count=1 -run 'CrashPoint' ./internal/chaostest/
 	$(GO) test -race -timeout 300s -count=1 -run 'TestPolicyQuotaStarvation10k' ./internal/firewall/
+	$(GO) test -race -timeout 600s -count=1 -run 'TestDirectory' ./internal/chaostest/
 	$(GO) run ./cmd/taxbench -check
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run1
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run2
@@ -57,6 +63,11 @@ ci:
 	cmp BENCH_policy.json.run1 BENCH_policy.json.run2 || \
 		{ echo "ci: policy benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
 	rm -f BENCH_policy.json.run1 BENCH_policy.json.run2
+	$(GO) run ./cmd/taxbench -exp directory -directory-json BENCH_directory.json.run1
+	$(GO) run ./cmd/taxbench -exp directory -directory-json BENCH_directory.json.run2
+	cmp BENCH_directory.json.run1 BENCH_directory.json.run2 || \
+		{ echo "ci: directory benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
+	rm -f BENCH_directory.json.run1 BENCH_directory.json.run2
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
@@ -123,4 +134,4 @@ obsv-demo:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 BENCH_policy.json BENCH_policy.json.run1 BENCH_policy.json.run2
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 BENCH_policy.json BENCH_policy.json.run1 BENCH_policy.json.run2 BENCH_directory.json BENCH_directory.json.run1 BENCH_directory.json.run2

@@ -46,6 +46,13 @@
 // rear-guarded faulty itinerary with a mid-run crash, tower enabled,
 // printing the merged cross-host timeline `taxctl explain` would serve.
 //
+// The directory experiment prices the leased, sharded directory plane
+// (EXPERIMENTS E9): one hundred thousand agents register, renew and
+// resolve across shard counts {1, 4, 16}, recording exact shard loads,
+// allocation counts and LAN100 virtual-clock registration throughput
+// and lookup latency to BENCH_directory.json (-directory-json to
+// override). The JSON is byte-identical run to run.
+//
 // taxbench -check is the benchmark regression gate: it re-runs the
 // deterministic experiments behind the committed BENCH_*.json baselines
 // and diffs the fresh results against them (wall-clock fields excluded,
@@ -66,7 +73,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, policy, obsv, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, policy, directory, obsv, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
@@ -75,6 +82,7 @@ func main() {
 	durabilityJSON := flag.String("durability-json", "BENCH_durability.json", "file for the durability experiment's JSON results ('' disables)")
 	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "file for the hotpath experiment's JSON results ('' disables)")
 	policyJSON := flag.String("policy-json", "BENCH_policy.json", "file for the policy experiment's JSON results ('' disables)")
+	directoryJSON := flag.String("directory-json", "BENCH_directory.json", "file for the directory experiment's JSON results ('' disables)")
 	check := flag.Bool("check", false, "regression gate: re-run the deterministic experiments and diff against the committed BENCH_*.json baselines; non-zero exit on drift")
 	flag.Parse()
 	if *check {
@@ -84,7 +92,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON, *policyJSON); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON, *policyJSON, *directoryJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
@@ -121,6 +129,13 @@ func runCheck() error {
 				return err
 			}
 			return writePolicyJSON(path, result)
+		},
+		"BENCH_directory.json": func(path string) error {
+			_, result, err := bench.Directory()
+			if err != nil {
+				return err
+			}
+			return writeDirectoryJSON(path, result)
 		},
 	}
 	tmp, err := os.MkdirTemp("", "taxbench-check-")
@@ -164,7 +179,7 @@ func runCheck() error {
 	return nil
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON, policyJSON string) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON, policyJSON, directoryJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -244,6 +259,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", policyJSON)
+			}
+			return t, nil
+		}},
+		{"directory", func() (*bench.Table, error) {
+			t, result, err := bench.Directory()
+			if err != nil {
+				return nil, err
+			}
+			if directoryJSON != "" {
+				if err := writeDirectoryJSON(directoryJSON, result); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", directoryJSON)
 			}
 			return t, nil
 		}},
@@ -356,6 +384,24 @@ func writeHotpathJSON(path string, result *bench.HotpathResult) error {
 // totals are exact and throughput is virtual-clock, so the file is
 // byte-identical run to run — `make ci` relies on that.
 func writePolicyJSON(path string, result *bench.PolicyResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(result); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeDirectoryJSON records the directory-plane sweep. Deliberately no
+// timestamp and no wall-clock field: shard loads and allocation counts
+// are exact and the makespan is LAN100 virtual-clock arithmetic, so the
+// file is byte-identical run to run — `make ci` relies on that.
+func writeDirectoryJSON(path string, result *bench.DirectoryResult) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -13,6 +13,13 @@
 //	taxctl -node 127.0.0.1:27017 explain 't:h1:2a'
 //	taxctl -node 127.0.0.1:27017 policy             # active ruleset
 //	taxctl -node 127.0.0.1:27017 policyload rules.pol
+//	taxctl -node 127.0.0.1:27017 dir                # directory ring
+//	taxctl -node 127.0.0.1:27017 dir leases         # ring|counts|leases|health
+//
+// dir inspects the node's directory-plane shard (taxd nodes enrolled in
+// the leased, sharded name service): consistent-hash ring ownership,
+// per-shard binding counts, the lease table (agent instance ids masked,
+// so output is byte-identical for a seed), and replica health.
 //
 // explain asks the node's tower collector (taxd -tower) for the merged
 // cross-host timeline of one trace: spans, firewall verdicts, fault
@@ -42,7 +49,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "reply timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace|explain|policy|policyload} [agent-uri|trace-id|ruleset-file]")
+		fmt.Fprintln(os.Stderr, "usage: taxctl -node host:port {list|runtime|kill|stop|resume|metrics|trace|explain|policy|policyload|dir} [agent-uri|trace-id|ruleset-file|dir-verb]")
 		os.Exit(2)
 	}
 	if err := run(*node, flag.Arg(0), flag.Arg(1), *timeout); err != nil {
@@ -124,11 +131,13 @@ func run(target, op, arg string, timeout time.Duration) error {
 		fwOp = firewall.OpPolicy
 	case "policyload":
 		fwOp = firewall.OpPolicyLoad
+	case "dir":
+		fwOp = firewall.OpDir
 	default:
 		return fmt.Errorf("unknown operation %q", op)
 	}
 	switch fwOp {
-	case firewall.OpList, firewall.OpMetrics, firewall.OpExplain, firewall.OpPolicy:
+	case firewall.OpList, firewall.OpMetrics, firewall.OpExplain, firewall.OpPolicy, firewall.OpDir:
 	default:
 		if arg == "" {
 			return fmt.Errorf("%s needs an argument", op)

@@ -40,6 +40,7 @@ import (
 	"tax/internal/agent"
 	"tax/internal/briefcase"
 	"tax/internal/cabinet"
+	"tax/internal/directory"
 	"tax/internal/firewall"
 	"tax/internal/fleet"
 	"tax/internal/identity"
@@ -76,19 +77,22 @@ func main() {
 	snapEvery := flag.Int("snapshot-every", cabinet.DefaultSnapshotEvery, "cabinet transactions between WAL compactions (negative disables snapshots)")
 	batchFrames := flag.Int("batch", 0, "coalesce up to N outbound same-destination frames per network transfer (0 disables batching)")
 	policyFile := flag.String("policy", "", "policy ruleset file: default-deny mediation rules + per-principal quotas (hot-reload with 'taxctl policyload')")
+	dirPlane := flag.String("dir", "", "comma-separated host:port membership of the leased directory plane; must include this node's address (enrolls an ag_nsd shard, inspect with 'taxctl dir')")
+	dirReplicas := flag.Int("dir-replicas", 2, "with -dir: copies of each name binding (clamped to the membership size)")
+	dirTTL := flag.Duration("dir-ttl", directory.DefaultTTL, "with -dir: lease length granted to name registrations")
 	launchAs := flag.String("launch-principal", "system", "principal the -launch agent runs under (non-system principals are subject to peers' -policy rules)")
 	httpAddr := flag.String("http", "", "serve observability over HTTP: /metrics (Prometheus text) and /traces (OTLP/JSON); implies -telemetry")
 	pprofOn := flag.Bool("pprof", false, "with -http: also mount net/http/pprof under /debug/pprof/")
 	otlpFile := flag.String("otlp-file", "", "write an OTLP/JSON trace export to this file on shutdown; implies -telemetry")
 	flag.Parse()
 	obsv := obsvConfig{httpAddr: *httpAddr, pprofOn: *pprofOn, otlpFile: *otlpFile}
-	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames, *policyFile, *launchAs, obsv); err != nil {
+	if err := run(*listen, *launch, *telOn, *telDump, *telEvery, *retry, *fleetN, *workers, *fsyncCost, *snapEvery, *batchFrames, *policyFile, *launchAs, *dirPlane, *dirReplicas, *dirTTL, obsv); err != nil {
 		fmt.Fprintln(os.Stderr, "taxd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int, policyFile, launchAs string, obsv obsvConfig) error {
+func run(listen, launch string, telOn bool, telDump string, telEvery time.Duration, retry string, fleetN, workers int, fsyncCost time.Duration, snapEvery int, batchFrames int, policyFile, launchAs, dirPlane string, dirReplicas int, dirTTL time.Duration, obsv obsvConfig) error {
 	if obsv.httpAddr != "" || obsv.otlpFile != "" {
 		telOn = true
 	}
@@ -246,6 +250,46 @@ func run(listen, launch string, telOn bool, telDump string, telEvery time.Durati
 			return err
 		}
 	}
+	// Directory-plane enrollment: this node serves its consistent-hash
+	// share of the leased name table, replicating writes to its ring
+	// peers; the same membership list (and so the same ring) must be
+	// passed to every member.
+	if dirPlane != "" {
+		members := strings.Split(dirPlane, ",")
+		for i := range members {
+			members[i] = strings.TrimSpace(members[i])
+		}
+		self := net.JoinHostPort(host, strconv.Itoa(port))
+		enrolled := false
+		for _, m := range members {
+			if m == self {
+				enrolled = true
+			}
+		}
+		if !enrolled {
+			return fmt.Errorf("-dir: membership %v does not include this node (%s)", members, self)
+		}
+		ring, err := directory.NewRing(members, 0, dirReplicas)
+		if err != nil {
+			return fmt.Errorf("-dir: %w", err)
+		}
+		dsrv := directory.NewServer(directory.Config{
+			Node:      self,
+			Ring:      ring,
+			FW:        fw,
+			Principal: "system",
+			Store:     store,
+			TTL:       dirTTL,
+		})
+		programs.Register(directory.ServiceName, dsrv.Handler())
+		if _, err := gvm.Launch("system", directory.ServiceName, directory.ServiceName, nil); err != nil {
+			return err
+		}
+		fw.SetDir(dsrv.Rows)
+		fmt.Printf("taxd: directory shard %s (ring of %d, %d replicas, ttl %v)\n",
+			self, len(ring.Nodes()), ring.Replicas(), dirTTL)
+	}
+
 	programs.Register("hello_world", func(ctx *agent.Context) error {
 		fmt.Printf("[%s] Hello world (instance %x)\n", node.Addr(), ctx.URI().Instance)
 		hosts, err := ctx.Briefcase().Folder(briefcase.FolderHosts)

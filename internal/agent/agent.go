@@ -300,12 +300,18 @@ func (c *Context) MeetCtx(ctx context.Context, target string, payload *briefcase
 // system components performing RPCs on an agent's behalf (a location
 // lookup inside a send-interceptor must not re-enter that interceptor).
 func (c *Context) MeetDirect(target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
+	return c.MeetDirectCtx(context.Background(), target, payload, timeout)
+}
+
+// MeetDirectCtx is MeetDirect with cancellation: the context covers the
+// send and the reply wait (PR 5 context-first convention).
+func (c *Context) MeetDirectCtx(ctx context.Context, target string, payload *briefcase.Briefcase, timeout time.Duration) (*briefcase.Briefcase, error) {
 	id := nextMsgID()
 	payload.SetString(firewall.FolderMsgID, id)
-	if err := c.ActivateDirect(target, payload); err != nil {
+	if err := c.ActivateDirectCtx(ctx, target, payload); err != nil {
 		return nil, err
 	}
-	return c.awaitReply(context.Background(), id, timeout)
+	return c.awaitReply(ctx, id, timeout)
 }
 
 // Reply answers a briefcase received via Await/Meet service loops: the

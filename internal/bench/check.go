@@ -65,6 +65,15 @@ func SpecFor(file string) (CheckSpec, bool) {
 		return CheckSpec{Rel: map[string]float64{
 			"msgs_per_virtual_sec": 0.001,
 		}}, true
+	case "BENCH_directory.json":
+		// Shard loads, allocation counts and the LAN100 latencies are
+		// exact; the two quotient fields (makespan in ms, registrations
+		// per virtual second) divide exact integers and get the standard
+		// 0.1% ulp band.
+		return CheckSpec{Rel: map[string]float64{
+			"register_makespan_ms": 0.001,
+			"regs_per_virtual_sec": 0.001,
+		}}, true
 	case "BENCH_telemetry.json":
 		return CheckSpec{Skip: map[string]bool{
 			"time": true, "per_round_ns": true, "overhead_pct": true,
@@ -80,7 +89,7 @@ func SpecFor(file string) (CheckSpec, bool) {
 // diffs. (telemetry and faults files embed wall-clock results and are not
 // committed, so they are not gated.)
 func CheckedFiles() []string {
-	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json", "BENCH_policy.json"}
+	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json", "BENCH_policy.json", "BENCH_directory.json"}
 }
 
 // Check diffs a current benchmark document against its committed baseline

@@ -17,6 +17,7 @@ import (
 	"tax/internal/agent"
 	"tax/internal/briefcase"
 	"tax/internal/cabinet"
+	"tax/internal/directory"
 	"tax/internal/firewall"
 	"tax/internal/identity"
 	"tax/internal/naming"
@@ -54,6 +55,12 @@ type NodeOptions struct {
 	// NameService additionally launches the ag_ns location registry on
 	// this node (typically only the deployment's home node runs one).
 	NameService bool
+	// NameTTL is the lease length the node's ag_ns table grants on
+	// updates; zero keeps bindings forever (the pre-lease behaviour).
+	// With a TTL, a binding whose owner stopped renewing (say, its host
+	// crashed) expires to a typed naming.ErrExpired instead of
+	// resolving to the dead location.
+	NameTTL time.Duration
 	// OnAgentDone observes every agent completion on this node's VMs
 	// (nil on clean exit, agent.ErrMoved after a move, else the fault).
 	OnAgentDone func(name string, err error)
@@ -128,6 +135,9 @@ type Node struct {
 	WrapperSpecs *wrapper.SpecRegistry
 	// Names is the local name table when the node runs ag_ns, else nil.
 	Names *naming.Table
+	// Dir is the node's directory plane member when the deployment
+	// enabled the plane and this node is in its ring, else nil.
+	Dir *directory.Server
 	// Host is the simulated machine carrying the node.
 	Host *simnet.Host
 	// Arch is the host architecture tag.
@@ -225,6 +235,11 @@ type System struct {
 	nodes map[string]*Node
 	tel   *telemetry.Telemetry
 	twr   *tower.Collector
+
+	// dirRing/dirCfg hold the directory plane configuration when
+	// EnableDirectory was called (before the member nodes are added).
+	dirRing *directory.Ring
+	dirCfg  DirectoryConfig
 }
 
 // NewSystem creates an empty deployment whose host pairs default to the
@@ -567,8 +582,17 @@ func (s *System) launchServices(node *Node, opts NodeOptions) error {
 		svcs["ag_cc"] = services.NewAgCC("ag_exec", 0, opts.Trace)
 	}
 	if opts.NameService {
-		node.Names = &naming.Table{}
+		// Recreated on every (re)launch: the table is volatile state and a
+		// restart boots with an empty one (leases make the loss visible as
+		// typed expiries instead of silent unbounds).
+		node.Names = &naming.Table{TTL: opts.NameTTL}
 		svcs[naming.ServiceName] = naming.NewService(node.Names)
+	}
+	if srv := s.directoryServer(node); srv != nil {
+		svcs[directory.ServiceName] = srv.Handler()
+	}
+	if srv := s.directoryServer(node); srv != nil {
+		svcs[directory.ServiceName] = srv.Handler()
 	}
 	names := make([]string, 0, len(svcs))
 	for n := range svcs {

@@ -240,6 +240,12 @@ type Firewall struct {
 	// (nil unless cfg.Batch is set).
 	batch *batcher
 
+	// dirMu guards dir, the directory plane's management dump hook
+	// (SetDir). Bound after New because the plane server needs the
+	// firewall first — the same late-binding shape as Config.Explain.
+	dirMu sync.RWMutex
+	dir   func(verb string) ([]string, error)
+
 	// mu guards the registration map. It is a RWMutex so concurrent
 	// mediations (lookups) proceed in parallel; only registration
 	// changes take the write side.
@@ -1210,6 +1216,11 @@ const (
 	// System only. A ruleset that fails to parse is rejected whole and
 	// the old one stays fully in effect.
 	OpPolicyLoad = "policyload"
+	// OpDir asks the directory plane member on this host for a
+	// management dump; _ARG selects the verb (ring, counts, leases,
+	// health). Read-only, so Trusted suffices; served through SetDir and
+	// fails when the host is not a plane member.
+	OpDir = "dir"
 )
 
 // Management folder names.
@@ -1228,7 +1239,7 @@ func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Brief
 	op, _ := bc.GetString(FolderOp)
 
 	required := identity.System
-	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace || op == OpExplain || op == OpPolicy {
+	if op == OpList || op == OpRuntime || op == OpMetrics || op == OpTrace || op == OpExplain || op == OpPolicy || op == OpDir {
 		required = identity.Trusted
 	}
 	var opErr error
@@ -1269,6 +1280,20 @@ func (fw *Firewall) handleManagement(senderPrincipal string, bc *briefcase.Brief
 		return sendErr
 	}
 	return nil
+}
+
+// SetDir binds the directory plane's management dump (served as the
+// "dir" management op). Called by core when the host joins the plane.
+func (fw *Firewall) SetDir(fn func(verb string) ([]string, error)) {
+	fw.dirMu.Lock()
+	fw.dir = fn
+	fw.dirMu.Unlock()
+}
+
+func (fw *Firewall) dirFn() func(verb string) ([]string, error) {
+	fw.dirMu.RLock()
+	defer fw.dirMu.RUnlock()
+	return fw.dir
 }
 
 // applyOp executes one management operation and returns the reply rows.
@@ -1334,6 +1359,16 @@ func (fw *Firewall) applyOp(op string, bc *briefcase.Briefcase) ([]string, error
 			return nil, errors.New("firewall: no policy engine configured")
 		}
 		return fw.cfg.Policy.Describe(), nil
+	case OpDir:
+		dir := fw.dirFn()
+		if dir == nil {
+			return nil, errors.New("firewall: host is not a directory plane member")
+		}
+		verb, ok := bc.GetString(FolderArg)
+		if !ok || verb == "" {
+			verb = "ring"
+		}
+		return dir(verb)
 	case OpPolicyLoad:
 		text, ok := bc.GetString(FolderArg)
 		if !ok {

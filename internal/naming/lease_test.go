@@ -1,0 +1,91 @@
+package naming_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"tax/internal/core"
+	"tax/internal/naming"
+	"tax/internal/simnet"
+)
+
+// TestStaleBindingExpiresAfterHostCrash pins the stale-binding bug: a
+// registry without leases kept resolving an agent on a crashed host to
+// its dead location forever. With a lease TTL the binding stops being
+// renewed when the host dies, and lookups surface the typed ns_expired
+// error instead of the dead URI.
+func TestStaleBindingExpiresAfterHostCrash(t *testing.T) {
+	const ttl = 50 * time.Millisecond
+	s, err := core.NewSystem(simnet.LAN100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	home, err := s.AddNodeWith("home", core.WithoutCVM(), core.WithNameService(), core.WithNameTTL(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddNode("h2", core.NodeOptions{NoCVM: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// An agent on h2 registers its location, renewing like the
+	// location-transparent wrapper does on every hop.
+	ctx := scratchCtx(t, home, "observer")
+	home.Names.Update("traveller", "tacoma://h2/alice/webbot:7", home.Host.Clock().Now())
+
+	c := naming.Client{Service: naming.ServiceName}
+	loc, err := c.Lookup(ctx, "traveller")
+	if err != nil || loc != "tacoma://h2/alice/webbot:7" {
+		t.Fatalf("live lookup = %q, %v", loc, err)
+	}
+
+	// h2 dies; nothing renews the binding. Once the lease runs out the
+	// registry must stop serving the dead location.
+	s.Net.Crash("h2")
+	home.Host.Charge(2 * ttl)
+
+	_, err = c.Lookup(ctx, "traveller")
+	if err == nil {
+		t.Fatal("stale binding still resolves after its host crashed and the lease expired")
+	}
+	if !errors.Is(err, naming.ErrExpired) {
+		t.Fatalf("stale lookup err = %v, want typed ns_expired", err)
+	}
+
+	// The crashed agent's replacement can re-bind the name.
+	home.Names.Update("traveller", "tacoma://h3/alice/webbot:9", home.Host.Clock().Now())
+	if loc, err := c.Lookup(ctx, "traveller"); err != nil || loc != "tacoma://h3/alice/webbot:9" {
+		t.Fatalf("re-bound lookup = %q, %v", loc, err)
+	}
+}
+
+// TestClientCtxVariants exercises the PR 5 context-first API: a
+// cancelled context aborts the RPC, a live one behaves like the shims.
+func TestClientCtxVariants(t *testing.T) {
+	n := newNode(t)
+	ctx := scratchCtx(t, n, "ctxer")
+	c := naming.Client{Service: naming.ServiceName}
+
+	if err := c.UpdateCtx(context.Background(), ctx, "stable"); err != nil {
+		t.Fatalf("UpdateCtx: %v", err)
+	}
+	loc, err := c.LookupCtx(context.Background(), ctx, "stable")
+	if err != nil || loc == "" {
+		t.Fatalf("LookupCtx = %q, %v", loc, err)
+	}
+	if err := c.DropCtx(context.Background(), ctx, "stable"); err != nil {
+		t.Fatalf("DropCtx: %v", err)
+	}
+	if _, err := c.LookupCtx(context.Background(), ctx, "stable"); !errors.Is(err, naming.ErrUnbound) {
+		t.Fatalf("dropped LookupCtx err = %v, want ErrUnbound", err)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.LookupCtx(cancelled, ctx, "stable"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled LookupCtx err = %v, want context.Canceled", err)
+	}
+}

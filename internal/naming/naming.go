@@ -6,16 +6,27 @@
 // package is the substrate the location-transparent wrapper uses: a home
 // registry mapping stable agent names to their current location, updated
 // by the wrapper on every move.
+//
+// Since the directory plane landed, the registry's storage is a
+// directory.Shard: bindings are versioned and lease-based, so a crashed
+// agent's entry expires to a typed ErrExpired instead of resolving to a
+// dead location forever, and the same record format scales out to the
+// sharded, replicated plane (package directory) without a migration.
+// This package keeps the single-node ag_ns service for small
+// deployments and the wrapper tests; fleet-scale deployments run the
+// plane via core.EnableDirectory and point the wrapper at a
+// directory.Client — both satisfy Resolver.
 package naming
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"tax/internal/agent"
 	"tax/internal/briefcase"
+	"tax/internal/directory"
 	"tax/internal/firewall"
 	"tax/internal/services"
 	"tax/internal/vm"
@@ -24,74 +35,105 @@ import (
 // ServiceName is the registry service agent's name.
 const ServiceName = "ag_ns"
 
-// Registry operations (services.FolderOp values).
+// Registry operations (services.FolderOp values); shared with the
+// directory plane protocol.
 const (
 	// OpUpdate records the caller's (or a named agent's) location.
-	OpUpdate = "update"
+	OpUpdate = directory.OpUpdate
 	// OpLookup resolves a stable name to its last known location.
-	OpLookup = "lookup"
+	OpLookup = directory.OpLookup
 	// OpDrop removes a binding.
-	OpDrop = "drop"
+	OpDrop = directory.OpDrop
 )
 
-// Registry folders.
+// Registry folders (shared with the directory plane protocol).
 const (
 	// FolderName is the stable agent name being bound or resolved.
-	FolderName = "_NSNAME"
+	FolderName = directory.FolderName
 	// FolderLocation is the routable agent URI bound to the name.
-	FolderLocation = "_NSLOC"
+	FolderLocation = directory.FolderLocation
 )
 
-// ErrUnbound is returned when a name has no binding.
-var ErrUnbound = errors.New("naming: name not bound")
+// Typed registry errors. These are the directory plane's sentinels:
+// they cross the wire as RemoteError codes (ns_unbound, ns_expired,
+// ns_no_quorum), so errors.Is(err, naming.ErrUnbound) holds even when
+// the lookup failed on another host.
+var (
+	// ErrUnbound is returned when a name has no binding.
+	ErrUnbound = directory.ErrUnbound
+	// ErrExpired is returned when a binding's lease ran out — the
+	// location on record may be dead and is not served.
+	ErrExpired = directory.ErrExpired
+	// ErrNoQuorum is returned when a replicated write could not be
+	// acknowledged by the full replica set.
+	ErrNoQuorum = directory.ErrNoQuorum
+)
 
-// Binding is one name→location record.
-type Binding struct {
-	Name     string
-	Location string
-	Updated  time.Duration // host virtual time of the last update
+// Binding is one name→location record (versioned and leased; see
+// directory.Binding).
+type Binding = directory.Binding
+
+// Resolver is the name-registry contract the location-transparent
+// wrapper programs against: the single-node Client and the plane's
+// directory.Client both satisfy it.
+type Resolver interface {
+	Update(ctx *agent.Context, name string) error
+	Lookup(ctx *agent.Context, name string) (string, error)
+	Drop(ctx *agent.Context, name string) error
 }
 
-// Table is the in-memory name table behind the service agent; exposed
-// for direct (same-process) inspection in tools and tests.
+// Table is the single-node name table behind the ag_ns service agent;
+// exposed for direct (same-process) inspection in tools and tests.
+// The zero value is ready to use and grants non-expiring leases; set
+// TTL before first use to make bindings lease out.
 type Table struct {
-	mu sync.RWMutex
-	m  map[string]Binding
+	// TTL is the lease length granted on updates; zero means bindings
+	// never expire (the pre-directory behaviour).
+	TTL time.Duration
+
+	shard *directory.Shard
 }
 
-// Update binds name to location.
+func (t *Table) s() *directory.Shard {
+	// Lazily built so the zero Table keeps working; callers configure
+	// TTL before first use (core does, at node construction).
+	if t.shard == nil {
+		t.shard = directory.NewShard(nil, t.TTL)
+	}
+	return t.shard
+}
+
+// Update binds name to location under a fresh lease.
 func (t *Table) Update(name, location string, now time.Duration) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.m == nil {
-		t.m = make(map[string]Binding)
-	}
-	t.m[name] = Binding{Name: name, Location: location, Updated: now}
+	_, _ = t.s().Coordinate(name, location, false, now)
 }
 
-// Lookup resolves a name.
+// Lookup resolves a name, ignoring lease expiry (same-process callers
+// that do not track virtual time; the service itself uses LookupAt).
 func (t *Table) Lookup(name string) (Binding, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	b, ok := t.m[name]
-	if !ok {
-		return Binding{}, fmt.Errorf("%w: %q", ErrUnbound, name)
-	}
-	return b, nil
+	return t.s().LookupAt(name, 0)
 }
 
-// Drop removes a binding; dropping an absent name is a no-op.
+// LookupAt resolves a name at virtual time now: unbound names return
+// ErrUnbound, bindings past their lease return ErrExpired.
+func (t *Table) LookupAt(name string, now time.Duration) (Binding, error) {
+	return t.s().LookupAt(name, now)
+}
+
+// Drop removes a binding; dropping an absent name is a no-op (it
+// records a tombstone).
 func (t *Table) Drop(name string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.m, name)
+	_, _ = t.s().Coordinate(name, "", true, 0)
 }
 
-// Len returns the number of bindings.
-func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.m)
+// Len returns the number of live bindings.
+func (t *Table) Len() int { return t.s().Len() }
+
+// Sweep tombstones every binding whose lease ran out at now and
+// returns how many were swept.
+func (t *Table) Sweep(now time.Duration) int {
+	swept, _ := t.s().SweepExpired(now, nil)
+	return len(swept)
 }
 
 // NewService returns the ag_ns handler bound to a table.
@@ -109,7 +151,7 @@ func NewService(table *Table) vm.Handler {
 			if err != nil {
 				e := briefcase.New()
 				e.SetString(firewall.FolderKind, firewall.KindError)
-				e.SetString(briefcase.FolderSysError, err.Error())
+				firewall.SetError(e, err)
 				_ = ctx.Reply(req, e)
 				continue
 			}
@@ -141,7 +183,7 @@ func serve(ctx *agent.Context, table *Table, req *briefcase.Briefcase) (*briefca
 		resp.SetString("OK", name)
 		return resp, nil
 	case OpLookup:
-		b, err := table.Lookup(name)
+		b, err := table.LookupAt(name, ctx.Now())
 		if err != nil {
 			return nil, err
 		}
@@ -158,7 +200,8 @@ func serve(ctx *agent.Context, table *Table, req *briefcase.Briefcase) (*briefca
 	}
 }
 
-// Client wraps the briefcase RPC protocol for agents using the registry.
+// Client wraps the briefcase RPC protocol for agents using the
+// single-node registry. It satisfies Resolver.
 type Client struct {
 	// Service is the registry's agent URI (possibly remote:
 	// "tacoma://home//ag_ns").
@@ -176,20 +219,30 @@ func (c Client) timeout() time.Duration {
 
 // Update binds name to the calling agent's current routable URI.
 func (c Client) Update(ctx *agent.Context, name string) error {
+	return c.UpdateCtx(context.Background(), ctx, name)
+}
+
+// UpdateCtx is Update with cancellation (PR 5 context-first convention).
+func (c Client) UpdateCtx(cctx context.Context, ctx *agent.Context, name string) error {
 	req := briefcase.New()
 	req.SetString(services.FolderOp, OpUpdate)
 	req.SetString(FolderName, name)
 	req.SetString(FolderLocation, ctx.URI().String())
-	_, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	_, err := ctx.MeetDirectCtx(cctx, c.Service, req, c.timeout())
 	return err
 }
 
 // Lookup resolves name to its last known routable URI.
 func (c Client) Lookup(ctx *agent.Context, name string) (string, error) {
+	return c.LookupCtx(context.Background(), ctx, name)
+}
+
+// LookupCtx is Lookup with cancellation.
+func (c Client) LookupCtx(cctx context.Context, ctx *agent.Context, name string) (string, error) {
 	req := briefcase.New()
 	req.SetString(services.FolderOp, OpLookup)
 	req.SetString(FolderName, name)
-	resp, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	resp, err := ctx.MeetDirectCtx(cctx, c.Service, req, c.timeout())
 	if err != nil {
 		return "", err
 	}
@@ -202,9 +255,14 @@ func (c Client) Lookup(ctx *agent.Context, name string) (string, error) {
 
 // Drop removes a binding.
 func (c Client) Drop(ctx *agent.Context, name string) error {
+	return c.DropCtx(context.Background(), ctx, name)
+}
+
+// DropCtx is Drop with cancellation.
+func (c Client) DropCtx(cctx context.Context, ctx *agent.Context, name string) error {
 	req := briefcase.New()
 	req.SetString(services.FolderOp, OpDrop)
 	req.SetString(FolderName, name)
-	_, err := ctx.MeetDirect(c.Service, req, c.timeout())
+	_, err := ctx.MeetDirectCtx(cctx, c.Service, req, c.timeout())
 	return err
 }

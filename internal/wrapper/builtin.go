@@ -138,8 +138,9 @@ func (m *Monitor) report(ctx *agent.Context, status string) error {
 // every hop. Stacked outside a broadcast wrapper it gives the paper's
 // "location transparent wrapper around the broadcast wrapper".
 type LocationTransparent struct {
-	// Client reaches the naming registry.
-	Client naming.Client
+	// Client reaches the naming registry — the single-node naming.Client
+	// or the sharded plane's directory.Client, both satisfy Resolver.
+	Client naming.Resolver
 	// SelfName, when non-empty, is the stable name to (re)bind to the
 	// agent's current location on every Init.
 	SelfName string

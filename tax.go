@@ -49,9 +49,11 @@ import (
 	"tax/internal/agent"
 	"tax/internal/briefcase"
 	"tax/internal/core"
+	"tax/internal/directory"
 	"tax/internal/firewall"
 	"tax/internal/group"
 	"tax/internal/identity"
+	"tax/internal/naming"
 	"tax/internal/policy"
 	"tax/internal/rearguard"
 	"tax/internal/services"
@@ -86,6 +88,29 @@ type (
 	Quota = policy.Quota
 	// PolicyRuleset is a parsed policy (see ParsePolicy).
 	PolicyRuleset = policy.Ruleset
+	// DirectoryConfig declares the leased, sharded directory plane a
+	// System enables before adding its member nodes (EnableDirectory).
+	DirectoryConfig = core.DirectoryConfig
+	// DirectoryRing is the plane's consistent-hash ownership function.
+	DirectoryRing = directory.Ring
+	// DirectoryClient resolves and registers names against the plane,
+	// failing over from a crashed shard owner to its replicas.
+	DirectoryClient = directory.Client
+	// NameBinding is one versioned, leased name→location record.
+	NameBinding = naming.Binding
+)
+
+// Directory-plane errors, typed across the wire: a remote shard's
+// verdict arrives as a RemoteError that errors.Is-matches these.
+var (
+	// ErrNameUnbound: the name was never registered or was dropped.
+	ErrNameUnbound = naming.ErrUnbound
+	// ErrNameExpired: the binding's lease ran out (its agent went
+	// silent — crashed host, lost renewal).
+	ErrNameExpired = naming.ErrExpired
+	// ErrNameNoQuorum: a write could not reach every replica; it is
+	// unacknowledged and may or may not survive.
+	ErrNameNoQuorum = naming.ErrNoQuorum
 )
 
 // Functional node options, re-exported from core. Each sets one
@@ -101,6 +126,7 @@ var (
 	WithoutServices    = core.WithoutServices
 	WithoutCVM         = core.WithoutCVM
 	WithNameService    = core.WithNameService
+	WithNameTTL        = core.WithNameTTL
 	WithOnAgentDone    = core.WithOnAgentDone
 	WithSecureChannels = core.WithSecureChannels
 	WithTelemetry      = core.WithTelemetry
