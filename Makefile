@@ -38,12 +38,17 @@ check: vet build race
 # (seeded owner-crash-during-write and partitioned-replica storms, plus
 # the dup/drop fault-plan frames case — zero acked registrations lost,
 # zero dual-location names, typed lease expiry;
-# internal/chaostest/directory_test.go), and the hotpath, policy and
-# directory benchmarks each run twice into scratch files: all three
-# JSON documents hold only exact counts and virtual-clock arithmetic,
-# so any byte difference between the two runs is a determinism
-# regression and fails the build. The committed baselines are never
-# overwritten.
+# internal/chaostest/directory_test.go), the shared-frontier fleet
+# chaos sweep under the race detector (8 fetcher agents draining one
+# durable frontier service through message faults and a mid-crawl
+# frontier-host crash — zero URLs fetched twice, zero lost, aggregate
+# Stats byte-identical to the serial robot;
+# internal/chaostest/frontier_test.go), and the hotpath, policy,
+# directory and frontier benchmarks each run twice into scratch files:
+# all four JSON documents hold only exact counts and virtual-clock
+# arithmetic, so any byte difference between the two runs is a
+# determinism regression and fails the build. The committed baselines
+# are never overwritten.
 ci:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
@@ -52,6 +57,7 @@ ci:
 	$(GO) test -race -timeout 300s -count=1 -run 'CrashPoint' ./internal/chaostest/
 	$(GO) test -race -timeout 300s -count=1 -run 'TestPolicyQuotaStarvation10k' ./internal/firewall/
 	$(GO) test -race -timeout 600s -count=1 -run 'TestDirectory' ./internal/chaostest/
+	$(GO) test -race -timeout 600s -count=1 -run 'TestFrontierChaos' ./internal/chaostest/
 	$(GO) run ./cmd/taxbench -check
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run1
 	$(GO) run ./cmd/taxbench -exp hotpath -hotpath-json BENCH_hotpath.json.run2
@@ -68,6 +74,11 @@ ci:
 	cmp BENCH_directory.json.run1 BENCH_directory.json.run2 || \
 		{ echo "ci: directory benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
 	rm -f BENCH_directory.json.run1 BENCH_directory.json.run2
+	$(GO) run ./cmd/taxbench -exp frontier -frontier-json BENCH_frontier.json.run1
+	$(GO) run ./cmd/taxbench -exp frontier -frontier-json BENCH_frontier.json.run2
+	cmp BENCH_frontier.json.run1 BENCH_frontier.json.run2 || \
+		{ echo "ci: frontier benchmark differs between runs (nondeterministic benchmark)"; exit 1; }
+	rm -f BENCH_frontier.json.run1 BENCH_frontier.json.run2
 
 # chaos runs the fault-injection layer under the race detector: the
 # chaostest harness (3-hop itineraries under seeded fault plans — the
@@ -90,10 +101,12 @@ chaos:
 # the cabinet WAL record decoder (torn frames, bad CRCs, truncated
 # length prefixes), the relay fast path (mutated wire bytes through a
 # forwarding firewall: forwarded frames stay byte-identical, delivered
-# payloads match the reference decode of the input), then the policy
+# payloads match the reference decode of the input), the policy
 # layer: the ruleset parser (accept-or-reject, installed invariants
 # hold, Describe never panics) and the evaluator (differential against
-# a literal reference evaluator, deny never widens to allow).
+# a literal reference evaluator, deny never widens to allow), and the
+# robots.txt parser (arbitrary text: never panics, and a parse that
+# yields no rules for the agent allows every path).
 fuzz-short:
 	$(GO) test -fuzz 'FuzzDecode$$' -fuzztime 30s ./internal/briefcase/
 	$(GO) test -fuzz FuzzCrossCodec -fuzztime 30s ./internal/briefcase/
@@ -101,6 +114,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzForward -fuzztime 30s ./internal/firewall/
 	$(GO) test -fuzz FuzzPolicyParse -fuzztime 30s ./internal/policy/
 	$(GO) test -fuzz FuzzPolicyEval -fuzztime 30s ./internal/policy/
+	$(GO) test -fuzz FuzzRobots -fuzztime 30s ./internal/webbot/
 
 # policy-fuzz soaks the policy layer's fuzzers longer than fuzz-short:
 # the URI pattern matcher (parse-or-reject, Match never panics), the
@@ -134,4 +148,4 @@ obsv-demo:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 BENCH_policy.json BENCH_policy.json.run1 BENCH_policy.json.run2 BENCH_directory.json BENCH_directory.json.run1 BENCH_directory.json.run2
+	rm -f BENCH_telemetry.json BENCH_faults.json BENCH_parallel.json BENCH_durability.json BENCH_hotpath.json BENCH_hotpath.json.run1 BENCH_hotpath.json.run2 BENCH_policy.json BENCH_policy.json.run1 BENCH_policy.json.run2 BENCH_directory.json BENCH_directory.json.run1 BENCH_directory.json.run2 BENCH_frontier.json.run1 BENCH_frontier.json.run2

@@ -53,6 +53,13 @@
 // and lookup latency to BENCH_directory.json (-directory-json to
 // override). The JSON is byte-identical run to run.
 //
+// The frontier experiment prices the staged crawler (EXPERIMENTS E10):
+// a workers × politeness grid over the paper's 917-page site under the
+// frontier's deterministic schedule model, plus crash-resume,
+// incremental re-crawl and robots.txt checks, recording
+// BENCH_frontier.json (-frontier-json to override). The JSON is
+// byte-identical run to run.
+//
 // taxbench -check is the benchmark regression gate: it re-runs the
 // deterministic experiments behind the committed BENCH_*.json baselines
 // and diffs the fresh results against them (wall-clock fields excluded,
@@ -73,7 +80,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, policy, directory, obsv, all)")
+	exp := flag.String("exp", "all", "experiment to run (e1, e1wan, campus, crossover, f3, twrap, tbc, tfw, tel, faults, parallel, durability, hotpath, policy, directory, frontier, obsv, all)")
 	jsonPath := flag.String("json", "BENCH_telemetry.json", "file for the tel experiment's JSON results ('' disables)")
 	rounds := flag.Int("rounds", 20000, "round trips per telemetry overhead mode")
 	faultsJSON := flag.String("faults-json", "BENCH_faults.json", "file for the faults experiment's JSON results ('' disables)")
@@ -83,6 +90,7 @@ func main() {
 	hotpathJSON := flag.String("hotpath-json", "BENCH_hotpath.json", "file for the hotpath experiment's JSON results ('' disables)")
 	policyJSON := flag.String("policy-json", "BENCH_policy.json", "file for the policy experiment's JSON results ('' disables)")
 	directoryJSON := flag.String("directory-json", "BENCH_directory.json", "file for the directory experiment's JSON results ('' disables)")
+	frontierJSON := flag.String("frontier-json", "BENCH_frontier.json", "file for the frontier experiment's JSON results ('' disables)")
 	check := flag.Bool("check", false, "regression gate: re-run the deterministic experiments and diff against the committed BENCH_*.json baselines; non-zero exit on drift")
 	flag.Parse()
 	if *check {
@@ -92,7 +100,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON, *policyJSON, *directoryJSON); err != nil {
+	if err := run(*exp, *jsonPath, *rounds, *faultsJSON, *faultsSeeds, *parallelJSON, *durabilityJSON, *hotpathJSON, *policyJSON, *directoryJSON, *frontierJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "taxbench:", err)
 		os.Exit(1)
 	}
@@ -137,6 +145,13 @@ func runCheck() error {
 			}
 			return writeDirectoryJSON(path, result)
 		},
+		"BENCH_frontier.json": func(path string) error {
+			_, results, checks, err := bench.Frontier()
+			if err != nil {
+				return err
+			}
+			return writeFrontierJSON(path, results, checks)
+		},
 	}
 	tmp, err := os.MkdirTemp("", "taxbench-check-")
 	if err != nil {
@@ -179,7 +194,7 @@ func runCheck() error {
 	return nil
 }
 
-func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON, policyJSON, directoryJSON string) error {
+func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, parallelJSON, durabilityJSON, hotpathJSON, policyJSON, directoryJSON, frontierJSON string) error {
 	type experiment struct {
 		name string
 		fn   func() (*bench.Table, error)
@@ -272,6 +287,19 @@ func run(exp, jsonPath string, rounds int, faultsJSON string, faultsSeeds int, p
 					return nil, err
 				}
 				fmt.Fprintln(os.Stderr, "taxbench: wrote", directoryJSON)
+			}
+			return t, nil
+		}},
+		{"frontier", func() (*bench.Table, error) {
+			t, results, checks, err := bench.Frontier()
+			if err != nil {
+				return nil, err
+			}
+			if frontierJSON != "" {
+				if err := writeFrontierJSON(frontierJSON, results, checks); err != nil {
+					return nil, err
+				}
+				fmt.Fprintln(os.Stderr, "taxbench: wrote", frontierJSON)
 			}
 			return t, nil
 		}},
@@ -409,6 +437,29 @@ func writeDirectoryJSON(path string, result *bench.DirectoryResult) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(result); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeFrontierJSON records the staged-crawler schedule grid and its
+// durability/re-crawl/robots checks. Deliberately no timestamp and no
+// wall-clock field: every number is virtual-clock arithmetic or an
+// exact count over the seeded site, so the file is byte-identical run
+// to run — `make ci` relies on that.
+func writeFrontierJSON(path string, results []bench.FrontierResult, checks *bench.FrontierChecks) error {
+	doc := struct {
+		Checks  *bench.FrontierChecks  `json:"checks"`
+		Results []bench.FrontierResult `json:"results"`
+	}{Checks: checks, Results: results}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		_ = f.Close()
 		return err
 	}

@@ -74,6 +74,15 @@ func SpecFor(file string) (CheckSpec, bool) {
 			"register_makespan_ms": 0.001,
 			"regs_per_virtual_sec": 0.001,
 		}}, true
+	case "BENCH_frontier.json":
+		// Pages, bytes, revalidation counts and the identity booleans are
+		// exact; the schedule model's makespan (virtual-clock arithmetic
+		// rendered in ms) and its speedup quotient get the standard 0.1%
+		// ulp band for float formatting drift across Go releases.
+		return CheckSpec{Rel: map[string]float64{
+			"virtual_makespan_ms": 0.001,
+			"speedup_vs_serial":   0.001,
+		}}, true
 	case "BENCH_telemetry.json":
 		return CheckSpec{Skip: map[string]bool{
 			"time": true, "per_round_ns": true, "overhead_pct": true,
@@ -89,7 +98,7 @@ func SpecFor(file string) (CheckSpec, bool) {
 // diffs. (telemetry and faults files embed wall-clock results and are not
 // committed, so they are not gated.)
 func CheckedFiles() []string {
-	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json", "BENCH_policy.json", "BENCH_directory.json"}
+	return []string{"BENCH_parallel.json", "BENCH_durability.json", "BENCH_hotpath.json", "BENCH_policy.json", "BENCH_directory.json", "BENCH_frontier.json"}
 }
 
 // Check diffs a current benchmark document against its committed baseline

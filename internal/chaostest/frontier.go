@@ -1,0 +1,80 @@
+package chaostest
+
+import (
+	"fmt"
+	"time"
+
+	"tax/internal/linkmine"
+)
+
+// FrontierScenario is one shared-frontier fleet chaos run: N fetcher
+// agents drain a durable frontier service over a faulty network, with
+// an optional mid-crawl crash of the frontier host.
+type FrontierScenario struct {
+	// Agents is the fetcher fleet size; default 8.
+	Agents int
+	// Seed drives the fault plan.
+	Seed int64
+	// Drop, Duplicate, Delay are per-transfer fault probabilities.
+	Drop, Duplicate, Delay float64
+	// CrashAppend crashes the frontier host at its Nth WAL append
+	// (0: no crash).
+	CrashAppend int
+	// RestartDelay is the crashed host's downtime; default 50ms.
+	RestartDelay time.Duration
+}
+
+// RunFrontier executes one scenario and verifies the fleet's
+// end-to-end contract:
+//
+//   - exactly-once: no URL fetched twice, none lost (the aggregate
+//     replay fails loudly on a missing record);
+//   - determinism: the aggregate Stats are byte-identical to the
+//     serial robot's, whatever the claim interleaving, faults, or
+//     crash/restart history;
+//   - no stragglers: every fetcher agent terminates without error.
+//
+// It returns the report and the first violated invariant (nil if the
+// contract held).
+func RunFrontier(sc FrontierScenario) (*linkmine.FrontierFleetReport, error) {
+	rep, err := linkmine.RunFrontierFleet(linkmine.FrontierFleetConfig{
+		Agents:       sc.Agents,
+		Drop:         sc.Drop,
+		Duplicate:    sc.Duplicate,
+		Delay:        sc.Delay,
+		FaultSeed:    sc.Seed,
+		CrashAppend:  sc.CrashAppend,
+		RestartDelay: sc.RestartDelay,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, CheckFrontier(rep, sc)
+}
+
+// CheckFrontier verifies one run's invariants.
+func CheckFrontier(rep *linkmine.FrontierFleetReport, sc FrontierScenario) error {
+	if len(rep.WorkerErrors) > 0 {
+		return fmt.Errorf("worker errors: %v", rep.WorkerErrors)
+	}
+	if len(rep.DoubleFetched) > 0 {
+		return fmt.Errorf("%d URLs fetched twice: %v", len(rep.DoubleFetched), rep.DoubleFetched)
+	}
+	if rep.TotalFetches != rep.Records {
+		return fmt.Errorf("fetches %d != completed records %d", rep.TotalFetches, rep.Records)
+	}
+	if rep.Counts.Pending != 0 || rep.Counts.Claimed != 0 {
+		return fmt.Errorf("frontier not drained: %+v", rep.Counts)
+	}
+	if rep.Counts.TerminalFailed != 0 {
+		return fmt.Errorf("%d URLs terminally failed", rep.Counts.TerminalFailed)
+	}
+	if !rep.Identical {
+		return fmt.Errorf("aggregate Stats differ from serial baseline:\n fleet  %+v\n serial %+v",
+			rep.Aggregate, rep.Serial)
+	}
+	if sc.CrashAppend > 0 && !rep.Crashed {
+		return fmt.Errorf("crash at append %d never fired", sc.CrashAppend)
+	}
+	return nil
+}

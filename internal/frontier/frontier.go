@@ -1,0 +1,608 @@
+// Package frontier implements the durable, prioritized URL frontier at
+// the heart of the staged crawler (PR 10): the paper's recursive Webbot
+// becomes frontier + fetcher + parser stages, which is what lets N
+// mobile agents mine one site exactly-once and lets a crawl resume
+// across host crashes.
+//
+// The frontier is a priority queue of pending URLs (shallowest depth
+// first, URL order breaking ties — a deterministic breadth-first
+// wavefront) with three durable state transitions, each one synced WAL
+// transaction on the PR 4 cabinet:
+//
+//	Add       →  put p/<url>                (pending)
+//	Claim     →  del p/<url>, put c/<url>   (claimed, tagged with the worker)
+//	Complete  →  del c/<url>, put d/<url>   (done: the PageRecord)
+//	Fail      →  del c/<url>, put p/ or f/  (re-pend, or journal terminally)
+//
+// Because a claim is journaled before the worker sees it, a worker that
+// re-asks after a lost reply gets the same URL back (claims are keyed
+// by worker), and a frontier host that crashes recovers every claim
+// from the WAL — no URL is ever handed to two workers and none is
+// lost. Complete is idempotent by done-key, so retried completions are
+// counted, not double-applied. Exactly-once per URL follows from the
+// store's atomicity, not from timing.
+package frontier
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+
+	"tax/internal/cabinet"
+)
+
+// Options configures a Frontier.
+type Options struct {
+	// Store is the cabinet backing durable state. Nil means a purely
+	// in-memory frontier (single-process crawls that don't need crash
+	// recovery).
+	Store *cabinet.Store
+	// Namespace prefixes every cabinet key; default "fr/". Keeps the
+	// frontier's keys disjoint from the checkpoint ("cab/") and
+	// firewall ("fwpark/", "fwdedup/") planes sharing the store.
+	Namespace string
+	// MaxAttempts bounds retries per URL before a failure turns
+	// terminal; default 3.
+	MaxAttempts int
+	// AdoptClaims controls what recovery does with claims found in the
+	// store. A process that owns its workers (a local crawl resuming
+	// after a crash) sets it true: the claiming workers are gone, so
+	// claims are re-pended. A frontier *service* leaves it false: its
+	// remote workers survive the frontier host's crash, keep their
+	// claims, and complete them after restart.
+	AdoptClaims bool
+}
+
+// WaitState is what ClaimWait resolved to.
+type WaitState int
+
+const (
+	// WaitClaimed: a claim was issued.
+	WaitClaimed WaitState = iota
+	// WaitDrained: no pending and no outstanding claims — the crawl is
+	// complete.
+	WaitDrained
+	// WaitClosed: the frontier was shut down.
+	WaitClosed
+)
+
+// Claim is a URL leased to one worker until completed or failed.
+type Claim struct {
+	URL      string
+	Referrer string
+	Depth    int
+	Attempts int
+	// Prior is the previous crawl cycle's record for this URL, if
+	// BeginRecrawl staged one — the worker may revalidate with a HEAD
+	// probe instead of refetching.
+	Prior *PageRecord
+}
+
+// Counts is a snapshot of frontier state for reports and invariants.
+type Counts struct {
+	Pending        int
+	Claimed        int
+	Done           int
+	TerminalFailed int
+	Journal        int // failure-journal entries, including non-final retry attempts
+	DupCompletions int // idempotent re-completions absorbed
+	Reclaims       int // claims re-issued to the same worker after a lost reply
+}
+
+// Frontier is safe for concurrent use by any number of workers.
+type Frontier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	store  *cabinet.Store
+	ns     string
+	maxTry int
+	closed bool
+
+	pending  map[string]*entry // url → pending entry (also in heap)
+	claims   map[string]*entry // url → claimed entry (worker set)
+	byWorker map[string]string // worker → claimed url, for re-issue
+	done     map[string]*PageRecord
+	prior    map[string]*PageRecord // previous cycle's records (recrawl)
+	failed   map[string]*Failure    // terminal failures only
+	journal  int                    // total journal entries written
+	heap     entryHeap
+
+	dups     int
+	reclaims int
+}
+
+// New opens a frontier, recovering any durable state in the store's
+// namespace.
+func New(opts Options) (*Frontier, error) {
+	f := &Frontier{
+		store:    opts.Store,
+		ns:       opts.Namespace,
+		maxTry:   opts.MaxAttempts,
+		pending:  make(map[string]*entry),
+		claims:   make(map[string]*entry),
+		byWorker: make(map[string]string),
+		done:     make(map[string]*PageRecord),
+		prior:    make(map[string]*PageRecord),
+		failed:   make(map[string]*Failure),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	if f.ns == "" {
+		f.ns = "fr/"
+	}
+	if f.maxTry <= 0 {
+		f.maxTry = 3
+	}
+	if f.store == nil {
+		return f, nil
+	}
+	var adopt []*entry
+	for _, key := range f.store.Keys(f.ns) {
+		val, ok := f.store.Get(key)
+		if !ok {
+			continue
+		}
+		switch kind, _ := splitKey(f.ns, key); kind {
+		case "p":
+			e, err := decodeEntry(val)
+			if err != nil {
+				return nil, err
+			}
+			f.pending[e.url] = e
+			heap.Push(&f.heap, e)
+		case "c":
+			e, err := decodeEntry(val)
+			if err != nil {
+				return nil, err
+			}
+			if opts.AdoptClaims {
+				adopt = append(adopt, e)
+			} else {
+				f.claims[e.url] = e
+				if e.worker != "" {
+					f.byWorker[e.worker] = e.url
+				}
+			}
+		case "d":
+			r, err := DecodeRecord(val)
+			if err != nil {
+				return nil, err
+			}
+			f.done[r.URL] = r
+		case "r":
+			r, err := DecodeRecord(val)
+			if err != nil {
+				return nil, err
+			}
+			f.prior[r.URL] = r
+		case "f":
+			fl, err := decodeFailure(val)
+			if err != nil {
+				return nil, err
+			}
+			f.journal++
+			if fl.Final {
+				f.failed[fl.URL] = fl
+			}
+		}
+	}
+	// Orphaned claims from a crashed crawl whose workers died with it:
+	// fold them back into pending so the resumed crawl refetches them.
+	// The durable move keeps a second recovery consistent.
+	for _, e := range adopt {
+		e.worker = ""
+		if err := f.commit([]cabinet.Op{
+			{Del: true, Key: f.ns + "c/" + e.url},
+			{Key: f.ns + "p/" + e.url, Value: e.encode()},
+		}); err != nil {
+			return nil, err
+		}
+		f.pending[e.url] = e
+		heap.Push(&f.heap, e)
+	}
+	return f, nil
+}
+
+func splitKey(ns, key string) (kind, url string) {
+	rest := strings.TrimPrefix(key, ns)
+	i := strings.IndexByte(rest, '/')
+	if i < 0 {
+		return rest, ""
+	}
+	return rest[:i], rest[i+1:]
+}
+
+func (f *Frontier) commit(ops []cabinet.Op) error {
+	if f.store == nil {
+		return nil
+	}
+	return f.store.Commit(ops)
+}
+
+// Add offers discovered links to the frontier. Links already done,
+// claimed, pending, or terminally failed are not re-enqueued; fresh is
+// the number of genuinely new URLs. A link that re-discovers a *done*
+// URL at a strictly shallower depth lowers the record's depth and
+// returns it in lowered — the caller must re-offer that record's
+// out-links at the new depth, mirroring the recursive crawl's
+// best-depth relaxation.
+func (f *Frontier) Add(links []Link) (fresh int, lowered []*PageRecord, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0, nil, errors.New("frontier: closed")
+	}
+	var ops []cabinet.Op
+	for _, l := range links {
+		if e, ok := f.pending[l.URL]; ok {
+			if l.Depth < e.depth {
+				e.depth = l.Depth
+				e.referrer = l.Referrer
+				heap.Fix(&f.heap, e.index)
+				ops = append(ops, cabinet.Op{Key: f.ns + "p/" + e.url, Value: e.encode()})
+			}
+			continue
+		}
+		if e, ok := f.claims[l.URL]; ok {
+			if l.Depth < e.depth {
+				e.depth = l.Depth
+				ops = append(ops, cabinet.Op{Key: f.ns + "c/" + e.url, Value: e.encode()})
+			}
+			continue
+		}
+		if rec, ok := f.done[l.URL]; ok {
+			if l.Depth < rec.Depth {
+				rec.Depth = l.Depth
+				ops = append(ops, cabinet.Op{Key: f.ns + "d/" + rec.URL, Value: rec.Encode()})
+				lowered = append(lowered, rec)
+			}
+			continue
+		}
+		if _, ok := f.failed[l.URL]; ok {
+			continue
+		}
+		e := &entry{url: l.URL, referrer: l.Referrer, depth: l.Depth}
+		f.pending[l.URL] = e
+		heap.Push(&f.heap, e)
+		ops = append(ops, cabinet.Op{Key: f.ns + "p/" + e.url, Value: e.encode()})
+		fresh++
+	}
+	if len(ops) > 0 {
+		if err := f.commit(ops); err != nil {
+			return fresh, lowered, err
+		}
+	}
+	if fresh > 0 || len(lowered) > 0 {
+		f.cond.Broadcast()
+	}
+	return fresh, lowered, nil
+}
+
+// Claim leases the shallowest pending URL to worker. If the worker
+// already holds an unresolved claim — its previous claim reply was
+// lost, or it is retrying after a frontier restart — that same claim
+// is re-issued rather than a new one, which is what keeps a lossy
+// network from double-fetching a URL.
+func (f *Frontier) Claim(worker string) (*Claim, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cl, ok, _ := f.claimLocked(worker)
+	return cl, ok
+}
+
+func (f *Frontier) claimLocked(worker string) (*Claim, bool, error) {
+	if url, ok := f.byWorker[worker]; ok {
+		if e, live := f.claims[url]; live {
+			f.reclaims++
+			return f.claimView(e), true, nil
+		}
+		delete(f.byWorker, worker)
+	}
+	if f.heap.Len() == 0 {
+		return nil, false, nil
+	}
+	e := heap.Pop(&f.heap).(*entry)
+	delete(f.pending, e.url)
+	e.worker = worker
+	if err := f.commit([]cabinet.Op{
+		{Del: true, Key: f.ns + "p/" + e.url},
+		{Key: f.ns + "c/" + e.url, Value: e.encode()},
+	}); err != nil {
+		// Store failure: back out so the URL is not lost in memory.
+		e.worker = ""
+		f.pending[e.url] = e
+		heap.Push(&f.heap, e)
+		return nil, false, err
+	}
+	f.claims[e.url] = e
+	f.byWorker[worker] = e.url
+	return f.claimView(e), true, nil
+}
+
+func (f *Frontier) claimView(e *entry) *Claim {
+	return &Claim{URL: e.url, Referrer: e.referrer, Depth: e.depth, Attempts: e.attempts, Prior: f.prior[e.url]}
+}
+
+// ClaimWait blocks until a claim is available, the frontier drains
+// (nothing pending, nothing claimed), or it is closed.
+func (f *Frontier) ClaimWait(worker string) (*Claim, WaitState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		if f.closed {
+			return nil, WaitClosed
+		}
+		if cl, ok, err := f.claimLocked(worker); err == nil && ok {
+			return cl, WaitClaimed
+		}
+		if len(f.pending) == 0 && len(f.claims) == 0 {
+			return nil, WaitDrained
+		}
+		f.cond.Wait()
+	}
+}
+
+// Complete marks url done with its fetch record. Idempotent: a retried
+// completion (lost ack) is absorbed and counted. Returns whether this
+// call was the first completion.
+func (f *Frontier) Complete(url, worker string, rec *PageRecord) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, errors.New("frontier: closed")
+	}
+	if cur, ok := f.byWorker[worker]; ok && cur == url {
+		delete(f.byWorker, worker)
+	}
+	if _, ok := f.done[url]; ok {
+		f.dups++
+		f.cond.Broadcast()
+		return false, nil
+	}
+	ops := []cabinet.Op{{Key: f.ns + "d/" + url, Value: nil}}
+	if e, ok := f.claims[url]; ok {
+		// The claim may have been lowered while in flight; the done
+		// record keeps the shallowest depth seen.
+		if e.depth < rec.Depth {
+			rec.Depth = e.depth
+		}
+		ops = append(ops, cabinet.Op{Del: true, Key: f.ns + "c/" + url})
+		if e.worker != "" && e.worker != worker {
+			delete(f.byWorker, e.worker)
+		}
+	} else if e, ok := f.pending[url]; ok {
+		heap.Remove(&f.heap, e.index)
+		delete(f.pending, url)
+		ops = append(ops, cabinet.Op{Del: true, Key: f.ns + "p/" + url})
+	}
+	ops[0].Value = rec.Encode()
+	if err := f.commit(ops); err != nil {
+		return false, err
+	}
+	delete(f.claims, url)
+	f.done[url] = rec
+	f.cond.Broadcast()
+	return true, nil
+}
+
+// Fail reports a fetch failure for a claimed URL. Retryable failures
+// below the attempt cap re-pend the URL (and journal the attempt);
+// anything else is journaled terminally. Returns whether the URL was
+// re-queued.
+func (f *Frontier) Fail(url, worker, code, reason string, retryable bool) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, errors.New("frontier: closed")
+	}
+	if cur, ok := f.byWorker[worker]; ok && cur == url {
+		delete(f.byWorker, worker)
+	}
+	e, ok := f.claims[url]
+	if !ok {
+		// Already resolved (dup fail after a lost ack): nothing to do.
+		f.cond.Broadcast()
+		return false, nil
+	}
+	e.attempts++
+	fl := &Failure{URL: url, Referrer: e.referrer, Depth: e.depth, Attempts: e.attempts, Code: code, Reason: reason}
+	retry := retryable && e.attempts < f.maxTry
+	fl.Final = !retry
+	jkey := f.ns + "f/" + url + "#" + itoa(e.attempts)
+	ops := []cabinet.Op{
+		{Del: true, Key: f.ns + "c/" + url},
+		{Key: jkey, Value: fl.encode()},
+	}
+	if retry {
+		e.worker = ""
+		ops = append(ops, cabinet.Op{Key: f.ns + "p/" + url, Value: e.encode()})
+	}
+	if err := f.commit(ops); err != nil {
+		e.attempts--
+		return false, err
+	}
+	delete(f.claims, url)
+	f.journal++
+	if retry {
+		f.pending[url] = e
+		heap.Push(&f.heap, e)
+	} else {
+		f.failed[url] = fl
+	}
+	f.cond.Broadcast()
+	return retry, nil
+}
+
+// Journal records a failure event that never entered the queue — e.g.
+// a subtree abandoned beyond the stable depth — so a second pass can
+// find it. Deduped by URL.
+func (f *Frontier) Journal(fl Failure) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("frontier: closed")
+	}
+	if _, ok := f.failed[fl.URL]; ok {
+		return nil
+	}
+	fl.Final = true
+	if err := f.commit([]cabinet.Op{{Key: f.ns + "f/" + fl.URL + "#" + itoa(fl.Attempts), Value: fl.encode()}}); err != nil {
+		return err
+	}
+	f.failed[fl.URL] = &fl
+	f.journal++
+	return nil
+}
+
+// Drained reports whether the crawl is complete: nothing pending and
+// nothing claimed.
+func (f *Frontier) Drained() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending) == 0 && len(f.claims) == 0
+}
+
+// Close wakes every ClaimWait with WaitClosed. Durable state is left
+// intact for the next open.
+func (f *Frontier) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// Records returns the completed records sorted by URL.
+func (f *Frontier) Records() []*PageRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*PageRecord, 0, len(f.done))
+	for _, r := range f.done {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Record returns the completed record for url, if any.
+func (f *Frontier) Record(url string) (*PageRecord, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.done[url]
+	return r, ok
+}
+
+// Prior returns the previous cycle's record for url, if any.
+func (f *Frontier) Prior(url string) (*PageRecord, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.prior[url]
+	return r, ok
+}
+
+// Failures returns the terminal failure journal sorted by URL.
+func (f *Frontier) Failures() []*Failure {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*Failure, 0, len(f.failed))
+	for _, fl := range f.failed {
+		out = append(out, fl)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Counts snapshots the frontier's state.
+func (f *Frontier) Counts() Counts {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Counts{
+		Pending:        len(f.pending),
+		Claimed:        len(f.claims),
+		Done:           len(f.done),
+		TerminalFailed: len(f.failed),
+		Journal:        f.journal,
+		DupCompletions: f.dups,
+		Reclaims:       f.reclaims,
+	}
+}
+
+// BeginRecrawl stages a new crawl cycle: every done record moves to
+// the prior set (where Claim surfaces it for HEAD revalidation) and
+// terminal failures are cleared so the new cycle may retry them. The
+// move is one atomic transaction — a crash mid-recrawl recovers either
+// wholly before or wholly after.
+func (f *Frontier) BeginRecrawl() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errors.New("frontier: closed")
+	}
+	var ops []cabinet.Op
+	for url, rec := range f.done {
+		ops = append(ops,
+			cabinet.Op{Del: true, Key: f.ns + "d/" + url},
+			cabinet.Op{Key: f.ns + "r/" + url, Value: rec.Encode()})
+	}
+	if f.store != nil {
+		for _, key := range f.store.Keys(f.ns + "f/") {
+			ops = append(ops, cabinet.Op{Del: true, Key: key})
+		}
+	}
+	if len(ops) > 0 {
+		if err := f.commit(ops); err != nil {
+			return err
+		}
+	}
+	for url, rec := range f.done {
+		f.prior[url] = rec
+	}
+	f.done = make(map[string]*PageRecord)
+	f.failed = make(map[string]*Failure)
+	f.journal = 0
+	return nil
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// entryHeap orders pending entries by (depth, url): the crawl expands
+// a deterministic breadth-first wavefront regardless of worker count.
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].depth != h[j].depth {
+		return h[i].depth < h[j].depth
+	}
+	return h[i].url < h[j].url
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

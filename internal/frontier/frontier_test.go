@@ -1,0 +1,444 @@
+package frontier
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tax/internal/cabinet"
+	"tax/internal/vclock"
+)
+
+func volatileFrontier(t *testing.T) *Frontier {
+	t.Helper()
+	f, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return f
+}
+
+func TestClaimOrderIsDepthThenURL(t *testing.T) {
+	f := volatileFrontier(t)
+	if _, _, err := f.Add([]Link{
+		{URL: "http://h/b", Depth: 1},
+		{URL: "http://h/z", Depth: 0},
+		{URL: "http://h/a", Depth: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		cl, ok := f.Claim("w")
+		if !ok {
+			t.Fatalf("claim %d failed", i)
+		}
+		got = append(got, cl.URL)
+		if _, err := f.Complete(cl.URL, "w", &PageRecord{URL: cl.URL, Depth: cl.Depth}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"http://h/z", "http://h/a", "http://h/b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("claim order %v, want %v", got, want)
+	}
+	if !f.Drained() {
+		t.Fatal("frontier should be drained")
+	}
+}
+
+func TestClaimReissueAfterLostReply(t *testing.T) {
+	f := volatileFrontier(t)
+	f.Add([]Link{{URL: "http://h/a", Depth: 0}})
+	cl1, ok := f.Claim("w1")
+	if !ok {
+		t.Fatal("first claim failed")
+	}
+	// The same worker asking again (its reply was lost) gets the same
+	// URL, not a second one.
+	cl2, ok := f.Claim("w1")
+	if !ok || cl2.URL != cl1.URL {
+		t.Fatalf("reclaim got %+v, want %q", cl2, cl1.URL)
+	}
+	// A different worker gets nothing — the URL is still claimed.
+	if cl, ok := f.Claim("w2"); ok {
+		t.Fatalf("w2 stole claimed URL %q", cl.URL)
+	}
+	if c := f.Counts(); c.Reclaims != 1 {
+		t.Fatalf("Reclaims = %d, want 1", c.Reclaims)
+	}
+}
+
+func TestCompleteIsIdempotent(t *testing.T) {
+	f := volatileFrontier(t)
+	f.Add([]Link{{URL: "http://h/a", Depth: 0}})
+	cl, _ := f.Claim("w")
+	rec := &PageRecord{URL: cl.URL, Depth: cl.Depth, Status: 200}
+	first, err := f.Complete(cl.URL, "w", rec)
+	if err != nil || !first {
+		t.Fatalf("first Complete = (%v, %v)", first, err)
+	}
+	again, err := f.Complete(cl.URL, "w", rec)
+	if err != nil || again {
+		t.Fatalf("dup Complete = (%v, %v), want absorbed", again, err)
+	}
+	if c := f.Counts(); c.DupCompletions != 1 || c.Done != 1 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestDepthLoweringReturnsDoneRecords(t *testing.T) {
+	f := volatileFrontier(t)
+	f.Add([]Link{{URL: "http://h/deep", Depth: 3}})
+	cl, _ := f.Claim("w")
+	rec := &PageRecord{URL: cl.URL, Depth: cl.Depth, Status: 200, Links: []Link{{URL: "http://h/kid", Referrer: cl.URL}}}
+	f.Complete(cl.URL, "w", rec)
+	// Re-discovered shallower: the done record is lowered and returned
+	// so the caller can re-offer its out-links at the new depth.
+	_, lowered, err := f.Add([]Link{{URL: "http://h/deep", Depth: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lowered) != 1 || lowered[0].Depth != 1 {
+		t.Fatalf("lowered = %+v, want the record at depth 1", lowered)
+	}
+	// Re-discovered deeper: no-op.
+	_, lowered, _ = f.Add([]Link{{URL: "http://h/deep", Depth: 2}})
+	if len(lowered) != 0 {
+		t.Fatalf("deeper rediscovery lowered %+v", lowered)
+	}
+}
+
+func TestFailRetriesThenTurnsTerminal(t *testing.T) {
+	f, err := New(Options{MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add([]Link{{URL: "http://h/flaky", Depth: 0}})
+	cl, _ := f.Claim("w")
+	requeued, err := f.Fail(cl.URL, "w", "wb_fetch_failed", "boom", true)
+	if err != nil || !requeued {
+		t.Fatalf("first Fail = (%v, %v), want requeued", requeued, err)
+	}
+	cl2, ok := f.Claim("w")
+	if !ok || cl2.Attempts != 1 {
+		t.Fatalf("reclaim after fail = %+v", cl2)
+	}
+	requeued, err = f.Fail(cl2.URL, "w", "wb_fetch_failed", "boom", true)
+	if err != nil || requeued {
+		t.Fatalf("second Fail = (%v, %v), want terminal", requeued, err)
+	}
+	c := f.Counts()
+	if c.TerminalFailed != 1 || c.Journal != 2 || c.Pending != 0 {
+		t.Fatalf("counts %+v", c)
+	}
+	// Terminal URLs are not re-admitted.
+	fresh, _, _ := f.Add([]Link{{URL: "http://h/flaky", Depth: 0}})
+	if fresh != 0 {
+		t.Fatal("terminal URL re-admitted")
+	}
+	if !f.Drained() {
+		t.Fatal("should be drained")
+	}
+}
+
+func TestClaimWaitBlocksUntilAddAndDrains(t *testing.T) {
+	f := volatileFrontier(t)
+	f.Add([]Link{{URL: "http://h/a", Depth: 0}})
+	var wg sync.WaitGroup
+	urls := make(chan string, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("w%d", w)
+			for {
+				cl, state := f.ClaimWait(id)
+				if state != WaitClaimed {
+					return
+				}
+				urls <- cl.URL
+				if cl.URL == "http://h/a" {
+					f.Add([]Link{{URL: "http://h/b", Depth: 1}, {URL: "http://h/c", Depth: 1}})
+				}
+				f.Complete(cl.URL, id, &PageRecord{URL: cl.URL, Depth: cl.Depth})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(urls)
+	seen := map[string]int{}
+	for u := range urls {
+		seen[u]++
+	}
+	for u, n := range seen {
+		if n != 1 {
+			t.Fatalf("url %q claimed %d times", u, n)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("claimed %d urls, want 3", len(seen))
+	}
+}
+
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	store := cabinet.NewStore(cabinet.Options{Clock: vclock.NewVirtual(), SnapshotEvery: -1})
+	f, err := New(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Add([]Link{{URL: "http://h/a", Depth: 0, Referrer: ""}})
+	cl, _ := f.Claim("w1")
+	rec := &PageRecord{URL: cl.URL, Depth: 0, Status: 200, Bytes: 17, Type: "text/html",
+		AgeDays: 3, FetchCost: 5 * time.Millisecond, Digest: "200|17|3",
+		Links: []Link{{URL: "http://h/b", Referrer: "http://h/a"}}}
+	f.Complete(cl.URL, "w1", rec)
+	f.Add([]Link{{URL: "http://h/b", Depth: 1, Referrer: "http://h/a"}, {URL: "http://h/c", Depth: 1}})
+	f.Claim("w2") // leaves http://h/b claimed by w2
+	f.Journal(Failure{URL: "http://h/x", Depth: 2, Code: "wb_depth_unstable", Reason: "beyond stable depth"})
+
+	// Service-style recovery (AdoptClaims=false): the claim survives,
+	// keyed to its worker.
+	g, err := New(Options{Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := g.Record("http://h/a"); !reflect.DeepEqual(got, rec) {
+		t.Fatalf("recovered record %+v, want %+v", got, rec)
+	}
+	cl2, ok := g.Claim("w2")
+	if !ok || cl2.URL != "http://h/b" {
+		t.Fatalf("w2's claim not re-issued after recovery: %+v", cl2)
+	}
+	if c := g.Counts(); c.Pending != 1 || c.Claimed != 1 || c.Done != 1 || c.TerminalFailed != 1 {
+		t.Fatalf("recovered counts %+v", c)
+	}
+
+	// Local-crawl recovery (AdoptClaims=true): the claim folds back to
+	// pending — its worker died with the process.
+	h, err := New(Options{Store: store, AdoptClaims: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := h.Counts(); c.Pending != 2 || c.Claimed != 0 {
+		t.Fatalf("adopted counts %+v", c)
+	}
+}
+
+func TestBeginRecrawlStagesPriors(t *testing.T) {
+	store := cabinet.NewStore(cabinet.Options{Clock: vclock.NewVirtual(), SnapshotEvery: -1})
+	f, _ := New(Options{Store: store})
+	f.Add([]Link{{URL: "http://h/a", Depth: 0}})
+	cl, _ := f.Claim("w")
+	f.Complete(cl.URL, "w", &PageRecord{URL: cl.URL, Depth: 0, Status: 200, Digest: "200|9|1"})
+	if err := f.BeginRecrawl(); err != nil {
+		t.Fatal(err)
+	}
+	f.Add([]Link{{URL: "http://h/a", Depth: 0}})
+	cl, ok := f.Claim("w")
+	if !ok || cl.Prior == nil || cl.Prior.Digest != "200|9|1" {
+		t.Fatalf("claim after recrawl lacks prior: %+v", cl)
+	}
+	// The staged prior survives a reopen too.
+	g, _ := New(Options{Store: store, AdoptClaims: true})
+	if r, ok := g.Prior("http://h/a"); !ok || r.Digest != "200|9|1" {
+		t.Fatalf("prior not durable: %+v ok=%v", r, ok)
+	}
+}
+
+// TestCrashPointSweep kills the store at every WAL append of a fixed
+// crawl workload, recovers, resumes, and asserts exactly-once per URL —
+// the cabinet sweep pattern applied to the frontier's transactions.
+func TestCrashPointSweep(t *testing.T) {
+	links := []Link{
+		{URL: "http://h/", Depth: 0},
+	}
+	children := map[string][]Link{
+		"http://h/":  {{URL: "http://h/a", Referrer: "http://h/"}, {URL: "http://h/b", Referrer: "http://h/"}},
+		"http://h/a": {{URL: "http://h/c", Referrer: "http://h/a"}},
+		"http://h/b": {{URL: "http://h/c", Referrer: "http://h/b"}},
+		"http://h/c": nil,
+	}
+	// drive runs the crawl loop until drained or the store dies.
+	drive := func(f *Frontier, fetched map[string]int) error {
+		for {
+			cl, ok := f.Claim("w")
+			if !ok {
+				return nil
+			}
+			fetched[cl.URL]++
+			var out []Link
+			for _, l := range children[cl.URL] {
+				out = append(out, Link{URL: l.URL, Referrer: l.Referrer, Depth: cl.Depth + 1})
+			}
+			if len(out) > 0 {
+				if _, _, err := f.Add(out); err != nil {
+					return err
+				}
+			}
+			rec := &PageRecord{URL: cl.URL, Depth: cl.Depth, Status: 200, Links: children[cl.URL]}
+			if _, err := f.Complete(cl.URL, "w", rec); err != nil {
+				return err
+			}
+		}
+	}
+
+	// First pass: count total appends of a clean run.
+	clean := cabinet.NewStore(cabinet.Options{Clock: vclock.NewVirtual(), SnapshotEvery: -1})
+	f, err := New(Options{Store: clean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.Add(links); err != nil {
+		t.Fatal(err)
+	}
+	fetched := map[string]int{}
+	if err := drive(f, fetched); err != nil {
+		t.Fatal(err)
+	}
+	total := int(clean.Seq())
+	if total < 8 {
+		t.Fatalf("clean run committed only %d txns", total)
+	}
+	wantDone := len(f.Records())
+
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("append%02d", k), func(t *testing.T) {
+			store := cabinet.NewStore(cabinet.Options{Clock: vclock.NewVirtual(), SnapshotEvery: -1})
+			var appends int32
+			crashed := false
+			store.SetAppendHook(func(seq uint64) {
+				if atomic.AddInt32(&appends, 1) != int32(k) {
+					return
+				}
+				crashed = true
+				store.Disk().Crash()
+			})
+			f, err := New(Options{Store: store})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fetched := map[string]int{}
+			f.Add(links)
+			drive(f, fetched) // dies somewhere after the crash; errors expected
+			if !crashed {
+				t.Fatalf("append %d never reached", k)
+			}
+			store.SetAppendHook(nil)
+			if _, err := store.Reopen(); err != nil {
+				t.Fatalf("Reopen: %v", err)
+			}
+			// Resume as a local crawl: orphaned claims fold back to
+			// pending and are refetched (their fetch never completed, so
+			// a refetch preserves exactly-once *completion*).
+			g, err := New(Options{Store: store, AdoptClaims: true})
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			g.Add(links)
+			if err := drive(g, fetched); err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			recs := g.Records()
+			if len(recs) != wantDone {
+				t.Fatalf("resume finished with %d records, want %d", len(recs), wantDone)
+			}
+			for _, r := range recs {
+				if fetched[r.URL] == 0 {
+					t.Fatalf("url %q completed but never fetched", r.URL)
+				}
+			}
+			// Exactly-once completion: every URL has exactly one done
+			// record; double-fetch is allowed only for a claim whose
+			// completion had not committed when the host died.
+			seen := map[string]bool{}
+			for _, r := range recs {
+				if seen[r.URL] {
+					t.Fatalf("url %q completed twice", r.URL)
+				}
+				seen[r.URL] = true
+			}
+			for url, n := range fetched {
+				if n > 2 {
+					t.Fatalf("url %q fetched %d times across crash+resume", url, n)
+				}
+				if !seen[url] {
+					t.Fatalf("url %q fetched but never completed", url)
+				}
+			}
+		})
+	}
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	rec := &PageRecord{
+		URL: "http://h/p", Referrer: "http://h/", Depth: 2, Status: 200,
+		Bytes: 4096, Type: "application/pdf", AgeDays: 211,
+		FetchCost: 1234567 * time.Nanosecond, Digest: "200|4096|211", Revalidated: true,
+		Links: []Link{{URL: "http://h/q", Referrer: "http://h/p"}, {URL: "http://x/", Referrer: "http://h/p"}},
+	}
+	got, err := DecodeRecord(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rec) {
+		t.Fatalf("round trip %+v != %+v", got, rec)
+	}
+	if _, err := DecodeRecord(rec.Encode()[:7]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Fatal("empty record decoded")
+	}
+}
+
+func TestLimiterSpacesSameHostOnly(t *testing.T) {
+	l := NewLimiter(10 * time.Millisecond)
+	if w := l.Reserve("a", 0); w != 0 {
+		t.Fatalf("first fetch waited %v", w)
+	}
+	if w := l.Reserve("a", 0); w != 10*time.Millisecond {
+		t.Fatalf("second same-host fetch waited %v, want 10ms", w)
+	}
+	if w := l.Reserve("b", 0); w != 0 {
+		t.Fatalf("other-host fetch waited %v", w)
+	}
+	// A worker arriving after the slot passes waits nothing.
+	if w := l.Reserve("a", 25*time.Millisecond); w != 0 {
+		t.Fatalf("late fetch waited %v", w)
+	}
+	var nilLim *Limiter
+	if w := nilLim.Reserve("a", 0); w != 0 {
+		t.Fatal("nil limiter waited")
+	}
+}
+
+func TestModelMakespan(t *testing.T) {
+	recs := []*PageRecord{
+		{URL: "http://a/1", Depth: 0, FetchCost: 10 * time.Millisecond},
+		{URL: "http://a/2", Depth: 1, FetchCost: 10 * time.Millisecond},
+		{URL: "http://b/1", Depth: 1, FetchCost: 10 * time.Millisecond},
+		{URL: "http://b/2", Depth: 1, FetchCost: 10 * time.Millisecond},
+	}
+	if got := ModelMakespan(recs, 1, 0); got != 40*time.Millisecond {
+		t.Fatalf("serial makespan %v", got)
+	}
+	// 4 workers, no politeness: every record dispatches at once.
+	if got := ModelMakespan(recs, 4, 0); got != 10*time.Millisecond {
+		t.Fatalf("parallel makespan %v", got)
+	}
+	// Politeness 30ms on host a: a/1 at 0, a/2 no earlier than 30ms.
+	got := ModelMakespan(recs, 4, 30*time.Millisecond)
+	if got != 40*time.Millisecond {
+		t.Fatalf("polite makespan %v", got)
+	}
+	// Deterministic: same inputs, same answer, input order irrelevant.
+	rev := []*PageRecord{recs[3], recs[1], recs[0], recs[2]}
+	if ModelMakespan(rev, 4, 30*time.Millisecond) != got {
+		t.Fatal("makespan depends on input order")
+	}
+}

@@ -1,0 +1,102 @@
+package frontier
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Limiter enforces a per-site politeness delay on the virtual clock:
+// two fetches against the same host start at least Delay apart,
+// whichever workers issue them. Reserve hands back how long the caller
+// must advance its clock before fetching — the wait is charged to the
+// worker's clock, never folded into the recorded fetch cost, so
+// politeness shapes the modeled schedule without perturbing the
+// deterministic per-URL costs.
+type Limiter struct {
+	mu    sync.Mutex
+	delay time.Duration
+	next  map[string]time.Duration // host → earliest next fetch start (virtual)
+}
+
+// NewLimiter returns a limiter with the given per-site delay; a zero
+// or negative delay disables waiting.
+func NewLimiter(delay time.Duration) *Limiter {
+	return &Limiter{delay: delay, next: make(map[string]time.Duration)}
+}
+
+// Reserve books a fetch slot against host for a worker whose virtual
+// clock reads now, returning the wait the worker owes before fetching.
+func (l *Limiter) Reserve(host string, now time.Duration) time.Duration {
+	if l == nil || l.delay <= 0 {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := now
+	if nxt, ok := l.next[host]; ok && nxt > start {
+		start = nxt
+	}
+	l.next[host] = start + l.delay
+	return start - now
+}
+
+// HostOf extracts the host part of a URL ("http://host/path" → "host").
+// URLs without a scheme separator hash as themselves.
+func HostOf(url string) string {
+	rest := url
+	if i := strings.Index(url, "://"); i >= 0 {
+		rest = url[i+3:]
+	}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest
+}
+
+// ModelMakespan computes the virtual-clock makespan of fetching every
+// record with the given worker count and per-site politeness delay:
+// records are dispatched in canonical (depth, URL) order to the
+// least-loaded worker, each fetch starting no earlier than the host's
+// politeness slot and paying its recorded FetchCost. A pure function
+// of the record set, so reruns are byte-identical — this is the
+// schedule model behind BENCH_frontier's workers × politeness grid.
+func ModelMakespan(recs []*PageRecord, workers int, delay time.Duration) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
+	order := make([]*PageRecord, len(recs))
+	copy(order, recs)
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Depth != order[j].Depth {
+			return order[i].Depth < order[j].Depth
+		}
+		return order[i].URL < order[j].URL
+	})
+	free := make([]time.Duration, workers) // per-worker next-free time
+	next := make(map[string]time.Duration) // per-host politeness slot
+	var makespan time.Duration
+	for _, r := range order {
+		w := 0
+		for i := 1; i < workers; i++ {
+			if free[i] < free[w] {
+				w = i
+			}
+		}
+		start := free[w]
+		host := HostOf(r.URL)
+		if delay > 0 {
+			if nxt, ok := next[host]; ok && nxt > start {
+				start = nxt
+			}
+			next[host] = start + delay
+		}
+		end := start + r.FetchCost
+		free[w] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}

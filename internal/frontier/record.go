@@ -1,0 +1,237 @@
+package frontier
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Link is a discovered URL on its way into the frontier: where it
+// points, which page referred to it, and the crawl depth it would be
+// fetched at. Depth participates in priority — the frontier always
+// hands out the shallowest pending URL next, so a staged crawl expands
+// the same breadth-first wavefront on every run.
+type Link struct {
+	URL      string
+	Referrer string
+	Depth    int
+}
+
+// PageRecord is the durable result of fetching one URL: everything the
+// canonical replay needs to reproduce the serial crawl's Stats without
+// touching the network again. FetchCost is the virtual time the fetch
+// cost on a private clock — politeness waits are excluded, so the cost
+// is a pure function of the URL and the link profile, independent of
+// worker count or scheduling.
+type PageRecord struct {
+	URL         string
+	Referrer    string
+	Depth       int
+	Status      int
+	Bytes       int           // response body bytes (for client accounting)
+	Type        string        // content type of OK pages; "" when the response had no page
+	AgeDays     int
+	FetchCost   time.Duration // virtual fetch time on a private clock, politeness excluded
+	Digest      string        // cheap change detector: "status|size|age"
+	Revalidated bool          // true when an unchanged prior record was reused via a HEAD probe
+	Links       []Link        // out-links as parsed (Depth field unused; derived as Depth+1)
+}
+
+const recordVersion = 1
+
+// Encode serializes the record for a cabinet value.
+func (r *PageRecord) Encode() []byte {
+	b := make([]byte, 0, 64+len(r.URL)+len(r.Referrer)+24*len(r.Links))
+	b = append(b, recordVersion)
+	b = appendString(b, r.URL)
+	b = appendString(b, r.Referrer)
+	b = binary.AppendUvarint(b, uint64(r.Depth))
+	b = binary.AppendUvarint(b, uint64(r.Status))
+	b = binary.AppendUvarint(b, uint64(r.Bytes))
+	b = appendString(b, r.Type)
+	b = binary.AppendUvarint(b, uint64(r.AgeDays))
+	b = binary.AppendUvarint(b, uint64(r.FetchCost))
+	b = appendString(b, r.Digest)
+	if r.Revalidated {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Links)))
+	for _, l := range r.Links {
+		b = appendString(b, l.URL)
+		b = appendString(b, l.Referrer)
+	}
+	return b
+}
+
+// DecodeRecord parses a record previously produced by Encode.
+func DecodeRecord(b []byte) (*PageRecord, error) {
+	d := &decoder{b: b}
+	if v := d.byte(); v != recordVersion {
+		return nil, fmt.Errorf("frontier: record version %d (want %d)", v, recordVersion)
+	}
+	r := &PageRecord{
+		URL:      d.str(),
+		Referrer: d.str(),
+		Depth:    int(d.uvarint()),
+		Status:   int(d.uvarint()),
+		Bytes:    int(d.uvarint()),
+		Type:     d.str(),
+		AgeDays:  int(d.uvarint()),
+	}
+	r.FetchCost = time.Duration(d.uvarint())
+	r.Digest = d.str()
+	r.Revalidated = d.byte() == 1
+	n := d.uvarint()
+	if d.err == nil && n > uint64(len(d.b))/2 {
+		return nil, fmt.Errorf("frontier: record claims %d links in %d bytes", n, len(d.b))
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		r.Links = append(r.Links, Link{URL: d.str(), Referrer: d.str()})
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("frontier: bad record: %w", d.err)
+	}
+	return r, nil
+}
+
+// Failure is one entry in the failure journal: a URL the crawl could
+// not (or chose not to) fetch, with the typed error code that names
+// why. Terminal entries keep the URL out of the frontier; non-final
+// entries record retry attempts for post-mortems and second passes.
+type Failure struct {
+	URL      string
+	Referrer string
+	Depth    int
+	Attempts int
+	Code     string // typed error code, e.g. "wb_fetch_failed", "wb_depth_unstable"
+	Reason   string
+	Final    bool
+}
+
+func (f *Failure) encode() []byte {
+	b := make([]byte, 0, 32+len(f.URL)+len(f.Referrer)+len(f.Reason))
+	b = append(b, recordVersion)
+	b = appendString(b, f.URL)
+	b = appendString(b, f.Referrer)
+	b = binary.AppendUvarint(b, uint64(f.Depth))
+	b = binary.AppendUvarint(b, uint64(f.Attempts))
+	b = appendString(b, f.Code)
+	b = appendString(b, f.Reason)
+	if f.Final {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func decodeFailure(b []byte) (*Failure, error) {
+	d := &decoder{b: b}
+	if v := d.byte(); v != recordVersion {
+		return nil, fmt.Errorf("frontier: failure version %d (want %d)", v, recordVersion)
+	}
+	f := &Failure{
+		URL:      d.str(),
+		Referrer: d.str(),
+		Depth:    int(d.uvarint()),
+		Attempts: int(d.uvarint()),
+		Code:     d.str(),
+		Reason:   d.str(),
+	}
+	f.Final = d.byte() == 1
+	if d.err != nil {
+		return nil, fmt.Errorf("frontier: bad failure: %w", d.err)
+	}
+	return f, nil
+}
+
+// entry is a pending or claimed URL's durable state.
+type entry struct {
+	url      string
+	referrer string
+	depth    int
+	attempts int
+	worker   string // set only while claimed
+	index    int    // heap position while pending
+}
+
+func (e *entry) encode() []byte {
+	b := make([]byte, 0, 24+len(e.url)+len(e.referrer)+len(e.worker))
+	b = append(b, recordVersion)
+	b = appendString(b, e.url)
+	b = appendString(b, e.referrer)
+	b = binary.AppendUvarint(b, uint64(e.depth))
+	b = binary.AppendUvarint(b, uint64(e.attempts))
+	b = appendString(b, e.worker)
+	return b
+}
+
+func decodeEntry(b []byte) (*entry, error) {
+	d := &decoder{b: b}
+	if v := d.byte(); v != recordVersion {
+		return nil, fmt.Errorf("frontier: entry version %d (want %d)", v, recordVersion)
+	}
+	e := &entry{
+		url:      d.str(),
+		referrer: d.str(),
+		depth:    int(d.uvarint()),
+		attempts: int(d.uvarint()),
+		worker:   d.str(),
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("frontier: bad entry: %w", d.err)
+	}
+	return e, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) == 0 {
+		d.err = fmt.Errorf("truncated")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated uvarint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.err = fmt.Errorf("truncated string of %d bytes", n)
+		return ""
+	}
+	s := string(d.b[:n])
+	d.b = d.b[n:]
+	return s
+}

@@ -1,0 +1,398 @@
+package services
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strings"
+	"time"
+
+	"tax/internal/agent"
+	"tax/internal/briefcase"
+	"tax/internal/firewall"
+	"tax/internal/frontier"
+	"tax/internal/vm"
+)
+
+// ag_frontier exposes one shared crawl frontier (internal/frontier) as
+// a service agent, so a fleet of fetcher agents on other hosts can
+// claim, complete, and fail URLs over the firewall. The frontier's
+// transactions are durable in the host's cabinet; every operation is
+// designed for at-least-once delivery — claims re-issue to the same
+// worker after a lost reply, completions are idempotent — so clients
+// simply retry through crashes and drops.
+//
+// Link admission is server-side: completions feed their records' links
+// back through the service's admit predicate, keeping the policy (and
+// the depth-lowering re-expansion it entails) in exactly one place.
+
+// Frontier operations (FolderOp values).
+const (
+	// FrontierClaim leases the next pending URL to the caller's worker id.
+	FrontierClaim = "claim"
+	// FrontierComplete marks a claimed URL done with its fetch record and
+	// enqueues the record's admissible links.
+	FrontierComplete = "complete"
+	// FrontierFail reports a fetch failure (retryable or terminal).
+	FrontierFail = "fail"
+	// FrontierAdd seeds links directly (the coordinator's start URL).
+	FrontierAdd = "add"
+	// FrontierCounts returns the frontier's state snapshot.
+	FrontierCounts = "counts"
+	// FrontierRecords returns every completed record.
+	FrontierRecords = "records"
+)
+
+// Frontier folders.
+const (
+	// FolderFrWorker is the caller's stable worker id.
+	FolderFrWorker = "_FRWORKER"
+	// FolderFrURL is the operation's subject URL.
+	FolderFrURL = "_FRURL"
+	// FolderFrState is a claim reply's outcome: "claimed", "wait"
+	// (outstanding claims may still feed the queue), or "drained".
+	FolderFrState = "_FRSTATE"
+	// FolderFrClaim carries a claim as "depth|attempts|referrer".
+	FolderFrClaim = "_FRCLAIM"
+	// FolderFrRecord carries one base64-encoded frontier.PageRecord.
+	FolderFrRecord = "_FRRECORD"
+	// FolderFrPrior carries the previous cycle's record on a claim.
+	FolderFrPrior = "_FRPRIOR"
+	// FolderFrLinks carries seed links as "depth|referrer|url" rows.
+	FolderFrLinks = "_FRLINKS"
+	// FolderFrCode / FolderFrReason classify a failure.
+	FolderFrCode   = "_FRCODE"
+	FolderFrReason = "_FRREASON"
+	// FolderFrRetryable marks a failure retryable ("1") or terminal.
+	FolderFrRetryable = "_FRRETRY"
+	// FolderFrCounts carries a counts snapshot as
+	// "pending|claimed|done|failed|journal|dups|reclaims".
+	FolderFrCounts = "_FRCOUNTS"
+)
+
+// Claim states in FolderFrState.
+const (
+	FrontierStateClaimed = "claimed"
+	FrontierStateWait    = "wait"
+	FrontierStateDrained = "drained"
+)
+
+func encodeRecord(rec *frontier.PageRecord) string {
+	return base64.StdEncoding.EncodeToString(rec.Encode())
+}
+
+func decodeRecordB64(s string) (*frontier.PageRecord, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	return frontier.DecodeRecord(raw)
+}
+
+// NewAgFrontier returns the ag_frontier handler serving fr. admit
+// filters link feedback (nil admits everything): it receives each
+// discovered link's URL and depth and decides whether the fleet should
+// fetch it — the crawl's prefix and depth constraints, applied at the
+// single point every link flows through.
+func NewAgFrontier(fr *frontier.Frontier, admit func(url string, depth int) bool) vm.Handler {
+	enqueue := func(links []frontier.Link) error {
+		queue := links
+		for len(queue) > 0 {
+			var admitted []frontier.Link
+			for _, l := range queue {
+				if admit == nil || admit(l.URL, l.Depth) {
+					admitted = append(admitted, l)
+				}
+			}
+			queue = nil
+			if len(admitted) == 0 {
+				continue
+			}
+			_, lowered, err := fr.Add(admitted)
+			if err != nil {
+				return err
+			}
+			// A lowered done record re-expands: its links are now one
+			// step shallower and may newly pass admission.
+			for _, rec := range lowered {
+				for _, l := range rec.Links {
+					queue = append(queue, frontier.Link{URL: l.URL, Referrer: l.Referrer, Depth: rec.Depth + 1})
+				}
+			}
+		}
+		return nil
+	}
+	return func(ctx *agent.Context) error {
+		return serveLoop(ctx, func(req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+			op, _ := req.GetString(FolderOp)
+			resp := briefcase.New()
+			switch op {
+			case FrontierClaim:
+				worker, ok := req.GetString(FolderFrWorker)
+				if !ok {
+					return nil, fmt.Errorf("ag_frontier: %w: claim without worker", ErrBadRequest)
+				}
+				cl, claimed := fr.Claim(worker)
+				switch {
+				case claimed:
+					resp.SetString(FolderFrState, FrontierStateClaimed)
+					resp.SetString(FolderFrURL, cl.URL)
+					resp.SetString(FolderFrClaim,
+						fmt.Sprintf("%d|%d|%s", cl.Depth, cl.Attempts, cl.Referrer))
+					if cl.Prior != nil {
+						resp.SetString(FolderFrPrior, encodeRecord(cl.Prior))
+					}
+				case fr.Drained():
+					resp.SetString(FolderFrState, FrontierStateDrained)
+				default:
+					resp.SetString(FolderFrState, FrontierStateWait)
+				}
+			case FrontierComplete:
+				worker, _ := req.GetString(FolderFrWorker)
+				url, ok := req.GetString(FolderFrURL)
+				if !ok {
+					return nil, fmt.Errorf("ag_frontier: %w: complete without URL", ErrBadRequest)
+				}
+				enc, ok := req.GetString(FolderFrRecord)
+				if !ok {
+					return nil, fmt.Errorf("ag_frontier: %w: complete without record", ErrBadRequest)
+				}
+				rec, err := decodeRecordB64(enc)
+				if err != nil {
+					return nil, fmt.Errorf("ag_frontier: %w: bad record: %v", ErrBadRequest, err)
+				}
+				// Feed links back before completing, so the frontier
+				// never reads drained while discovered work is in hand.
+				links := make([]frontier.Link, 0, len(rec.Links))
+				for _, l := range rec.Links {
+					links = append(links, frontier.Link{URL: l.URL, Referrer: l.Referrer, Depth: rec.Depth + 1})
+				}
+				if err := enqueue(links); err != nil {
+					return nil, err
+				}
+				if _, err := fr.Complete(url, worker, rec); err != nil {
+					return nil, err
+				}
+				resp.SetString("OK", url)
+			case FrontierFail:
+				worker, _ := req.GetString(FolderFrWorker)
+				url, ok := req.GetString(FolderFrURL)
+				if !ok {
+					return nil, fmt.Errorf("ag_frontier: %w: fail without URL", ErrBadRequest)
+				}
+				code, _ := req.GetString(FolderFrCode)
+				reason, _ := req.GetString(FolderFrReason)
+				retryable, _ := req.GetString(FolderFrRetryable)
+				requeued, err := fr.Fail(url, worker, code, reason, retryable == "1")
+				if err != nil {
+					return nil, err
+				}
+				if requeued {
+					resp.SetString("REQUEUED", url)
+				}
+			case FrontierAdd:
+				f, err := req.Folder(FolderFrLinks)
+				if err != nil {
+					return nil, fmt.Errorf("ag_frontier: %w: add without links", ErrBadRequest)
+				}
+				var links []frontier.Link
+				for _, row := range f.Strings() {
+					parts := strings.SplitN(row, "|", 3)
+					if len(parts) != 3 {
+						return nil, fmt.Errorf("ag_frontier: %w: bad link row %q", ErrBadRequest, row)
+					}
+					var depth int
+					if _, err := fmt.Sscanf(parts[0], "%d", &depth); err != nil {
+						return nil, fmt.Errorf("ag_frontier: %w: bad depth in %q", ErrBadRequest, row)
+					}
+					links = append(links, frontier.Link{URL: parts[2], Referrer: parts[1], Depth: depth})
+				}
+				if err := enqueue(links); err != nil {
+					return nil, err
+				}
+				resp.SetString("OK", fmt.Sprintf("%d", len(links)))
+			case FrontierCounts:
+				c := fr.Counts()
+				resp.SetString(FolderFrCounts, fmt.Sprintf("%d|%d|%d|%d|%d|%d|%d",
+					c.Pending, c.Claimed, c.Done, c.TerminalFailed, c.Journal,
+					c.DupCompletions, c.Reclaims))
+			case FrontierRecords:
+				f := resp.Ensure(FolderFrRecord)
+				for _, rec := range fr.Records() {
+					f.AppendString(encodeRecord(rec))
+				}
+			default:
+				return nil, fmt.Errorf("ag_frontier: %w %q", ErrUnknownOp, op)
+			}
+			return resp, nil
+		})
+	}
+}
+
+// FrontierClient drives a remote ag_frontier from a fetcher agent. All
+// operations tolerate at-least-once delivery: on a transport failure
+// (host down, reply lost) the client retries the whole RPC — the
+// service absorbs the duplicates.
+type FrontierClient struct {
+	// Service is the frontier's agent URI, e.g. "tacoma://mine//ag_frontier".
+	Service string
+	// Retry is stamped on every request briefcase (transport-level
+	// redelivery under drops); zero disables.
+	Retry firewall.RetryPolicy
+	// Attempts bounds client-level RPC retries across host crashes;
+	// default 400.
+	Attempts int
+	// Backoff is the wall-clock pause between client-level retries;
+	// default 5ms. (Wall, not virtual: the caller is waiting out a real
+	// restart scheduled by the harness.)
+	Backoff time.Duration
+	// Timeout bounds each RPC's reply wait; default rpcTimeout.
+	Timeout time.Duration
+}
+
+func (c FrontierClient) call(ctx *agent.Context, req *briefcase.Briefcase) (*briefcase.Briefcase, error) {
+	attempts := c.Attempts
+	if attempts <= 0 {
+		attempts = 400
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = rpcTimeout
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		r := req.Clone()
+		r.Drop(firewall.FolderMsgID)
+		if c.Retry.Enabled() {
+			firewall.SetRetryPolicy(r, c.Retry)
+		}
+		resp, err := ctx.Meet(c.Service, r, timeout)
+		if err == nil {
+			if rerr, ok := firewall.RemoteErrorFrom(resp); ok {
+				// The service processed the request and classified a
+				// failure: retrying won't change the answer.
+				return nil, rerr
+			}
+			return resp, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+	}
+	return nil, fmt.Errorf("ag_frontier unreachable after %d attempts: %w", attempts, lastErr)
+}
+
+// Claim leases the next URL. The returned state is one of the
+// FrontierState* values; the claim is non-nil only for
+// FrontierStateClaimed.
+func (c FrontierClient) Claim(ctx *agent.Context, worker string) (*frontier.Claim, string, error) {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierClaim)
+	req.SetString(FolderFrWorker, worker)
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		return nil, "", err
+	}
+	state, _ := resp.GetString(FolderFrState)
+	if state != FrontierStateClaimed {
+		return nil, state, nil
+	}
+	url, _ := resp.GetString(FolderFrURL)
+	cl := &frontier.Claim{URL: url}
+	if meta, ok := resp.GetString(FolderFrClaim); ok {
+		parts := strings.SplitN(meta, "|", 3)
+		if len(parts) == 3 {
+			fmt.Sscanf(parts[0], "%d", &cl.Depth)
+			fmt.Sscanf(parts[1], "%d", &cl.Attempts)
+			cl.Referrer = parts[2]
+		}
+	}
+	if enc, ok := resp.GetString(FolderFrPrior); ok {
+		if prior, err := decodeRecordB64(enc); err == nil {
+			cl.Prior = prior
+		}
+	}
+	return cl, state, nil
+}
+
+// Complete reports a fetch record for a claimed URL.
+func (c FrontierClient) Complete(ctx *agent.Context, url, worker string, rec *frontier.PageRecord) error {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierComplete)
+	req.SetString(FolderFrWorker, worker)
+	req.SetString(FolderFrURL, url)
+	req.SetString(FolderFrRecord, encodeRecord(rec))
+	_, err := c.call(ctx, req)
+	return err
+}
+
+// Fail reports a fetch failure for a claimed URL.
+func (c FrontierClient) Fail(ctx *agent.Context, url, worker, code, reason string, retryable bool) error {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierFail)
+	req.SetString(FolderFrWorker, worker)
+	req.SetString(FolderFrURL, url)
+	req.SetString(FolderFrCode, code)
+	req.SetString(FolderFrReason, reason)
+	if retryable {
+		req.SetString(FolderFrRetryable, "1")
+	}
+	_, err := c.call(ctx, req)
+	return err
+}
+
+// Add seeds links into the frontier (subject to the service's admit
+// predicate).
+func (c FrontierClient) Add(ctx *agent.Context, links []frontier.Link) error {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierAdd)
+	f := req.Ensure(FolderFrLinks)
+	for _, l := range links {
+		f.AppendString(fmt.Sprintf("%d|%s|%s", l.Depth, l.Referrer, l.URL))
+	}
+	_, err := c.call(ctx, req)
+	return err
+}
+
+// Counts fetches the frontier's state snapshot.
+func (c FrontierClient) Counts(ctx *agent.Context) (frontier.Counts, error) {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierCounts)
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		return frontier.Counts{}, err
+	}
+	row, _ := resp.GetString(FolderFrCounts)
+	var cnt frontier.Counts
+	if _, err := fmt.Sscanf(row, "%d|%d|%d|%d|%d|%d|%d",
+		&cnt.Pending, &cnt.Claimed, &cnt.Done, &cnt.TerminalFailed,
+		&cnt.Journal, &cnt.DupCompletions, &cnt.Reclaims); err != nil {
+		return frontier.Counts{}, fmt.Errorf("ag_frontier: bad counts %q", row)
+	}
+	return cnt, nil
+}
+
+// Records fetches every completed record.
+func (c FrontierClient) Records(ctx *agent.Context) ([]*frontier.PageRecord, error) {
+	req := briefcase.New()
+	req.SetString(FolderOp, FrontierRecords)
+	resp, err := c.call(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	f, ferr := resp.Folder(FolderFrRecord)
+	if ferr != nil {
+		return nil, nil
+	}
+	recs := make([]*frontier.PageRecord, 0, f.Len())
+	for _, enc := range f.Strings() {
+		rec, err := decodeRecordB64(enc)
+		if err != nil {
+			return nil, fmt.Errorf("ag_frontier: bad record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}

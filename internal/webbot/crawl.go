@@ -1,0 +1,534 @@
+package webbot
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tax/internal/frontier"
+	"tax/internal/vclock"
+	"tax/internal/websim"
+)
+
+// runConfig resolves the effective configuration: the option set for
+// robots built with New, or a strict legacy translation of the public
+// Constraints fields for struct-literal robots.
+func (r *Robot) runConfig() config {
+	if r.cfg != nil {
+		return *r.cfg
+	}
+	stable := r.Constraints.MaxStableDepth
+	if stable == 0 {
+		stable = DefaultMaxStableDepth
+	}
+	workers := r.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	return config{
+		maxDepth:    r.Constraints.MaxDepth,
+		stable:      stable,
+		prefix:      r.Constraints.Prefix,
+		workers:     workers,
+		strict:      true, // the seed's semantics: too-deep crawls abort
+		agent:       "webbot",
+		ns:          "fr/",
+		maxAttempts: 3,
+	}
+}
+
+// RunCtx crawls from startURL: the staged acquisition pipeline (frontier
+// + K fetcher workers + parser feedback) fetches every reachable page
+// exactly once, then the canonical serial traversal replays the
+// completed records to produce Stats — byte-identical to the seed's
+// recursive crawl, whatever the worker count, politeness delay, or
+// crash/resume history.
+func (r *Robot) RunCtx(ctx context.Context, startURL string) (*Stats, error) {
+	cfg := r.runConfig()
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	if cfg.strict && cfg.maxDepth > cfg.stable {
+		return nil, fmt.Errorf("%w: depth %d > stable limit %d",
+			ErrUnstable, cfg.maxDepth, cfg.stable)
+	}
+	if r.Fetcher == nil || r.Clock == nil {
+		return nil, errors.New("webbot: robot needs a fetcher and a clock")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	effDepth := cfg.maxDepth
+	if effDepth > cfg.stable {
+		effDepth = cfg.stable
+	}
+
+	st := &Stats{TypeCounts: make(map[string]int)}
+	start := r.Clock.Now()
+	sp := r.Telemetry.Spans().Start(r.Clock, r.Telemetry.Host(), r.TraceID, r.SpanParent, "bot.crawl")
+	sp.SetAttr("start", startURL)
+	fail := func(err error) (*Stats, error) {
+		sp.SetErr(err)
+		sp.End()
+		return nil, err
+	}
+
+	ff, forkable := r.Fetcher.(websim.ForkableFetcher)
+	if cfg.workers > 1 && !forkable {
+		return fail(ErrNotForkable)
+	}
+
+	var rules *Robots
+	if cfg.robots == RobotsHonor {
+		var err error
+		rules, err = r.loadRobots(startURL)
+		if err != nil {
+			return fail(err)
+		}
+		if !rules.Allowed(cfg.agent, urlPath(startURL)) {
+			return fail(fmt.Errorf("%w: %s for agent %q", ErrRobotsDenied, startURL, cfg.agent))
+		}
+	}
+
+	fr, err := frontier.New(frontier.Options{
+		Store:       cfg.store,
+		Namespace:   cfg.ns,
+		MaxAttempts: cfg.maxAttempts,
+		AdoptClaims: true, // a resumed local crawl owns no live workers
+	})
+	if err != nil {
+		return fail(err)
+	}
+	r.last = fr
+	if cfg.recrawl {
+		if cfg.store == nil {
+			return fail(errors.New("webbot: WithRecrawl requires WithFrontier"))
+		}
+		if len(fr.Records()) > 0 {
+			if err := fr.BeginRecrawl(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	rp := &replayer{
+		cfg:       cfg,
+		effDepth:  effDepth,
+		rules:     rules,
+		fr:        fr,
+		clock:     r.Clock,
+		fetcher:   r.Fetcher,
+		records:   map[string]*frontier.PageRecord{},
+		bestDepth: map[string]int{},
+		pages:     map[string]*replayPage{},
+		st:        st,
+	}
+	if forkable {
+		// Stage 1, acquisition: workers drain the frontier on forked
+		// fetchers, recording one PageRecord per URL.
+		if err := r.acquire(ctx, ff, fr, rules, cfg, effDepth, startURL); err != nil {
+			return fail(err)
+		}
+		rp.parent = ff
+		for _, rec := range fr.Records() {
+			rp.records[rec.URL] = rec
+		}
+	}
+	// Stage 2, canonical replay: the seed's recursive traversal over
+	// the records (or live fetches for non-forkable fetchers).
+	if err := rp.crawl(startURL, "", 0); err != nil {
+		return fail(err)
+	}
+	st.Elapsed = r.Clock.Now() - start
+	sp.End()
+	if reg := r.Telemetry.Registry(); reg != nil {
+		reg.Counter("bot.pages").Add(int64(st.PagesVisited))
+		reg.Counter("bot.bytes").Add(int64(st.BytesFetched))
+		reg.Counter("bot.links").Add(int64(st.LinksChecked))
+	}
+	return st, nil
+}
+
+// loadRobots fetches and parses the origin's robots.txt on the robot's
+// own clock. A missing or empty file allows everything (nil rules).
+func (r *Robot) loadRobots(startURL string) (*Robots, error) {
+	u := robotsURLFor(startURL)
+	if u == "" {
+		return nil, nil
+	}
+	resp, err := r.Fetcher.Fetch(u)
+	if err != nil {
+		return nil, fmt.Errorf("webbot: fetch %s: %w", u, err)
+	}
+	if resp.Status != websim.StatusOK || resp.Page == nil || resp.Page.Body == "" {
+		return nil, nil
+	}
+	return ParseRobots(resp.Page.Body), nil
+}
+
+// followable is the frontier admission predicate: the links a crawl
+// will fetch. It must agree exactly with the replay's expansion filter
+// — acquisition fetches precisely what replay will visit.
+func followable(url string, depth int, rules *Robots, cfg *config, effDepth int) bool {
+	if cfg.prefix != "" && !strings.HasPrefix(url, cfg.prefix) {
+		return false
+	}
+	if rules != nil && !rules.Allowed(cfg.agent, urlPath(url)) {
+		return false
+	}
+	return depth <= effDepth
+}
+
+// acquire runs the fetcher-worker stage until the frontier drains.
+func (r *Robot) acquire(ctx context.Context, ff websim.ForkableFetcher, fr *frontier.Frontier,
+	rules *Robots, cfg config, effDepth int, startURL string) error {
+	if _, _, err := fr.Add([]frontier.Link{{URL: startURL, Depth: 0}}); err != nil {
+		return err
+	}
+	delay := cfg.politeness
+	if rules != nil {
+		if d := rules.CrawlDelay(cfg.agent); d > delay {
+			delay = d
+		}
+	}
+	lim := frontier.NewLimiter(delay)
+	if done := ctx.Done(); done != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				fr.Close() // wakes every ClaimWait with WaitClosed
+			case <-finished:
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.workers)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = r.mine(fmt.Sprintf("w%d", w), ff, fr, rules, lim, cfg, effDepth)
+		}(w)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mine is one fetcher worker: claim, politeness wait, fetch (or HEAD
+// revalidation), feed parsed links back, complete. Each worker fetches
+// on a fork with a private clock so recorded costs are independent of
+// scheduling.
+func (r *Robot) mine(wid string, ff websim.ForkableFetcher, fr *frontier.Frontier,
+	rules *Robots, lim *frontier.Limiter, cfg config, effDepth int) error {
+	clk := vclock.NewVirtual()
+	fork := ff.Fork(clk)
+	header, _ := fork.(websim.HeadFetcher)
+	for {
+		cl, state := fr.ClaimWait(wid)
+		if state != frontier.WaitClaimed {
+			return nil // drained or closed
+		}
+		rec, err := fetchOne(cl, fork, header, clk, lim)
+		if err != nil {
+			if _, ferr := fr.Fail(cl.URL, wid, CodeFetchFailed, err.Error(), true); ferr != nil {
+				return ferr
+			}
+			continue
+		}
+		if err := enqueue(rec, fr, rules, &cfg, effDepth); err != nil {
+			return err
+		}
+		if _, err := fr.Complete(cl.URL, wid, rec); err != nil {
+			return err
+		}
+	}
+}
+
+// fetchOne performs the network half of one claim on the worker's
+// private clock. The politeness wait is charged *before* the cost
+// window opens, so FetchCost is a pure function of the URL.
+func fetchOne(cl *frontier.Claim, fork websim.Fetcher, header websim.HeadFetcher,
+	clk vclock.Clock, lim *frontier.Limiter) (*frontier.PageRecord, error) {
+	clk.Advance(lim.Reserve(frontier.HostOf(cl.URL), clk.Now()))
+	before := clk.Now()
+	if cl.Prior != nil && header != nil {
+		hr, err := header.Head(cl.URL)
+		if err == nil && digestOfResponse(hr) == cl.Prior.Digest {
+			rec := *cl.Prior
+			rec.Bytes = 0 // nothing crossed the wire
+			rec.FetchCost = clk.Now() - before
+			rec.Revalidated = true
+			return &rec, nil
+		}
+		// Changed (or the probe failed): fall through to a full fetch;
+		// the probe's cost stays inside this fetch's recorded window.
+	}
+	resp, err := fork.Fetch(cl.URL)
+	if err != nil {
+		return nil, err
+	}
+	return RecordFetch(resp, cl, clk.Now()-before), nil
+}
+
+// RecordFetch folds a fetch response into the durable record the
+// canonical replay consumes. Exported for remote fleet workers, which
+// fetch far from the frontier and ship records back over the firewall.
+func RecordFetch(resp *websim.Response, cl *frontier.Claim, cost time.Duration) *frontier.PageRecord {
+	rec := &frontier.PageRecord{
+		URL:       cl.URL,
+		Referrer:  cl.Referrer,
+		Depth:     cl.Depth,
+		Status:    resp.Status,
+		Bytes:     resp.Bytes,
+		FetchCost: cost,
+		Digest:    digestOfResponse(resp),
+	}
+	if resp.Page != nil {
+		rec.Type = string(resp.Page.Type)
+		rec.AgeDays = resp.Page.AgeDays
+		for _, l := range resp.Page.Links {
+			rec.Links = append(rec.Links, frontier.Link{URL: l.URL, Referrer: l.Referrer})
+		}
+	}
+	return rec
+}
+
+// digestOfResponse is the revalidation digest: status, size, age. A
+// HEAD probe returns the same metadata, so an unchanged page matches
+// without a body transfer.
+func digestOfResponse(resp *websim.Response) string {
+	size, age := 0, 0
+	if resp.Page != nil {
+		size, age = resp.Page.Size, resp.Page.AgeDays
+	}
+	return fmt.Sprintf("%d|%d|%d", resp.Status, size, age)
+}
+
+// enqueue feeds a completed record's followable links back into the
+// frontier (the parser stage). Records whose depth was lowered by a
+// rediscovery are re-expanded, mirroring the replay's best-depth
+// relaxation.
+func enqueue(rec *frontier.PageRecord, fr *frontier.Frontier, rules *Robots, cfg *config, effDepth int) error {
+	queue := []*frontier.PageRecord{rec}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var links []frontier.Link
+		for _, l := range cur.Links {
+			if !followable(l.URL, cur.Depth+1, rules, cfg, effDepth) {
+				continue
+			}
+			links = append(links, frontier.Link{URL: l.URL, Referrer: l.Referrer, Depth: cur.Depth + 1})
+		}
+		if len(links) == 0 {
+			continue
+		}
+		_, lowered, err := fr.Add(links)
+		if err != nil {
+			return err
+		}
+		queue = append(queue, lowered...)
+	}
+	return nil
+}
+
+// replayPage caches one fetched page's links for re-expansion (nil
+// entry: the URL was invalid).
+type replayPage struct {
+	links []frontier.Link
+}
+
+// replayer is the canonical serial traversal — the seed's recursive
+// depth-limited DFS, fetching from completed records when available
+// (charging the recorded costs) and live through the fetcher otherwise.
+// Depth-limited DFS may first reach a page via a long cross-link path
+// and later via a shorter tree path; each page is fetched exactly once
+// but re-expanded when reached at a strictly shallower depth, so the
+// depth constraint prunes by the page's best-known depth (as the W3C
+// robot's breadth bookkeeping does).
+type replayer struct {
+	cfg      config
+	effDepth int
+	rules    *Robots
+	fr       *frontier.Frontier // journal target for unstable subtrees (may be nil)
+	clock    vclock.Clock
+	fetcher  websim.Fetcher          // live fallback (nil in StatsFromRecords)
+	parent   websim.ForkableFetcher  // Replay target for recorded fetches (may be nil)
+	records  map[string]*frontier.PageRecord
+	bestDepth map[string]int
+	pages    map[string]*replayPage
+	st       *Stats
+}
+
+// crawl fetches (once) and expands one page depth-first.
+func (rp *replayer) crawl(url, referrer string, depth int) error {
+	if prev, seen := rp.bestDepth[url]; seen {
+		if depth >= prev {
+			return nil
+		}
+		rp.bestDepth[url] = depth
+		return rp.expand(url, depth)
+	}
+	rp.bestDepth[url] = depth
+
+	rec, err := rp.fetch(url, referrer, depth)
+	if err != nil {
+		return err
+	}
+	if rec.Status != websim.StatusOK {
+		rp.pages[url] = nil
+		rp.st.Invalid = append(rp.st.Invalid, LinkReport{
+			URL: url, Referrer: referrer, Status: rec.Status, Reason: "invalid",
+		})
+		return nil
+	}
+	rp.st.PagesVisited++
+	rp.st.BytesFetched += rec.Bytes
+	if rec.Revalidated {
+		rp.st.Revalidated++
+	}
+	if depth > rp.st.MaxDepthSeen {
+		rp.st.MaxDepthSeen = depth
+	}
+	if rec.Type != "" {
+		rp.st.TypeCounts[rec.Type]++
+		switch age := rec.AgeDays; {
+		case age < 30:
+			rp.st.AgeBuckets[0]++
+		case age < 180:
+			rp.st.AgeBuckets[1]++
+		case age < 365:
+			rp.st.AgeBuckets[2]++
+		default:
+			rp.st.AgeBuckets[3]++
+		}
+	}
+	// Parsing cost scales with transferred bytes (a revalidated page
+	// transferred none and needs no re-parse).
+	rp.clock.Advance(time.Duration(rec.Bytes) * ParseCostPerKB / 1024)
+	rp.pages[url] = &replayPage{links: rec.Links}
+	return rp.expand(url, depth)
+}
+
+// fetch resolves one URL: from the acquisition records (charging the
+// parent fetcher, or the bare clock when there is none), or live.
+func (rp *replayer) fetch(url, referrer string, depth int) (*frontier.PageRecord, error) {
+	if rec, ok := rp.records[url]; ok {
+		if rp.parent != nil {
+			rp.parent.Replay(&websim.Response{URL: url, Status: rec.Status, Bytes: rec.Bytes}, rec.FetchCost)
+		} else {
+			rp.clock.Advance(rec.FetchCost)
+		}
+		return rec, nil
+	}
+	if rp.fetcher == nil {
+		return nil, fmt.Errorf("%w: no completed record for %s", ErrFetchFailed, url)
+	}
+	before := rp.clock.Now()
+	resp, err := rp.fetcher.Fetch(url)
+	if err != nil {
+		return nil, fmt.Errorf("webbot: fetch %s: %w", url, err)
+	}
+	return RecordFetch(resp, &frontier.Claim{URL: url, Referrer: referrer, Depth: depth}, rp.clock.Now()-before), nil
+}
+
+// expand recurses over a fetched page's links.
+func (rp *replayer) expand(url string, depth int) error {
+	page := rp.pages[url]
+	if page == nil {
+		return nil
+	}
+	for _, link := range page.links {
+		rp.st.LinksChecked++
+		if rp.cfg.prefix != "" && !strings.HasPrefix(link.URL, rp.cfg.prefix) {
+			rp.st.Rejected = append(rp.st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "prefix",
+			})
+			continue
+		}
+		if rp.rules != nil && !rp.rules.Allowed(rp.cfg.agent, urlPath(link.URL)) {
+			rp.st.Rejected = append(rp.st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "robots",
+			})
+			continue
+		}
+		if depth+1 > rp.cfg.maxDepth {
+			rp.st.Rejected = append(rp.st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "depth",
+			})
+			continue
+		}
+		if depth+1 > rp.effDepth {
+			// Beyond the stable limit: the legacy robot aborted the
+			// whole crawl here. The staged crawler journals the
+			// abandoned subtree as a typed event and carries on — the
+			// wrapper's second pass reads the journal.
+			rp.st.Rejected = append(rp.st.Rejected, LinkReport{
+				URL: link.URL, Referrer: link.Referrer, Reason: "unstable",
+			})
+			if rp.fr != nil {
+				_ = rp.fr.Journal(frontier.Failure{
+					URL: link.URL, Referrer: link.Referrer, Depth: depth + 1,
+					Code:   CodeDepthUnstable,
+					Reason: fmt.Sprintf("subtree at depth %d beyond stable limit %d", depth+1, rp.effDepth),
+				})
+			}
+			continue
+		}
+		if err := rp.crawl(link.URL, link.Referrer, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StatsFromRecords replays the canonical traversal over a completed
+// record set and returns the Stats the serial crawl would produce —
+// without a fetcher. The fleet coordinator uses it to fold N agents'
+// shared-frontier work into one deterministic aggregate: Stats is a
+// pure function of (records, options), so any claim interleaving that
+// completes the same record set yields byte-identical Stats. A URL the
+// traversal needs but the records lack returns ErrFetchFailed (a lost
+// URL — exactly what the exactly-once invariant forbids).
+func StatsFromRecords(startURL string, recs []*frontier.PageRecord, opts ...Option) (*Stats, error) {
+	cfg := buildConfig(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	effDepth := cfg.maxDepth
+	if effDepth > cfg.stable {
+		effDepth = cfg.stable
+	}
+	clock := vclock.NewVirtual()
+	st := &Stats{TypeCounts: make(map[string]int)}
+	rp := &replayer{
+		cfg:       cfg,
+		effDepth:  effDepth,
+		clock:     clock,
+		records:   make(map[string]*frontier.PageRecord, len(recs)),
+		bestDepth: map[string]int{},
+		pages:     map[string]*replayPage{},
+		st:        st,
+	}
+	for _, rec := range recs {
+		rp.records[rec.URL] = rec
+	}
+	if err := rp.crawl(startURL, "", 0); err != nil {
+		return nil, err
+	}
+	st.Elapsed = clock.Now()
+	return st, nil
+}

@@ -1,0 +1,140 @@
+package webbot
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRobotsTable(t *testing.T) {
+	const body = `# taxsim generated
+User-agent: badbot
+Disallow: /
+
+User-agent: *
+Crawl-delay: 0.5
+Disallow: /private/
+Disallow: /tmp
+Allow: /private/ok.html
+Disallow: /*.cgi$
+Disallow: /a/*/deep
+Disallow:
+`
+	r := ParseRobots(body)
+	cases := []struct {
+		agent, path string
+		want        bool
+	}{
+		// The wildcard group's prefix rules.
+		{"webbot", "/", true},
+		{"webbot", "/index.html", true},
+		{"webbot", "/private/", false},
+		{"webbot", "/private/secret.html", false},
+		{"webbot", "/tmp", false},
+		{"webbot", "/tmpfile", false}, // prefix match, not path-segment match
+		// Longest match wins: the Allow rule is more specific.
+		{"webbot", "/private/ok.html", true},
+		// '$' anchors: only exact .cgi suffixes.
+		{"webbot", "/run.cgi", false},
+		{"webbot", "/run.cgi.html", true},
+		// '*' spans path segments.
+		{"webbot", "/a/b/deep", false},
+		{"webbot", "/a/b/c/deep/more", false},
+		{"webbot", "/a/deep", true},
+		// Agent-token matching is a case-insensitive contains match.
+		{"badbot", "/", false},
+		{"BadBot/2.0", "/anything", false},
+		// Empty Disallow matches nothing.
+		{"webbot", "", true},
+	}
+	for _, c := range cases {
+		if got := r.Allowed(c.agent, c.path); got != c.want {
+			t.Errorf("Allowed(%q, %q) = %v, want %v", c.agent, c.path, got, c.want)
+		}
+	}
+	if d := r.CrawlDelay("webbot"); d != 500*time.Millisecond {
+		t.Errorf("CrawlDelay(webbot) = %v, want 500ms", d)
+	}
+	if d := r.CrawlDelay("badbot"); d != 0 {
+		t.Errorf("CrawlDelay(badbot) = %v, want 0 (its group sets none)", d)
+	}
+}
+
+func TestParseRobotsEdgeCases(t *testing.T) {
+	// A nil Robots (no robots.txt) allows everything.
+	var nilRobots *Robots
+	if !nilRobots.Allowed("webbot", "/x") {
+		t.Error("nil robots must allow")
+	}
+	// Rules before any User-agent line are ignored.
+	r := ParseRobots("Disallow: /\nUser-agent: *\nDisallow: /b\n")
+	if !r.Allowed("webbot", "/a") {
+		t.Error("headerless Disallow must be ignored")
+	}
+	if r.Allowed("webbot", "/b") {
+		t.Error("grouped Disallow must apply")
+	}
+	// Consecutive User-agent lines share one group.
+	r = ParseRobots("User-agent: alpha\nUser-agent: beta\nDisallow: /x\n")
+	for _, agent := range []string{"alpha", "beta"} {
+		if r.Allowed(agent, "/x") {
+			t.Errorf("agent %s should share the group's Disallow", agent)
+		}
+	}
+	// A later User-agent line after rules starts a new group.
+	r = ParseRobots("User-agent: alpha\nDisallow: /x\nUser-agent: beta\nDisallow: /y\n")
+	if r.Allowed("beta", "/y") || !r.Allowed("beta", "/x") {
+		t.Error("second group must not inherit the first group's rules")
+	}
+	// The most specific agent token wins over the wildcard group.
+	r = ParseRobots("User-agent: *\nDisallow: /\nUser-agent: webbot\nDisallow: /only\n")
+	if !r.Allowed("webbot", "/fine") || r.Allowed("webbot", "/only") {
+		t.Error("named group must shadow the wildcard group")
+	}
+	if r.Allowed("stranger", "/fine") {
+		t.Error("unmatched agent falls back to the wildcard group")
+	}
+	// Tie between Allow and Disallow of equal length: allow wins.
+	r = ParseRobots("User-agent: *\nDisallow: /ab\nAllow: /ab\n")
+	if !r.Allowed("webbot", "/ab") {
+		t.Error("equal-length tie must resolve to allow")
+	}
+	// Unparseable crawl delays are skipped.
+	r = ParseRobots("User-agent: *\nCrawl-delay: soon\n")
+	if r.CrawlDelay("webbot") != 0 {
+		t.Error("bad crawl-delay must parse as zero")
+	}
+}
+
+func TestURLHelpers(t *testing.T) {
+	if p := urlPath("http://webserv/a/b.html"); p != "/a/b.html" {
+		t.Errorf("urlPath = %q", p)
+	}
+	if p := urlPath("http://webserv"); p != "/" {
+		t.Errorf("urlPath(host only) = %q", p)
+	}
+	if u := robotsURLFor("http://webserv/deep/page.html"); u != "http://webserv/robots.txt" {
+		t.Errorf("robotsURLFor = %q", u)
+	}
+	if u := robotsURLFor("not-a-url"); u != "" {
+		t.Errorf("robotsURLFor(garbage) = %q, want empty", u)
+	}
+}
+
+// FuzzRobots asserts the parser and matcher never panic and that an
+// empty rule set allows everything, whatever bytes arrive as
+// robots.txt. Wired into `make fuzz-short`.
+func FuzzRobots(f *testing.F) {
+	f.Add("User-agent: *\nDisallow: /private/\nAllow: /private/ok\n", "webbot", "/private/ok")
+	f.Add("User-agent: a\nUser-agent: b\nCrawl-delay: 1.5\nDisallow: /*.cgi$\n", "a", "/x.cgi")
+	f.Add("# only comments\n\n\n", "any", "/")
+	f.Add("Disallow: /orphan\nUser-agent:\nDisallow: /\n", "", "")
+	f.Add("User-agent: *\nDisallow: /a/*/b*c$\n", "bot", "/a/x/byc")
+	f.Fuzz(func(t *testing.T, body, agent, path string) {
+		r := ParseRobots(body)
+		_ = r.Allowed(agent, path)
+		_ = r.CrawlDelay(agent)
+		if len(r.groups) == 0 && !r.Allowed(agent, path) {
+			t.Fatal("an empty rule set must allow everything")
+		}
+	})
+}

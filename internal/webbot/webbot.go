@@ -1,31 +1,35 @@
-// Package webbot reproduces the W3C Webbot-style stationary robot of §5.
+// Package webbot reproduces the W3C Webbot-style stationary robot of §5
+// — rebuilt (PR 10) as a staged crawler.
 //
 // "A robot can start with one or more reference pages and traverse all
-// links in some orderly manner, gathering statistics." Webbot follows
-// links depth-first, subjected to constraints — depth of the search tree
-// and restricting URIs checked to those matching a specific prefix — and
-// gathers statistics on link validity, age and type. Links not followed
-// because of constraints are logged, which is what enables the mobility
-// wrapper's second validation pass. The original became unstable with a
-// search tree deeper than 4; the reproduction models that with a
-// configurable MaxStableDepth.
+// links in some orderly manner, gathering statistics." The seed's
+// recursive depth-first crawl survives as the *canonical replay*: the
+// traversal that defines visit order, link logs, and statistics. In
+// front of it sits a staged acquisition pipeline — a durable,
+// prioritized URL frontier (internal/frontier), K fetcher workers with
+// per-site politeness limiting on the virtual clock, and a parser stage
+// feeding discovered links back — so fetching parallelizes, survives
+// host crashes (WithFrontier), honors robots.txt (WithRobotsPolicy),
+// and re-crawls incrementally (WithRecrawl), while Stats stay
+// byte-identical to the serial crawl of the seed.
+//
+// Robots are built with New(fetcher, opts...) and driven with
+// RunCtx(ctx, startURL); the legacy Constraints/Run surface remains as
+// deprecated shims over the same engine.
 package webbot
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
+	"tax/internal/frontier"
 	"tax/internal/telemetry"
 	"tax/internal/vclock"
 	"tax/internal/websim"
 )
-
-// ErrUnstable is returned when the requested depth exceeds the robot's
-// stability limit, reproducing the paper's observed crash depth.
-var ErrUnstable = errors.New("webbot: search tree too deep; robot unstable")
 
 // DefaultMaxStableDepth is the depth beyond which the original Webbot
 // became unstable in the paper's test.
@@ -38,6 +42,10 @@ const DefaultMaxStableDepth = 4
 const ParseCostPerKB = 800 * time.Microsecond
 
 // Constraints bound a crawl.
+//
+// Deprecated: build robots with New and the WithMaxDepth / WithPrefix /
+// WithStableDepth options. The struct remains for the legacy Run
+// surface and is honored verbatim by robots built as struct literals.
 type Constraints struct {
 	// MaxDepth limits the search tree depth (root = 0).
 	MaxDepth int
@@ -58,7 +66,8 @@ type LinkReport struct {
 	// Status is the HTTP-like status observed (0 for rejected links,
 	// which were never fetched).
 	Status int
-	// Reason explains the entry ("invalid", "depth", "prefix").
+	// Reason explains the entry ("invalid", "depth", "prefix",
+	// "robots", "unstable").
 	Reason string
 }
 
@@ -82,6 +91,9 @@ type Stats struct {
 	// Rejected lists links not followed due to constraints; the second
 	// pass of the case study validates the prefix-rejected ones.
 	Rejected []LinkReport
+	// Revalidated counts pages an incremental re-crawl verified
+	// unchanged with a HEAD probe instead of refetching.
+	Revalidated int
 	// Elapsed is the simulated time the crawl took on the robot's clock.
 	Elapsed time.Duration
 }
@@ -102,170 +114,79 @@ func (s *Stats) RejectedByPrefix() []LinkReport {
 	return out
 }
 
-// Robot is a stationary web robot: it crawls through whatever Fetcher it
-// is given — a local or remote websim client, which is exactly the
-// difference the paper's experiment measures.
+// Robot is a web robot: it crawls through whatever Fetcher it is given
+// — a local or remote websim client, which is exactly the difference
+// the paper's experiment measures. Build with New; the exported fields
+// remain for the legacy struct-literal surface (a Robot built that way
+// behaves exactly like the seed's, including the strict stable-depth
+// abort).
 type Robot struct {
 	// Fetcher retrieves pages and charges simulated time.
 	Fetcher websim.Fetcher
 	// Clock is the robot's host clock, charged for parsing.
 	Clock vclock.Clock
-	// Constraints bound the crawl.
+	// Constraints bound the crawl (legacy surface; ignored when the
+	// Robot was built with New, whose options win).
 	Constraints Constraints
 	// Telemetry, when set, receives crawl totals (bot.pages, bot.bytes,
 	// bot.links) and — with spans enabled and TraceID set — one bot.crawl
 	// span per Run, so a mobile robot's crawl phase shows up inside its
 	// itinerary's trace tree.
 	Telemetry *telemetry.Telemetry
-	// TraceID attaches Run's span to an existing trace ("" records none).
+	// TraceID attaches the crawl span to an existing trace ("" records
+	// none).
 	TraceID string
 	// SpanParent optionally parents the crawl span (a vm.exec span id).
 	SpanParent string
 	// Workers, when > 1, fetches with that many concurrent workers
 	// (the Fetcher must implement websim.ForkableFetcher). The crawl's
 	// Stats — visit order, link logs, byte counts and Elapsed — stay
-	// byte-identical to the serial crawl: workers prefetch the page set
-	// on forked fetchers with private clocks, then the serial traversal
-	// replays from the prefetch cache, charging the robot's clock the
-	// recorded per-fetch costs.
+	// byte-identical to the serial crawl: workers drain the frontier on
+	// forked fetchers with private clocks, then the canonical serial
+	// traversal replays from the completed records, charging the
+	// robot's clock the recorded per-fetch costs.
 	Workers int
+
+	// cfg is the option set when built with New (nil for legacy
+	// struct-literal robots, which imply strict Constraints semantics).
+	cfg *config
+	// last is the frontier of the most recent RunCtx (Records feeds
+	// ModelMakespan and StatsFromRecords).
+	last *frontier.Frontier
 }
 
 // ErrNotForkable is returned when Workers > 1 but the Fetcher cannot be
 // forked for concurrent use.
 var ErrNotForkable = errors.New("webbot: Workers > 1 needs a websim.ForkableFetcher")
 
-// Run crawls depth-first from startURL and returns the gathered
-// statistics. The crawl is deterministic: links are followed in page
-// order.
+// Run crawls from startURL under the legacy surface and returns the
+// gathered statistics. The crawl is deterministic: links are followed
+// in page order.
+//
+// Deprecated: use New and RunCtx. Run is a shim over the same engine
+// and produces byte-identical Stats.
 func (r *Robot) Run(startURL string) (*Stats, error) {
-	limit := r.Constraints.MaxStableDepth
-	if limit == 0 {
-		limit = DefaultMaxStableDepth
-	}
-	if r.Constraints.MaxDepth > limit {
-		return nil, fmt.Errorf("%w: depth %d > stable limit %d",
-			ErrUnstable, r.Constraints.MaxDepth, limit)
-	}
-	if r.Fetcher == nil || r.Clock == nil {
-		return nil, errors.New("webbot: robot needs a fetcher and a clock")
-	}
-	st := &Stats{TypeCounts: make(map[string]int)}
-	start := r.Clock.Now()
-	sp := r.Telemetry.Spans().Start(r.Clock, r.Telemetry.Host(), r.TraceID, r.SpanParent, "bot.crawl")
-	sp.SetAttr("start", startURL)
-	c := &crawlState{
-		bestDepth: map[string]int{},
-		pageCache: map[string]*websim.Page{},
-		fetch:     r.Fetcher.Fetch,
-	}
-	if r.Workers > 1 {
-		ff, ok := r.Fetcher.(websim.ForkableFetcher)
-		if !ok {
-			sp.SetErr(ErrNotForkable)
-			sp.End()
-			return nil, ErrNotForkable
-		}
-		c.fetch = r.prefetch(ff, startURL).fetch
-	}
-	if err := r.crawl(startURL, "", 0, c, st); err != nil {
-		sp.SetErr(err)
-		sp.End()
-		return nil, err
-	}
-	st.Elapsed = r.Clock.Now() - start
-	sp.End()
-	if reg := r.Telemetry.Registry(); reg != nil {
-		reg.Counter("bot.pages").Add(int64(st.PagesVisited))
-		reg.Counter("bot.bytes").Add(int64(st.BytesFetched))
-		reg.Counter("bot.links").Add(int64(st.LinksChecked))
-	}
-	return st, nil
+	return r.RunCtx(context.Background(), startURL)
 }
 
-// crawlState tracks fetched pages across the traversal. Depth-limited DFS
-// may first reach a page via a long cross-link path and later via a
-// shorter tree path; each page is fetched exactly once but re-expanded
-// when reached at a strictly shallower depth, so the depth constraint
-// prunes by the page's best-known depth (as the W3C robot's breadth
-// bookkeeping does).
-type crawlState struct {
-	bestDepth map[string]int
-	pageCache map[string]*websim.Page // nil entry: the URL was invalid
-	fetch     func(url string) (*websim.Response, error)
-}
-
-// crawl fetches (once) and expands one page depth-first.
-func (r *Robot) crawl(url, referrer string, depth int, c *crawlState, st *Stats) error {
-	if prev, seen := c.bestDepth[url]; seen {
-		if depth >= prev {
-			return nil
-		}
-		c.bestDepth[url] = depth
-		return r.expand(url, depth, c, st)
-	}
-	c.bestDepth[url] = depth
-
-	resp, err := c.fetch(url)
-	if err != nil {
-		return fmt.Errorf("webbot: fetch %s: %w", url, err)
-	}
-	if resp.Status != websim.StatusOK {
-		c.pageCache[url] = nil
-		st.Invalid = append(st.Invalid, LinkReport{
-			URL: url, Referrer: referrer, Status: resp.Status, Reason: "invalid",
-		})
+// Records returns the completed frontier records of the robot's most
+// recent RunCtx, sorted by URL — the input frontier.ModelMakespan and
+// StatsFromRecords consume. Nil before any run.
+func (r *Robot) Records() []*frontier.PageRecord {
+	if r.last == nil {
 		return nil
 	}
-	st.PagesVisited++
-	st.BytesFetched += resp.Bytes
-	if depth > st.MaxDepthSeen {
-		st.MaxDepthSeen = depth
-	}
-	if resp.Page != nil {
-		st.TypeCounts[string(resp.Page.Type)]++
-		switch age := resp.Page.AgeDays; {
-		case age < 30:
-			st.AgeBuckets[0]++
-		case age < 180:
-			st.AgeBuckets[1]++
-		case age < 365:
-			st.AgeBuckets[2]++
-		default:
-			st.AgeBuckets[3]++
-		}
-	}
-	// Parsing cost scales with page size.
-	r.Clock.Advance(time.Duration(resp.Bytes) * ParseCostPerKB / 1024)
-	c.pageCache[url] = resp.Page
-	return r.expand(url, depth, c, st)
+	return r.last.Records()
 }
 
-// expand recurses over a fetched page's links.
-func (r *Robot) expand(url string, depth int, c *crawlState, st *Stats) error {
-	page := c.pageCache[url]
-	if page == nil {
+// Failures returns the failure journal of the robot's most recent
+// RunCtx: terminally failed fetches and subtrees abandoned beyond the
+// stable depth, as typed, durable events.
+func (r *Robot) Failures() []*frontier.Failure {
+	if r.last == nil {
 		return nil
 	}
-	for _, link := range page.Links {
-		st.LinksChecked++
-		if r.Constraints.Prefix != "" && !strings.HasPrefix(link.URL, r.Constraints.Prefix) {
-			st.Rejected = append(st.Rejected, LinkReport{
-				URL: link.URL, Referrer: link.Referrer, Reason: "prefix",
-			})
-			continue
-		}
-		if depth+1 > r.Constraints.MaxDepth {
-			st.Rejected = append(st.Rejected, LinkReport{
-				URL: link.URL, Referrer: link.Referrer, Reason: "depth",
-			})
-			continue
-		}
-		if err := r.crawl(link.URL, link.Referrer, depth+1, c, st); err != nil {
-			return err
-		}
-	}
-	return nil
+	return r.last.Failures()
 }
 
 // ValidateLinks fetches each URL once through the fetcher and reports the

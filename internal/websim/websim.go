@@ -59,6 +59,10 @@ type Page struct {
 	AgeDays int
 	// Links are the page's outgoing anchors, in generation order.
 	Links []Link
+	// Body is the page's literal text, set only for documents whose
+	// content matters to the crawler (today: /robots.txt). Ordinary
+	// pages carry sizes, not bytes.
+	Body string
 }
 
 // SiteSpec parameterizes site generation. The zero value is not useful;
@@ -122,6 +126,15 @@ type Site struct {
 	// deadInternal lists the generated dead internal link URLs.
 	deadInternal map[string]bool
 	totalBytes   int
+	// robots is the generated /robots.txt document. It lives outside
+	// the pages map so the page-count and byte-count contracts of the
+	// site are untouched by its existence.
+	robots *Page
+	// robotsDisallow lists the page URLs the robots file disallows for
+	// well-behaved crawlers (sorted).
+	robotsDisallow []string
+	// robotsDelay is the Crawl-delay the robots file requests.
+	robotsDelay time.Duration
 }
 
 // Generate builds a site from a spec, deterministically.
@@ -283,7 +296,47 @@ func Generate(spec SiteSpec) (*Site, error) {
 			p.Links = append(p.Links, Link{URL: t.URL, Referrer: p.URL})
 		}
 	}
+
+	// Emit /robots.txt last: its draws continue the same rng *after*
+	// every page draw above, so a given seed generates a byte-identical
+	// page tree whether or not a crawler ever reads the robots file.
+	s.generateRobots(spec, rng, urls)
 	return s, nil
+}
+
+// generateRobots writes the site's robots.txt: a blanket ban for the
+// "badbot" agent, and for everyone else a seeded Crawl-delay plus a
+// seeded stride of disallowed deep pages — enough to change a polite
+// crawl's statistics measurably without gutting the workload.
+func (s *Site) generateRobots(spec SiteSpec, rng *rand.Rand, sortedURLs []string) {
+	s.robotsDelay = time.Duration(1+rng.Intn(4)) * 250 * time.Millisecond
+	stride := 29 + rng.Intn(13)
+	prefix := "http://" + spec.Host
+	var b strings.Builder
+	fmt.Fprintf(&b, "# robots.txt for %s (seed %d)\n\n", spec.Host, spec.Seed)
+	b.WriteString("User-agent: badbot\nDisallow: /\n\n")
+	b.WriteString("User-agent: *\n")
+	fmt.Fprintf(&b, "Crawl-delay: %g\n", s.robotsDelay.Seconds())
+	n := 0
+	for _, u := range sortedURLs {
+		p := s.pages[u]
+		if p.Depth < 2 || p.Depth > spec.MaxDepth {
+			continue
+		}
+		if n++; n%stride != 0 {
+			continue
+		}
+		s.robotsDisallow = append(s.robotsDisallow, u)
+		fmt.Fprintf(&b, "Disallow: %s\n", strings.TrimPrefix(u, prefix))
+	}
+	body := b.String()
+	s.robots = &Page{
+		URL:     s.RobotsURL(),
+		Size:    len(body),
+		Type:    TypePlain,
+		AgeDays: 1,
+		Body:    body,
+	}
 }
 
 // levelSizes splits n pages over depths 0..maxDepth with a geometric
@@ -394,6 +447,42 @@ func (s *Site) Lookup(url string) *Page {
 	return s.pages[url]
 }
 
+// RobotsURL returns the site's robots.txt address.
+func (s *Site) RobotsURL() string { return "http://" + s.Host + "/robots.txt" }
+
+// RobotsTxt returns the generated robots.txt body ("" on legacy sites
+// built before robots generation).
+func (s *Site) RobotsTxt() string {
+	if s.robots == nil {
+		return ""
+	}
+	return s.robots.Body
+}
+
+// RobotsDisallowed returns the page URLs robots.txt disallows for the
+// wildcard agent group (sorted).
+func (s *Site) RobotsDisallowed() []string {
+	out := make([]string, len(s.robotsDisallow))
+	copy(out, s.robotsDisallow)
+	return out
+}
+
+// RobotsCrawlDelay returns the Crawl-delay robots.txt requests.
+func (s *Site) RobotsCrawlDelay() time.Duration { return s.robotsDelay }
+
+// SetAgeDays mutates one page's age in place, reporting whether the
+// page exists. Recrawl tests use it to model content churn between
+// crawl cycles: the page's revalidation digest changes while the site
+// stays otherwise identical.
+func (s *Site) SetAgeDays(url string, age int) bool {
+	p := s.pages[url]
+	if p == nil {
+		return false
+	}
+	p.AgeDays = age
+	return true
+}
+
 // HTTP status codes the simulated server produces.
 const (
 	StatusOK       = 200
@@ -443,6 +532,9 @@ func (s *Server) serve(url string) *Response {
 	if p := s.Site.Lookup(url); p != nil {
 		return &Response{URL: url, Status: StatusOK, Page: p, Bytes: p.Size}
 	}
+	if p := s.Site.robots; p != nil && url == s.Site.RobotsURL() {
+		return &Response{URL: url, Status: StatusOK, Page: p, Bytes: p.Size}
+	}
 	return &Response{URL: url, Status: StatusNotFound, Bytes: 256}
 }
 
@@ -453,6 +545,14 @@ const requestSize = 220
 type Fetcher interface {
 	// Fetch retrieves one URL, charging simulated time.
 	Fetch(url string) (*Response, error)
+}
+
+// HeadFetcher is a Fetcher that can probe a URL's metadata without
+// transferring the body — the revalidation probe behind incremental
+// re-crawl. The returned Response carries the status and the page's
+// metadata but Bytes is zero: only headers crossed the wire.
+type HeadFetcher interface {
+	Head(url string) (*Response, error)
 }
 
 // ForkableFetcher is a Fetcher that supports concurrent crawling. Fork
@@ -493,7 +593,10 @@ type Client struct {
 	BytesFetched int
 }
 
-var _ ForkableFetcher = (*Client)(nil)
+var (
+	_ ForkableFetcher = (*Client)(nil)
+	_ HeadFetcher     = (*Client)(nil)
+)
 
 // Fork implements ForkableFetcher: the clone shares the server, the
 // universe and the link profile but charges the given clock and keeps
@@ -527,6 +630,25 @@ func (c *Client) Fetch(url string) (*Response, error) {
 	c.Requests++
 	c.BytesFetched += resp.Bytes
 	return resp, nil
+}
+
+// Head implements HeadFetcher: same round trip as Fetch, but the
+// response body stays on the server — the client pays the request
+// transfer, the server's fixed per-request cost, and a 256-byte header
+// response. Bytes is zero; the page metadata still comes back (it is
+// what headers are).
+func (c *Client) Head(url string) (*Response, error) {
+	if c.Clock == nil {
+		return nil, errors.New("websim: client has no clock")
+	}
+	resp := c.resolve(url)
+	head := &Response{URL: resp.URL, Status: resp.Status, Page: resp.Page}
+	cost := c.Link.TransferTime(requestSize) + c.Link.Latency +
+		c.Server.PerRequest +
+		c.Link.TransferTime(256) + c.Link.Latency
+	c.Clock.Advance(cost)
+	c.Requests++
+	return head, nil
 }
 
 func (c *Client) resolve(url string) *Response {

@@ -51,6 +51,7 @@ import (
 	"tax/internal/core"
 	"tax/internal/directory"
 	"tax/internal/firewall"
+	"tax/internal/frontier"
 	"tax/internal/group"
 	"tax/internal/identity"
 	"tax/internal/naming"
@@ -346,12 +347,70 @@ type (
 	Site = websim.Site
 	// SiteSpec parameterizes site generation.
 	SiteSpec = websim.SiteSpec
-	// Robot is the stationary Webbot-style crawler.
+	// Robot is the stationary Webbot-style crawler, rebuilt as a staged
+	// pipeline over a durable URL frontier. Build with NewRobot.
 	Robot = webbot.Robot
 	// RobotConstraints bound a crawl.
+	//
+	// Deprecated: build robots with NewRobot and RobotOption values.
 	RobotConstraints = webbot.Constraints
 	// RobotStats is a crawl's gathered output.
 	RobotStats = webbot.Stats
+	// RobotOption tunes a robot at NewRobot time.
+	RobotOption = webbot.Option
+	// RobotsPolicy selects how a robot treats a site's robots.txt.
+	RobotsPolicy = webbot.RobotsPolicy
+	// Fetcher is anything a robot can crawl through — a local or remote
+	// websim client, which is exactly the paper's measured difference.
+	Fetcher = websim.Fetcher
+	// PageRecord is one completed fetch in a robot's frontier: the
+	// durable unit crash-resume, re-crawl and fleet aggregation share.
+	PageRecord = frontier.PageRecord
+)
+
+// NewRobot builds a staged-crawler robot (PR 10 API): a prioritized,
+// optionally durable URL frontier feeding K politeness-limited fetcher
+// workers, with Stats byte-identical to the serial crawl.
+func NewRobot(fetcher Fetcher, opts ...RobotOption) *Robot { return webbot.New(fetcher, opts...) }
+
+// Robot options, re-exported from webbot. Each returns a RobotOption
+// for NewRobot; see the webbot package for per-option documentation.
+var (
+	RobotMaxDepth    = webbot.WithMaxDepth
+	RobotPrefix      = webbot.WithPrefix
+	RobotWorkers     = webbot.WithWorkers
+	RobotPoliteness  = webbot.WithPoliteness
+	RobotRobots      = webbot.WithRobotsPolicy
+	RobotUserAgent   = webbot.WithUserAgent
+	RobotStableDepth = webbot.WithStableDepth
+	RobotDepthAbort  = webbot.WithDepthAbort
+	RobotFrontier    = webbot.WithFrontier
+	RobotRecrawl     = webbot.WithRecrawl
+	RobotRetries     = webbot.WithRetries
+	RobotClock       = webbot.WithClock
+)
+
+// Robots-exclusion policies for RobotRobots.
+const (
+	// RobotsIgnore skips the robots.txt fetch (the legacy behavior).
+	RobotsIgnore = webbot.RobotsIgnore
+	// RobotsHonor fetches /robots.txt first and prunes excluded URLs.
+	RobotsHonor = webbot.RobotsHonor
+)
+
+// Crawler errors, typed across the wire like the platform taxonomy: a
+// fleet worker's Fail crosses as a RemoteError matching these.
+var (
+	// ErrRobotsDenied: the site's robots.txt forbids the URL for this
+	// robot's user-agent. Wire code wb_robots_denied.
+	ErrRobotsDenied = webbot.ErrRobotsDenied
+	// ErrCrawlUnstable: a subtree beyond the stable depth was journaled
+	// (or, with RobotDepthAbort, the crawl aborted). Wire code
+	// wb_depth_unstable.
+	ErrCrawlUnstable = webbot.ErrUnstable
+	// ErrFetchFailed: a URL's fetch failed after the frontier's retry
+	// budget. Wire code wb_fetch_failed.
+	ErrFetchFailed = webbot.ErrFetchFailed
 )
 
 // GenerateSite builds a synthetic site from a spec.
